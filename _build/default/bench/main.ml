@@ -1,0 +1,175 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (Section 8) and times the major pipeline stages with
+   Bechamel.
+
+   Usage:
+     dune exec bench/main.exe                    # everything, scaled size
+     dune exec bench/main.exe -- table1          # one artifact: table1,
+                                                 #   table2, table3, tradeoff,
+                                                 #   ablation, extensions, timing
+     dune exec bench/main.exe -- table1 --full   # paper-sized sink sets
+     dune exec bench/main.exe -- table1 --tiny   # smoke-run sizes
+*)
+
+module Benchmarks = Lubt_data.Benchmarks
+module Tables = Lubt_experiments.Tables
+module Protocol = Lubt_experiments.Protocol
+module Instance = Lubt_core.Instance
+module Ebf = Lubt_core.Ebf
+module Zeroskew = Lubt_core.Zeroskew
+module Embed = Lubt_core.Embed
+module Bst = Lubt_bst.Bst_dme
+
+(* ------------------------------------------------------------------ *)
+(* Table regeneration                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_table1 size =
+  let rows, secs = Protocol.time (fun () -> Tables.table1 ~size ()) in
+  Tables.print_table1 rows;
+  Printf.printf "(generated in %.1fs)\n%!" secs
+
+let run_table2 size =
+  let rows, secs = Protocol.time (fun () -> Tables.table2 ~size ()) in
+  Tables.print_table2 rows;
+  Printf.printf "(generated in %.1fs)\n%!" secs
+
+let run_table3 size =
+  let rows, secs = Protocol.time (fun () -> Tables.table3 ~size ()) in
+  Tables.print_table3 rows;
+  Printf.printf "(generated in %.1fs)\n%!" secs
+
+let run_tradeoff size =
+  let rows, secs = Protocol.time (fun () -> Tables.tradeoff ~size ()) in
+  Tables.print_tradeoff rows;
+  Printf.printf "(generated in %.1fs)\n%!" secs
+
+let run_ablation size =
+  Tables.print_ablation (Tables.ablation ~size ());
+  Tables.print_beam_ablation (Tables.beam_ablation ~size ());
+  Tables.print_topo_opt_ablation (Tables.topo_opt_ablation ~size ())
+
+let run_extensions size =
+  Tables.print_optimality_gap (Tables.optimality_gap ~size ());
+  Tables.print_elmore_table (Tables.elmore_table ());
+  Tables.print_global_routing_table (Tables.global_routing_table ~size ());
+  let rows, secs =
+    Protocol.time (fun () -> Tables.table1 ~size ~clustered:true ())
+  in
+  Printf.printf "\n(Table 1 on clustered-sink fields, closer to real clock pins)\n";
+  Tables.print_table1 rows;
+  Printf.printf "(generated in %.1fs)\n%!" secs
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one per table/figure plus the pipeline     *)
+(* stages, on the tiny size so a timing run stays short.                 *)
+(* ------------------------------------------------------------------ *)
+
+let timing_tests () =
+  let open Bechamel in
+  let tiny = Benchmarks.Tiny in
+  let spec = Benchmarks.find tiny "prim1s" in
+  let sinks = Benchmarks.sinks spec in
+  let source = Benchmarks.source spec in
+  let baseline = Protocol.run_baseline spec ~skew_rel:0.5 in
+  let topo = baseline.Protocol.bst.Bst.topology in
+  let inst =
+    Instance.uniform_bounds ~source ~sinks
+      ~lower:(baseline.Protocol.bst.Bst.dmin)
+      ~upper:(baseline.Protocol.bst.Bst.dmax) ()
+  in
+  let relaxed = Instance.uniform_bounds ~source ~sinks ~lower:0.0 ~upper:infinity () in
+  [
+    (* one bench per table/figure *)
+    Test.make ~name:"table1 (tiny)"
+      (Staged.stage (fun () -> ignore (Tables.table1 ~size:tiny ())));
+    Test.make ~name:"table2 (tiny)"
+      (Staged.stage (fun () -> ignore (Tables.table2 ~size:tiny ())));
+    Test.make ~name:"table3 (tiny)"
+      (Staged.stage (fun () -> ignore (Tables.table3 ~size:tiny ())));
+    Test.make ~name:"figure8 tradeoff (tiny)"
+      (Staged.stage (fun () -> ignore (Tables.tradeoff ~size:tiny ())));
+    (* pipeline stages *)
+    Test.make ~name:"bst route (tiny, 24 sinks)"
+      (Staged.stage (fun () ->
+           ignore (Bst.route ~skew_bound:(0.5 *. baseline.Protocol.radius) ~source sinks)));
+    Test.make ~name:"ebf lazy LP"
+      (Staged.stage (fun () -> ignore (Ebf.solve inst topo)));
+    Test.make ~name:"ebf eager LP"
+      (Staged.stage (fun () ->
+           ignore
+             (Ebf.solve
+                ~options:{ Ebf.default_options with Ebf.lazy_steiner = false }
+                inst topo)));
+    Test.make ~name:"zero-skew closed form"
+      (Staged.stage (fun () -> ignore (Zeroskew.balance relaxed topo)));
+    Test.make ~name:"embedding"
+      (Staged.stage
+         (let lengths = (Ebf.solve inst topo).Ebf.lengths in
+          fun () -> ignore (Embed.place inst topo lengths)));
+  ]
+
+let run_timing () =
+  let open Bechamel in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~stabilize:false ()
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0
+      ~predictors:[| Measure.run |]
+  in
+  Printf.printf "\n=== Bechamel timings (tiny benchmarks) ===\n%!";
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances
+          (Test.make_grouped ~name:"g" [ test ])
+      in
+      let analysed = Analyze.all ols (List.hd instances) results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+            Printf.printf "%-40s %12.3f ms/run\n%!" name (est /. 1e6)
+          | _ -> Printf.printf "%-40s (no estimate)\n%!" name)
+        analysed)
+    (timing_tests ())
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let size =
+    if List.mem "--full" args then Benchmarks.Full
+    else if List.mem "--tiny" args then Benchmarks.Tiny
+    else Benchmarks.Scaled
+  in
+  let commands = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  let run = function
+    | "table1" -> run_table1 size
+    | "table2" -> run_table2 size
+    | "table3" -> run_table3 size
+    | "tradeoff" | "figure8" -> run_tradeoff size
+    | "ablation" -> run_ablation size
+    | "extensions" -> run_extensions size
+    | "timing" -> run_timing ()
+    | other ->
+      Printf.eprintf
+        "unknown command %S (table1|table2|table3|tradeoff|ablation|extensions|timing)\n"
+        other;
+      exit 1
+  in
+  match commands with
+  | [] ->
+    (* full sweep: every table and figure, then the ablations and timings *)
+    run_table1 size;
+    run_table2 size;
+    run_table3 size;
+    run_tradeoff size;
+    run_ablation size;
+    run_extensions size;
+    run_timing ()
+  | cmds -> List.iter run cmds

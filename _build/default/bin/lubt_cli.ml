@@ -1,0 +1,349 @@
+(* lubt: command-line front end.
+
+   Subcommands:
+     gen        write a synthetic benchmark instance to a file
+     route      run the bounded-skew baseline router on an instance
+     solve      solve the LUBT LP (+ embedding) for an instance & topology
+     table1/2/3, tradeoff, ablation
+                regenerate the paper's tables and figure *)
+
+open Cmdliner
+
+module Point = Lubt_geom.Point
+module Tree = Lubt_topo.Tree
+module Instance = Lubt_core.Instance
+module Ebf = Lubt_core.Ebf
+module Routed = Lubt_core.Routed
+module Lubt = Lubt_core.Lubt
+module Bst = Lubt_bst.Bst_dme
+module Benchmarks = Lubt_data.Benchmarks
+module Io = Lubt_data.Io
+module Tables = Lubt_experiments.Tables
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let size_arg =
+  let parse = function
+    | "tiny" -> Ok Benchmarks.Tiny
+    | "scaled" -> Ok Benchmarks.Scaled
+    | "full" -> Ok Benchmarks.Full
+    | s -> Error (`Msg (Printf.sprintf "unknown size %S (tiny|scaled|full)" s))
+  in
+  let print fmt s =
+    Format.pp_print_string fmt
+      (match s with
+      | Benchmarks.Tiny -> "tiny"
+      | Benchmarks.Scaled -> "scaled"
+      | Benchmarks.Full -> "full")
+  in
+  Arg.conv (parse, print)
+
+let size_t =
+  Arg.(
+    value
+    & opt size_arg Benchmarks.Scaled
+    & info [ "size" ] ~docv:"SIZE"
+        ~doc:"Benchmark size: tiny, scaled (default) or full (paper sizes).")
+
+let bench_t =
+  Arg.(
+    value
+    & opt string "prim1s"
+    & info [ "bench" ] ~docv:"NAME" ~doc:"Benchmark name (prim1s|prim2s|r1s|r3s).")
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("error: " ^ msg);
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let gen size bench lower upper out =
+  match Benchmarks.find size bench with
+  | exception Not_found ->
+    prerr_endline ("unknown benchmark: " ^ bench);
+    exit 1
+  | spec ->
+    let upper = if upper <= 0.0 then infinity else upper in
+    let inst = Benchmarks.instance ~lower ~upper spec in
+    (match out with
+    | Some path ->
+      Io.write_instance path inst;
+      Printf.printf "wrote %s (%d sinks, radius %g)\n" path
+        (Instance.num_sinks inst) (Instance.radius inst)
+    | None -> print_string (Io.instance_to_string inst))
+
+let gen_cmd =
+  let lower =
+    Arg.(
+      value & opt float 0.0
+      & info [ "lower" ] ~doc:"Lower delay bound as a fraction of the radius.")
+  in
+  let upper =
+    Arg.(
+      value & opt float 0.0
+      & info [ "upper" ]
+          ~doc:"Upper delay bound as a fraction of the radius (0 = infinity).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Output file (stdout when absent).")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic benchmark instance")
+    Term.(const gen $ size_t $ bench_t $ lower $ upper $ out)
+
+(* ------------------------------------------------------------------ *)
+(* route (baseline)                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let route inst_path skew topo_out =
+  let inst = or_die (Io.read_instance inst_path) in
+  let radius = Instance.radius inst in
+  let bound = if skew < 0.0 then infinity else skew *. radius in
+  let r =
+    Bst.route ~skew_bound:bound
+      ?source:inst.Instance.source inst.Instance.sinks
+  in
+  Printf.printf "baseline: cost %.2f, delays [%.4f, %.4f] x radius, skew %.4f\n"
+    r.Bst.cost (r.Bst.dmin /. radius) (r.Bst.dmax /. radius)
+    ((r.Bst.dmax -. r.Bst.dmin) /. radius);
+  match topo_out with
+  | Some path ->
+    Io.write_tree path r.Bst.topology;
+    Printf.printf "wrote topology to %s\n" path
+  | None -> ()
+
+let route_cmd =
+  let inst_path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"INSTANCE")
+  in
+  let skew =
+    Arg.(
+      value & opt float (-1.0)
+      & info [ "skew" ]
+          ~doc:"Skew bound as a fraction of the radius (negative = infinity).")
+  in
+  let topo_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "topology-out" ] ~docv:"FILE" ~doc:"Write the produced topology.")
+  in
+  Cmd.v
+    (Cmd.info "route" ~doc:"Run the bounded-skew baseline router")
+    Term.(const route $ inst_path $ skew $ topo_out)
+
+(* ------------------------------------------------------------------ *)
+(* solve (LUBT)                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let solve inst_path topo_path eager =
+  let inst = or_die (Io.read_instance inst_path) in
+  let tree =
+    match topo_path with
+    | Some path -> or_die (Io.read_tree path)
+    | None ->
+      (* no topology given: generate one with the baseline, guided by the
+         skew implied by the bounds (the paper's protocol) *)
+      let radius = Instance.radius inst in
+      let lo, _ = Lubt_util.Stats.min_max inst.Instance.lower in
+      let _, hi = Lubt_util.Stats.min_max inst.Instance.upper in
+      let bound = if hi = infinity then infinity else max 0.0 (hi -. lo) in
+      ignore radius;
+      let r =
+        Bst.route ~skew_bound:bound ?source:inst.Instance.source
+          inst.Instance.sinks
+      in
+      r.Bst.topology
+  in
+  let options = { Ebf.default_options with Ebf.lazy_steiner = not eager } in
+  match Lubt.solve ~options inst tree with
+  | Error e ->
+    prerr_endline (Lubt.error_to_string e);
+    exit 1
+  | Ok report ->
+    let routed = report.Lubt.routed in
+    Format.printf "%a@." Routed.pp_summary routed;
+    Printf.printf "LP: %d rows (full formulation: %d), %d simplex iterations, %d rounds\n"
+      report.Lubt.ebf.Ebf.lp_rows report.Lubt.ebf.Ebf.full_rows
+      report.Lubt.ebf.Ebf.lp_iterations report.Lubt.ebf.Ebf.rounds;
+    (match Routed.validate routed with
+    | Ok () -> print_endline "validation: OK"
+    | Error es ->
+      print_endline "validation FAILED:";
+      List.iter (fun e -> print_endline ("  " ^ e)) es;
+      exit 1)
+
+let solve_cmd =
+  let inst_path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"INSTANCE")
+  in
+  let topo_path =
+    Arg.(
+      value & opt (some file) None
+      & info [ "topology" ] ~docv:"FILE"
+          ~doc:"Topology file (generated by the baseline router when absent).")
+  in
+  let eager =
+    Arg.(
+      value & flag
+      & info [ "eager" ] ~doc:"Disable lazy Steiner-row generation.")
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Solve the LUBT problem (EBF + embedding)")
+    Term.(const solve $ inst_path $ topo_path $ eager)
+
+(* ------------------------------------------------------------------ *)
+(* svg                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let topology_for inst topo_path =
+  match topo_path with
+  | Some path -> or_die (Io.read_tree path)
+  | None ->
+    let lo, _ = Lubt_util.Stats.min_max inst.Instance.lower in
+    let _, hi = Lubt_util.Stats.min_max inst.Instance.upper in
+    let bound = if hi = infinity then infinity else max 0.0 (hi -. lo) in
+    (Bst.route ~skew_bound:bound ?source:inst.Instance.source
+       inst.Instance.sinks)
+      .Bst.topology
+
+let svg inst_path topo_path out labels =
+  let inst = or_die (Io.read_instance inst_path) in
+  let tree = topology_for inst topo_path in
+  match Lubt.solve inst tree with
+  | Error e ->
+    prerr_endline (Lubt.error_to_string e);
+    exit 1
+  | Ok report ->
+    Lubt_core.Svg.write ~show_labels:labels out report.Lubt.routed;
+    Printf.printf "wrote %s (%s)\n" out
+      (Format.asprintf "%a" Routed.pp_summary report.Lubt.routed)
+
+let svg_cmd =
+  let inst_path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"INSTANCE")
+  in
+  let topo_path =
+    Arg.(
+      value & opt (some file) None
+      & info [ "topology" ] ~docv:"FILE" ~doc:"Topology file.")
+  in
+  let out =
+    Arg.(value & opt string "tree.svg" & info [ "o" ] ~docv:"FILE" ~doc:"Output SVG.")
+  in
+  let labels = Arg.(value & flag & info [ "labels" ] ~doc:"Draw node-id labels.") in
+  Cmd.v
+    (Cmd.info "svg" ~doc:"Solve and render the routed tree as SVG")
+    Term.(const svg $ inst_path $ topo_path $ out $ labels)
+
+(* ------------------------------------------------------------------ *)
+(* optimize                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let optimize inst_path topo_path budget topo_out =
+  let inst = or_die (Io.read_instance inst_path) in
+  let tree = topology_for inst topo_path in
+  let options =
+    { Lubt_core.Topo_opt.default_options with
+      Lubt_core.Topo_opt.max_evaluations = budget }
+  in
+  let r = Lubt_core.Topo_opt.improve ~options inst tree in
+  if r.Lubt_core.Topo_opt.cost = infinity then begin
+    prerr_endline "no LUBT exists for the initial topology and these bounds";
+    exit 1
+  end;
+  Printf.printf
+    "topology optimisation: %.2f -> %.2f (%.2f%% saved), %d moves, %d LP \
+     evaluations, %d passes\n"
+    r.Lubt_core.Topo_opt.initial_cost r.Lubt_core.Topo_opt.cost
+    ((r.Lubt_core.Topo_opt.initial_cost -. r.Lubt_core.Topo_opt.cost)
+    /. r.Lubt_core.Topo_opt.initial_cost *. 100.0)
+    r.Lubt_core.Topo_opt.accepted r.Lubt_core.Topo_opt.evaluations
+    r.Lubt_core.Topo_opt.passes;
+  match topo_out with
+  | Some path ->
+    Io.write_tree path r.Lubt_core.Topo_opt.tree;
+    Printf.printf "wrote optimised topology to %s\n" path
+  | None -> ()
+
+let optimize_cmd =
+  let inst_path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"INSTANCE")
+  in
+  let topo_path =
+    Arg.(
+      value & opt (some file) None
+      & info [ "topology" ] ~docv:"FILE" ~doc:"Initial topology file.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 400
+      & info [ "budget" ] ~doc:"Maximum LP evaluations during the search.")
+  in
+  let topo_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "topology-out" ] ~docv:"FILE" ~doc:"Write the improved topology.")
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Improve the topology under the instance bounds (Section 9)")
+    Term.(const optimize $ inst_path $ topo_path $ budget $ topo_out)
+
+(* ------------------------------------------------------------------ *)
+(* tables                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let table1 size = Tables.print_table1 (Tables.table1 ~size ())
+
+let table2 size = Tables.print_table2 (Tables.table2 ~size ())
+
+let table3 size = Tables.print_table3 (Tables.table3 ~size ())
+
+let tradeoff size bench = Tables.print_tradeoff (Tables.tradeoff ~size ~bench ())
+
+let ablation size bench = Tables.print_ablation (Tables.ablation ~size ~bench ())
+
+let table_cmd name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ size_t)
+
+let tradeoff_cmd =
+  Cmd.v
+    (Cmd.info "tradeoff" ~doc:"Regenerate Figure 8 (cost vs bounds)")
+    Term.(const tradeoff $ size_t $ bench_t)
+
+let ablation_cmd =
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Row-generation and zero-skew ablations")
+    Term.(const ablation $ size_t $ bench_t)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "lubt" ~version:"1.0.0"
+      ~doc:"Lower/Upper Bounded delay routing Trees via linear programming"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            gen_cmd;
+            route_cmd;
+            solve_cmd;
+            svg_cmd;
+            optimize_cmd;
+            table_cmd "table1" "Regenerate Table 1 (baseline vs LUBT)" table1;
+            table_cmd "table2" "Regenerate Table 2 (shifted windows)" table2;
+            table_cmd "table3" "Regenerate Table 3 (other bounds)" table3;
+            tradeoff_cmd;
+            ablation_cmd;
+          ]))

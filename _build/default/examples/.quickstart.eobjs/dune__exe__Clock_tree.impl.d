@@ -1,0 +1,1 @@
+examples/clock_tree.ml: Array Float List Lubt_bst Lubt_core Lubt_data Printf

@@ -1,0 +1,1 @@
+examples/elmore_clock.ml: Array Lubt_bst Lubt_core Lubt_data Lubt_delay Lubt_util Printf

@@ -1,0 +1,1 @@
+examples/elmore_clock.mli:

@@ -1,0 +1,1 @@
+examples/global_routing.ml: Array List Lubt_bst Lubt_core Lubt_geom Lubt_util Printf

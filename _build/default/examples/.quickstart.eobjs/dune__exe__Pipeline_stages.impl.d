@@ -1,0 +1,1 @@
+examples/pipeline_stages.ml: Array List Lubt_bst Lubt_core Lubt_geom Lubt_util Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Lubt_bst Lubt_core Lubt_geom Printf

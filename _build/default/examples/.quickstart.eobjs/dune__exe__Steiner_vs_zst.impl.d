@@ -1,0 +1,1 @@
+examples/steiner_vs_zst.ml: Array Float List Lubt_bst Lubt_core Lubt_data Printf

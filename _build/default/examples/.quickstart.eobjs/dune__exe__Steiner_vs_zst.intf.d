@@ -1,0 +1,1 @@
+examples/steiner_vs_zst.mli:

@@ -1,0 +1,67 @@
+(* Clock windows under the Elmore delay model (Section 7).
+
+   The EBF becomes a quadratically-constrained program under Elmore delay;
+   the paper proposes general nonlinear programming, implemented here as a
+   sequential LP. This example routes a small clock net into the delay
+   window [0.7, 1.05] x (relaxed maximum) under BOTH models and contrasts
+   the wire each needs: elongation raises Elmore delay quadratically, so
+   the Elmore solution meets the lower bound with noticeably less metal.
+
+   Run with: dune exec examples/elmore_clock.exe *)
+
+module Instance = Lubt_core.Instance
+module Ebf = Lubt_core.Ebf
+module Elmore_ebf = Lubt_core.Elmore_ebf
+module Elmore = Lubt_delay.Elmore
+module Linear = Lubt_delay.Linear
+module Bst = Lubt_bst.Bst_dme
+module Benchmarks = Lubt_data.Benchmarks
+module Stats = Lubt_util.Stats
+
+let () =
+  let spec = Benchmarks.find Benchmarks.Tiny "prim1s" in
+  let sinks = Benchmarks.sinks spec in
+  let source = Benchmarks.source spec in
+  let m = Array.length sinks in
+  (* 1996-flavour unit parasitics: 0.1 ohm & 0.2 fF per unit, 1 fF loads *)
+  let wire = { Elmore.r_w = 0.0001; c_w = 0.0002 } in
+  let loads = Array.make m 1.0 in
+  let topo = (Bst.route ~source sinks).Bst.topology in
+  let relaxed = Instance.uniform_bounds ~source ~sinks ~lower:0.0 ~upper:infinity () in
+  let base = Ebf.solve relaxed topo in
+  let max_lin = Array.fold_left max 0.0 (Linear.sink_delays topo base.Ebf.lengths) in
+  let max_elm =
+    Array.fold_left max 0.0 (Elmore.sink_delays topo wire loads base.Ebf.lengths)
+  in
+  Printf.printf "clock net: %d sinks; relaxed tree: wire %.1f, max delay %.1f (linear) / %.3f (elmore)\n\n"
+    m base.Ebf.objective max_lin max_elm;
+
+  let lo_rel = 0.7 and hi_rel = 1.05 in
+  (* linear-model window *)
+  let lin_inst =
+    Instance.uniform_bounds ~source ~sinks ~lower:(lo_rel *. max_lin)
+      ~upper:(hi_rel *. max_lin) ()
+  in
+  let lin = Ebf.solve lin_inst topo in
+  Printf.printf "linear window [%.2f, %.2f] x max: wire %.1f (+%.1f%% over relaxed)\n"
+    lo_rel hi_rel lin.Ebf.objective
+    ((lin.Ebf.objective -. base.Ebf.objective) /. base.Ebf.objective *. 100.0);
+
+  (* Elmore-model window *)
+  let elm_inst =
+    Instance.uniform_bounds ~source ~sinks ~lower:(lo_rel *. max_elm)
+      ~upper:(hi_rel *. max_elm) ()
+  in
+  let elm = Elmore_ebf.solve ~wire ~loads elm_inst topo in
+  Printf.printf "elmore window [%.2f, %.2f] x max: wire %.1f (+%.1f%%), %d SLP iterations, residual %.2g\n"
+    lo_rel hi_rel elm.Elmore_ebf.cost
+    ((elm.Elmore_ebf.cost -. base.Ebf.objective) /. base.Ebf.objective *. 100.0)
+    elm.Elmore_ebf.outer_iterations elm.Elmore_ebf.max_violation;
+  let dlo, dhi = Stats.min_max elm.Elmore_ebf.sink_delays in
+  Printf.printf "  achieved elmore delays: [%.4f, %.4f] (window [%.4f, %.4f])\n"
+    dlo dhi (lo_rel *. max_elm) (hi_rel *. max_elm);
+  print_newline ();
+  print_endline
+    "The quadratic delay of a snaked wire grows faster than its length, so
+meeting the same relative window takes less metal under Elmore than under
+the linear model — the flexibility Section 7 points at."

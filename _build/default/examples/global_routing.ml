@@ -1,0 +1,96 @@
+(* Bounded-delay global routing and short-path fixing (paper introduction
+   and Section 4.3 case [l = 0, u < inf] / [l > 0]).
+
+   (1) A signal net with a long-path (setup) constraint: an upper bound on
+       every source-to-sink path length — the classic bounded-delay global
+       routing problem. LUBT with l = 0 solves it at minimum wire.
+   (2) The same net later fails a short-path (hold) check at two sinks.
+       The usual fix inserts delay buffers; the paper's alternative is to
+       set a LOWER bound for those sinks and let the router elongate the
+       wires, which costs area/power only in metal.
+
+   Run with: dune exec examples/global_routing.exe *)
+
+module Point = Lubt_geom.Point
+module Instance = Lubt_core.Instance
+module Routed = Lubt_core.Routed
+module Lubt = Lubt_core.Lubt
+module Bst = Lubt_bst.Bst_dme
+module Prng = Lubt_util.Prng
+
+let () =
+  let rng = Prng.create 99 in
+  let sinks =
+    Array.init 14 (fun _ ->
+        Point.make (Prng.float rng 100.0) (Prng.float rng 100.0))
+  in
+  let m = Array.length sinks in
+  let source = Point.make 0.0 0.0 in
+  let base = Instance.uniform_bounds ~source ~sinks ~lower:0.0 ~upper:infinity () in
+  let radius = Instance.radius base in
+  let topology = (Bst.route ~source sinks).Bst.topology in
+
+  (* unconstrained Steiner tree for reference *)
+  let steiner =
+    match Lubt.solve base topology with
+    | Ok { routed; _ } -> routed
+    | Error e -> failwith (Lubt.error_to_string e)
+  in
+  let _, steiner_worst = Routed.min_max_delay steiner in
+  Printf.printf "reference Steiner tree: wire %.1f, worst path %.3f x radius\n"
+    (Routed.cost steiner) (steiner_worst /. radius);
+
+  (* (1) setup constraints, per sink: no path may be stretched more than
+     10% over that sink's own shortest possible length (distinct per-sink
+     bounds are exactly what EBF supports) *)
+  let dist = Array.map (Point.dist source) sinks in
+  let worst_stretch routed =
+    let delays = Routed.sink_delays routed in
+    let worst = ref 1.0 in
+    Array.iteri (fun i d -> worst := max !worst (d /. dist.(i))) delays;
+    !worst
+  in
+  Printf.printf "  worst per-sink stretch in the Steiner tree: %.3f\n"
+    (worst_stretch steiner);
+  let upper = Array.map (fun d -> 1.1 *. d) dist in
+  let setup = Instance.with_bounds base ~lower:(Array.make m 0.0) ~upper in
+  let bounded =
+    match Lubt.solve setup topology with
+    | Ok { routed; _ } -> routed
+    | Error e -> failwith (Lubt.error_to_string e)
+  in
+  Printf.printf
+    "with 1.1x per-sink path bounds: wire %.1f (+%.1f%%), worst stretch %.3f\n"
+    (Routed.cost bounded)
+    ((Routed.cost bounded -. Routed.cost steiner) /. Routed.cost steiner *. 100.0)
+    (worst_stretch bounded);
+
+  (* (2) hold fix: sinks 0 and 1 now also need a minimum path length of
+     1.05x their distance; the router stretches their wires instead of
+     inserting delay buffers *)
+  let lower = Array.make m 0.0 in
+  lower.(0) <- 1.05 *. dist.(0);
+  lower.(1) <- 1.05 *. dist.(1);
+  let hold_fixed_inst = Instance.with_bounds base ~lower ~upper in
+  let hold_fixed =
+    match Lubt.solve hold_fixed_inst topology with
+    | Ok { routed; _ } -> routed
+    | Error e -> failwith (Lubt.error_to_string e)
+  in
+  let delays = Routed.sink_delays hold_fixed in
+  Printf.printf
+    "hold-fixing sinks 0,1 by wire elongation: wire %.1f (+%.1f%% over bounded)\n"
+    (Routed.cost hold_fixed)
+    ((Routed.cost hold_fixed -. Routed.cost bounded) /. Routed.cost bounded *. 100.0);
+  Printf.printf "  sink 0 path: %.3f x its distance (window [1.05, 1.10])\n"
+    (delays.(0) /. dist.(0));
+  Printf.printf "  sink 1 path: %.3f x its distance (window [1.05, 1.10])\n"
+    (delays.(1) /. dist.(1));
+  Printf.printf "  elongated edges in the tree: %d\n"
+    (Routed.num_elongated hold_fixed);
+  (match Routed.validate hold_fixed with
+  | Ok () -> print_endline "validation: OK"
+  | Error es -> List.iter print_endline es);
+  print_endline
+    "No delay buffers were inserted: the short paths were stretched in metal
+only, the paper's proposed alternative for hold fixing."

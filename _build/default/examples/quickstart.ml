@@ -1,0 +1,65 @@
+(* Quickstart: build a small LUBT from scratch.
+
+   Five sinks, a fixed source, and delay bounds [0.8, 1.1] x radius: the
+   solver finds minimum total wire such that every source-to-sink path
+   length lands in that window, then places the Steiner points.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Point = Lubt_geom.Point
+module Instance = Lubt_core.Instance
+module Routed = Lubt_core.Routed
+module Lubt = Lubt_core.Lubt
+module Snake = Lubt_core.Snake
+module Bst = Lubt_bst.Bst_dme
+
+let () =
+  let sinks =
+    [|
+      Point.make 2.0 9.0;
+      Point.make 9.0 8.0;
+      Point.make 8.0 2.0;
+      Point.make 1.0 1.0;
+      Point.make 5.0 10.0;
+    |]
+  in
+  let source = Point.make 5.0 5.0 in
+  (* start from trivial bounds to learn the radius, then window [0.8, 1.1] *)
+  let base = Instance.uniform_bounds ~source ~sinks ~lower:0.0 ~upper:infinity () in
+  let inst = Instance.with_normalized_bounds base ~lower:0.8 ~upper:1.1 in
+  Printf.printf "instance radius: %g\n" (Instance.radius inst);
+
+  (* a topology from the skew-guided generator (window width 0.3 x radius) *)
+  let bst = Bst.route ~skew_bound:(0.3 *. Instance.radius inst) ~source sinks in
+
+  (* the LUBT linear program + DME-style embedding *)
+  match Lubt.solve inst bst.Bst.topology with
+  | Error e -> failwith (Lubt.error_to_string e)
+  | Ok { routed; ebf } ->
+    Format.printf "%a@." Routed.pp_summary routed;
+    Printf.printf "LP solved with %d rows in %d simplex iterations\n"
+      ebf.Lubt_core.Ebf.lp_rows ebf.Lubt_core.Ebf.lp_iterations;
+    let delays = Routed.sink_delays routed in
+    Array.iteri
+      (fun k d ->
+        Printf.printf "  sink %d at %s: delay %.3f (window [%.3f, %.3f])\n" k
+          (Point.to_string sinks.(k))
+          d inst.Instance.lower.(k) inst.Instance.upper.(k))
+      delays;
+    (* materialise elongated edges as snaked rectilinear wire *)
+    let polylines = Snake.route_tree routed in
+    let elongated =
+      Array.to_list polylines
+      |> List.filter (fun (i, _) -> Routed.edge_slack routed i > 1e-9)
+    in
+    Printf.printf "%d of %d edges are elongated (snaked):\n"
+      (List.length elongated) (Array.length polylines);
+    List.iter
+      (fun (i, poly) ->
+        Printf.printf "  edge %d: %d bends, exact length %.3f\n" i
+          (List.length poly - 2)
+          (Snake.length poly))
+      elongated;
+    match Routed.validate routed with
+    | Ok () -> print_endline "validation: OK"
+    | Error es -> List.iter print_endline es

@@ -1,0 +1,1 @@
+lib/bst/brbc.ml: Array List Lubt_core Lubt_geom Lubt_topo Steiner Topology_of_graph

@@ -1,0 +1,1 @@
+lib/bst/brbc.mli: Lubt_core Lubt_geom Lubt_topo

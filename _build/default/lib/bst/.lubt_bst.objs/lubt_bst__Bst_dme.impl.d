@@ -1,0 +1,1 @@
+lib/bst/bst_dme.ml: Array List Lubt_core Lubt_geom Lubt_topo Option Steiner

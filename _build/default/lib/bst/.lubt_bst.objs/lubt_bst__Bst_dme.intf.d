@@ -1,0 +1,1 @@
+lib/bst/bst_dme.mli: Lubt_core Lubt_geom Lubt_topo

@@ -1,0 +1,1 @@
+lib/bst/steiner.ml: Array Hashtbl List Lubt_geom Lubt_topo Topology_of_graph

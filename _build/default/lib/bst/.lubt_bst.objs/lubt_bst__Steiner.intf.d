@@ -1,0 +1,1 @@
+lib/bst/steiner.mli: Lubt_geom Lubt_topo

@@ -1,0 +1,1 @@
+lib/bst/topology_of_graph.ml: Array Hashtbl List Lubt_geom Lubt_topo Lubt_util Queue

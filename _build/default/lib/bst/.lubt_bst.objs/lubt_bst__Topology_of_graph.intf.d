@@ -1,0 +1,1 @@
+lib/bst/topology_of_graph.mli: Lubt_geom Lubt_topo

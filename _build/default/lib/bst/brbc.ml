@@ -1,0 +1,119 @@
+module Point = Lubt_geom.Point
+module Tree = Lubt_topo.Tree
+module Instance = Lubt_core.Instance
+module Routed = Lubt_core.Routed
+
+type result = {
+  routed : Routed.t;
+  topology : Tree.t;
+  lengths : float array;
+  cost : float;
+  max_path : float;
+  radius : float;
+}
+
+(* Euler tour of the MST from the root: list of (vertex, edge length just
+   walked). The classic BRBC construction adds a source shortcut whenever
+   the tour wire since the last shortcut exceeds epsilon * radius, then
+   takes the shortest path tree of (MST + shortcuts). *)
+let route ?(epsilon = 1.0) ~source sinks =
+  let m = Array.length sinks in
+  if m = 0 then invalid_arg "Brbc.route: no sinks";
+  if epsilon <= 0.0 then invalid_arg "Brbc.route: epsilon must be positive";
+  (* graph points: sinks 0..m-1, source at index m (the converter wants
+     non-sink ids at the top) *)
+  let points = Array.append sinks [| source |] in
+  let src = m in
+  let n = m + 1 in
+  let radius = Array.fold_left (fun acc p -> max acc (Point.dist source p)) 0.0 sinks in
+  let mst = Steiner.rmst points in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    mst;
+  (* depth-first Euler walk accumulating tour length; collect shortcuts *)
+  let shortcuts = ref [] in
+  let budget = epsilon *. radius in
+  let running = ref 0.0 in
+  let seen = Array.make n false in
+  let rec walk v =
+    seen.(v) <- true;
+    List.iter
+      (fun c ->
+        if not seen.(c) then begin
+          let len = Point.dist points.(v) points.(c) in
+          running := !running +. len;
+          if !running > budget && c <> src then begin
+            shortcuts := c :: !shortcuts;
+            running := 0.0
+          end;
+          walk c;
+          running := !running +. len
+        end)
+      adj.(v)
+  in
+  walk src;
+  (* graph H = MST + shortcuts; Dijkstra (dense O(n^2)) from the source *)
+  let hadj = Array.copy adj in
+  List.iter
+    (fun v ->
+      if not (List.mem v hadj.(src)) then begin
+        hadj.(src) <- v :: hadj.(src);
+        hadj.(v) <- src :: hadj.(v)
+      end)
+    !shortcuts;
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let final = Array.make n false in
+  dist.(src) <- 0.0;
+  for _ = 1 to n do
+    let u = ref (-1) in
+    for v = 0 to n - 1 do
+      if (not final.(v)) && (!u < 0 || dist.(v) < dist.(!u)) then u := v
+    done;
+    let u = !u in
+    if dist.(u) < infinity then begin
+      final.(u) <- true;
+      List.iter
+        (fun v ->
+          let nd = dist.(u) +. Point.dist points.(u) points.(v) in
+          if nd < dist.(v) -. 1e-12 then begin
+            dist.(v) <- nd;
+            parent.(v) <- u
+          end)
+        hadj.(u)
+    end
+  done;
+  (* shortest path tree as adjacency *)
+  let tadj = Array.make n [] in
+  for v = 0 to n - 1 do
+    let p = parent.(v) in
+    if p >= 0 then begin
+      tadj.(p) <- v :: tadj.(p);
+      tadj.(v) <- p :: tadj.(v)
+    end
+  done;
+  let conv =
+    Topology_of_graph.convert ~positions:points ~adjacency:tadj ~root:src
+      ~num_sinks:m
+  in
+  let inst = Instance.uniform_bounds ~source ~sinks ~lower:0.0 ~upper:infinity () in
+  let routed =
+    {
+      Routed.instance = inst;
+      tree = conv.Topology_of_graph.tree;
+      lengths = conv.Topology_of_graph.lengths;
+      positions = conv.Topology_of_graph.positions;
+    }
+  in
+  let _, max_path = Routed.min_max_delay routed in
+  {
+    routed;
+    topology = conv.Topology_of_graph.tree;
+    lengths = conv.Topology_of_graph.lengths;
+    cost = Routed.cost routed;
+    max_path;
+    radius;
+  }

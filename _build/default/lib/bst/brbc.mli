@@ -1,0 +1,32 @@
+(** Bounded-Radius, Bounded-Cost spanning trees (Cong, Kahng, Robins et
+    al., "Provably Good Performance-Driven Global Routing" — the paper's
+    reference [1]).
+
+    The classic global-routing baseline that the upper-bound-only LUBT
+    case ([l_i = 0, u_i < inf], Section 4.3) generalises: starting from
+    the rectilinear MST, walk its Eulerian tour and, whenever the
+    accumulated tour wire since the last "refresh" exceeds
+    [epsilon * radius], graft a direct shortest connection from the
+    source, guaranteeing
+
+    - radius: every source-sink path length is at most
+      [(1 + epsilon) * radius], and
+    - cost: total wire at most [(1 + 2/epsilon) * mst_cost].
+
+    Small [epsilon] trades wire for shorter paths; [epsilon = infinity]
+    is the plain MST. *)
+
+type result = {
+  routed : Lubt_core.Routed.t;
+  topology : Lubt_topo.Tree.t;
+  lengths : float array;
+  cost : float;
+  max_path : float;  (** longest source-to-sink path length *)
+  radius : float;  (** max direct source-sink distance *)
+}
+
+val route :
+  ?epsilon:float -> source:Lubt_geom.Point.t -> Lubt_geom.Point.t array -> result
+(** [route ~epsilon ~source sinks] builds a BRBC tree (default
+    [epsilon = 1.0]). Requires at least one sink. The topology has every
+    sink as a leaf and is binary (ready for the EBF). *)

@@ -1,0 +1,214 @@
+module Point = Lubt_geom.Point
+module Tree = Lubt_topo.Tree
+
+type built = {
+  tree : Tree.t;
+  positions : Point.t array;
+  lengths : float array;
+  cost : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Prim rectilinear MST                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rmst points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Steiner.rmst: no points";
+  if n = 1 then []
+  else begin
+    let in_tree = Array.make n false in
+    let best_dist = Array.make n infinity in
+    let best_link = Array.make n (-1) in
+    in_tree.(0) <- true;
+    for j = 1 to n - 1 do
+      best_dist.(j) <- Point.dist points.(0) points.(j);
+      best_link.(j) <- 0
+    done;
+    let edges = ref [] in
+    for _ = 1 to n - 1 do
+      (* cheapest fringe vertex *)
+      let pick = ref (-1) in
+      for j = 0 to n - 1 do
+        if (not in_tree.(j)) && (!pick < 0 || best_dist.(j) < best_dist.(!pick))
+        then pick := j
+      done;
+      let v = !pick in
+      in_tree.(v) <- true;
+      edges := (best_link.(v), v) :: !edges;
+      for j = 0 to n - 1 do
+        if not in_tree.(j) then begin
+          let d = Point.dist points.(v) points.(j) in
+          if d < best_dist.(j) then begin
+            best_dist.(j) <- d;
+            best_link.(j) <- v
+          end
+        end
+      done
+    done;
+    !edges
+  end
+
+let rmst_length points =
+  List.fold_left
+    (fun acc (a, b) -> acc +. Point.dist points.(a) points.(b))
+    0.0 (rmst points)
+
+(* ------------------------------------------------------------------ *)
+(* Greedy steinerisation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let median3 a b c =
+  (* middle of three values *)
+  max (min a b) (min (max a b) c)
+
+let median_point (a : Point.t) (b : Point.t) (c : Point.t) =
+  Point.make (median3 a.Point.x b.Point.x c.Point.x)
+    (median3 a.Point.y b.Point.y c.Point.y)
+
+(* adjacency as mutable int lists over a growing node set *)
+type graph = {
+  mutable pos : Point.t array;
+  mutable adj : int list array;
+  mutable count : int;
+}
+
+let graph_of points edges =
+  let n = Array.length points in
+  let cap = 2 * (n + 1) in
+  let pos = Array.make cap (Point.make 0.0 0.0) in
+  Array.blit points 0 pos 0 n;
+  let adj = Array.make cap [] in
+  List.iter
+    (fun (a, b) ->
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    edges;
+  { pos; adj; count = n }
+
+let add_node g p =
+  if g.count = Array.length g.pos then begin
+    let cap = 2 * g.count in
+    let pos = Array.make cap (Point.make 0.0 0.0) in
+    Array.blit g.pos 0 pos 0 g.count;
+    g.pos <- pos;
+    let adj = Array.make cap [] in
+    Array.blit g.adj 0 adj 0 g.count;
+    g.adj <- adj
+  end;
+  let id = g.count in
+  g.count <- g.count + 1;
+  g.pos.(id) <- p;
+  id
+
+let unlink g a b =
+  g.adj.(a) <- List.filter (fun x -> x <> b) g.adj.(a);
+  g.adj.(b) <- List.filter (fun x -> x <> a) g.adj.(b)
+
+let link g a b =
+  g.adj.(a) <- b :: g.adj.(a);
+  g.adj.(b) <- a :: g.adj.(b)
+
+(* One pass: for every vertex [a] and unordered neighbour pair (b, v), the
+   median-point move saves wire when the Steiner point is a genuine corner
+   point. Moves are applied greedily best-first; a vertex whose
+   neighbourhood already changed this pass is skipped (stale gains). *)
+let steinerise_pass g =
+  let moves = ref [] in
+  for a = 0 to g.count - 1 do
+    let rec pairs = function
+      | [] -> ()
+      | b :: rest ->
+        List.iter
+          (fun v ->
+            let p = median_point g.pos.(a) g.pos.(b) g.pos.(v) in
+            let old_cost = Point.dist g.pos.(a) g.pos.(b) +. Point.dist g.pos.(a) g.pos.(v) in
+            let new_cost =
+              Point.dist g.pos.(a) p +. Point.dist g.pos.(b) p
+              +. Point.dist g.pos.(v) p
+            in
+            let gain = old_cost -. new_cost in
+            if gain > 1e-9 then moves := (gain, a, b, v) :: !moves)
+          rest;
+        pairs rest
+    in
+    pairs g.adj.(a)
+  done;
+  let sorted = List.sort (fun (g1, _, _, _) (g2, _, _, _) -> compare g2 g1) !moves in
+  let dirty = Hashtbl.create 16 in
+  let applied = ref 0 in
+  List.iter
+    (fun (_, a, b, v) ->
+      if
+        (not (Hashtbl.mem dirty a))
+        && (not (Hashtbl.mem dirty b))
+        && not (Hashtbl.mem dirty v)
+      then begin
+        let p = median_point g.pos.(a) g.pos.(b) g.pos.(v) in
+        let s = add_node g p in
+        unlink g a b;
+        unlink g a v;
+        link g a s;
+        link g b s;
+        link g v s;
+        Hashtbl.replace dirty a ();
+        Hashtbl.replace dirty b ();
+        Hashtbl.replace dirty v ();
+        Hashtbl.replace dirty s ();
+        incr applied
+      end)
+    sorted;
+  !applied > 0
+
+(* ------------------------------------------------------------------ *)
+(* Export as a rooted, binary, sinks-are-leaves topology                *)
+(* ------------------------------------------------------------------ *)
+
+let build ?source sinks =
+  let m = Array.length sinks in
+  if m = 0 then invalid_arg "Steiner.build: no sinks";
+  if m = 1 && source = None then invalid_arg "Steiner.build: need >= 2 points";
+  (* point set: sinks 0..m-1, optional source at index m *)
+  let points =
+    match source with
+    | Some src -> Array.append sinks [| src |]
+    | None -> sinks
+  in
+  let g = graph_of points (rmst points) in
+  let continue = ref true in
+  let guard = ref 0 in
+  while !continue && !guard < 50 do
+    incr guard;
+    continue := steinerise_pass g
+  done;
+  (* choose the graph root: the source when given, else a non-sink node
+     (create a degree-splitting node on some edge when none exists) *)
+  let root_g =
+    match source with
+    | Some _ -> m
+    | None ->
+      if g.count > m then m  (* first steiner node *)
+      else begin
+        (* all nodes are sinks (e.g. collinear MST): split an edge *)
+        match g.adj.(0) with
+        | b :: _ ->
+          let s = add_node g g.pos.(0) in
+          unlink g 0 b;
+          link g 0 s;
+          link g s b;
+          s
+        | [] -> invalid_arg "Steiner.build: disconnected"
+      end
+  in
+  let conv =
+    Topology_of_graph.convert
+      ~positions:(Array.sub g.pos 0 g.count)
+      ~adjacency:(Array.sub g.adj 0 g.count)
+      ~root:root_g ~num_sinks:m
+  in
+  {
+    tree = conv.Topology_of_graph.tree;
+    positions = conv.Topology_of_graph.positions;
+    lengths = conv.Topology_of_graph.lengths;
+    cost = conv.Topology_of_graph.cost;
+  }

@@ -1,0 +1,150 @@
+module Point = Lubt_geom.Point
+module Tree = Lubt_topo.Tree
+
+type converted = {
+  tree : Tree.t;
+  positions : Point.t array;
+  lengths : float array;
+  cost : float;
+}
+
+let convert ~positions ~adjacency ~root ~num_sinks =
+  let gcount = Array.length positions in
+  if Array.length adjacency <> gcount then
+    invalid_arg "Topology_of_graph: adjacency length mismatch";
+  if root < 0 || root >= gcount then invalid_arg "Topology_of_graph: bad root";
+  if root < num_sinks then invalid_arg "Topology_of_graph: root is a sink";
+  let m = num_sinks in
+  (* tree ids: root 0; sinks 1..m (graph sink i -> i+1); others appended *)
+  let order = Array.make gcount (-1) in
+  let next_id = ref (m + 1) in
+  let tree_id gi =
+    if order.(gi) >= 0 then order.(gi)
+    else begin
+      let id =
+        if gi = root then 0
+        else if gi < m then gi + 1
+        else begin
+          let id = !next_id in
+          incr next_id;
+          id
+        end
+      in
+      order.(gi) <- id;
+      id
+    end
+  in
+  ignore (tree_id root);
+  let parents = ref [] in
+  let pos_tbl = Hashtbl.create 64 in
+  Hashtbl.replace pos_tbl 0 positions.(root);
+  let queue = Queue.create () in
+  let seen = Array.make gcount false in
+  seen.(root) <- true;
+  Queue.add root queue;
+  let splits = ref [] in
+  while not (Queue.is_empty queue) do
+    let gi = Queue.pop queue in
+    let children = List.filter (fun c -> not seen.(c)) adjacency.(gi) in
+    let is_sink = gi < m in
+    let parent_tid =
+      if is_sink && children <> [] then begin
+        (* internal sink: its structural role moves to a fresh split node *)
+        let split = !next_id in
+        incr next_id;
+        Hashtbl.replace pos_tbl split positions.(gi);
+        splits := (tree_id gi, split) :: !splits;
+        split
+      end
+      else tree_id gi
+    in
+    List.iter
+      (fun c ->
+        seen.(c) <- true;
+        let ct = tree_id c in
+        Hashtbl.replace pos_tbl ct positions.(c);
+        parents := (ct, parent_tid) :: !parents;
+        Queue.add c queue)
+      children
+  done;
+  (* wire each split node in place of its sink *)
+  let parent_of = Hashtbl.create 64 in
+  List.iter (fun (c, p) -> Hashtbl.replace parent_of c p) !parents;
+  List.iter
+    (fun (sink_tid, split_tid) ->
+      (match Hashtbl.find_opt parent_of sink_tid with
+      | Some p -> Hashtbl.replace parent_of split_tid p
+      | None -> invalid_arg "Topology_of_graph: internal sink at root");
+      Hashtbl.replace parent_of sink_tid split_tid)
+    !splits;
+  let total = !next_id in
+  let parr = Array.make total (-1) in
+  Hashtbl.iter (fun c p -> parr.(c) <- p) parent_of;
+  let positions_arr = Array.make total (Point.make 0.0 0.0) in
+  Hashtbl.iter (fun id p -> positions_arr.(id) <- p) pos_tbl;
+  (* binarise nodes with > 2 children through zero-edge chain nodes at the
+     same location *)
+  let children = Array.make total [] in
+  for c = 0 to total - 1 do
+    let p = parr.(c) in
+    if p >= 0 then children.(p) <- c :: children.(p)
+  done;
+  let extra = ref [] in
+  (* (id, parent, position, forced_zero) *)
+  let next_extra = ref total in
+  let fresh p pos =
+    let id = !next_extra in
+    incr next_extra;
+    extra := (id, p, pos, true) :: !extra;
+    id
+  in
+  let reparent = Hashtbl.create 16 in
+  for v = 0 to total - 1 do
+    let cs = children.(v) in
+    if List.length cs > 2 then begin
+      let rec chain host = function
+        | [] -> ()
+        | [ c ] -> Hashtbl.replace reparent c host
+        | [ c; d ] ->
+          Hashtbl.replace reparent c host;
+          Hashtbl.replace reparent d host
+        | c :: rest ->
+          Hashtbl.replace reparent c host;
+          let nxt = fresh host positions_arr.(v) in
+          chain nxt rest
+      in
+      match cs with
+      | _first :: rest ->
+        let aux = fresh v positions_arr.(v) in
+        chain aux rest
+      | [] -> ()
+    end
+  done;
+  let grand_total = !next_extra in
+  let final_parents = Array.make grand_total (-1) in
+  Array.blit parr 0 final_parents 0 total;
+  let final_positions = Array.make grand_total (Point.make 0.0 0.0) in
+  Array.blit positions_arr 0 final_positions 0 total;
+  let zero = Array.make grand_total false in
+  List.iter
+    (fun (id, p, pos, z) ->
+      final_parents.(id) <- p;
+      final_positions.(id) <- pos;
+      zero.(id) <- z)
+    !extra;
+  Hashtbl.iter (fun c host -> final_parents.(c) <- host) reparent;
+  let sink_ids = Array.init m (fun i -> i + 1) in
+  let tree =
+    Tree.create ~forced_zero:zero ~parents:final_parents ~sinks:sink_ids ()
+  in
+  let lengths = Array.make grand_total 0.0 in
+  for v = 1 to grand_total - 1 do
+    lengths.(v) <-
+      Point.dist final_positions.(v) final_positions.(final_parents.(v))
+  done;
+  {
+    tree;
+    positions = final_positions;
+    lengths;
+    cost = Lubt_util.Stats.sum (Array.sub lengths 1 (grand_total - 1));
+  }

@@ -1,0 +1,25 @@
+(** Conversion of an undirected geometric tree (a graph over concrete
+    points) into the rooted, binary, sinks-are-leaves topology the EBF
+    expects.
+
+    Convention: graph nodes [0 .. num_sinks-1] are the sinks; any other
+    node is structural (source or Steiner point). Internal sinks are split
+    off behind a fresh parent at the same location; nodes with more than
+    two children are binarised through forced-zero chain nodes. *)
+
+type converted = {
+  tree : Lubt_topo.Tree.t;
+  positions : Lubt_geom.Point.t array;  (** per tree node *)
+  lengths : float array;  (** per edge: the distance it spans *)
+  cost : float;
+}
+
+val convert :
+  positions:Lubt_geom.Point.t array ->
+  adjacency:int list array ->
+  root:int ->
+  num_sinks:int ->
+  converted
+(** [root] must not be a sink. The adjacency must describe a tree
+    (connected, acyclic); every node reachable from [root] is kept.
+    @raise Invalid_argument on malformed input. *)

@@ -1,0 +1,1 @@
+lib/core/ebf.ml: Array Hashtbl Instance List Lubt_geom Lubt_lp Lubt_topo Printf

@@ -1,0 +1,1 @@
+lib/core/ebf.mli: Instance Lubt_lp Lubt_topo Stdlib

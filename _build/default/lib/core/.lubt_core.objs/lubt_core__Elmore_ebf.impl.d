@@ -1,0 +1,1 @@
+lib/core/elmore_ebf.ml: Array Ebf Instance List Lubt_delay Lubt_geom Lubt_lp Lubt_topo Lubt_util

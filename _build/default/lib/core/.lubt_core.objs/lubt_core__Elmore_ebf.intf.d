@@ -1,0 +1,1 @@
+lib/core/elmore_ebf.mli: Instance Lubt_delay Lubt_lp Lubt_topo

@@ -1,0 +1,1 @@
+lib/core/embed.ml: Array Instance List Lubt_geom Lubt_topo Lubt_util Printf

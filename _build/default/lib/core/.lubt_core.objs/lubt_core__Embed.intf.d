@@ -1,0 +1,1 @@
+lib/core/embed.mli: Instance Lubt_geom Lubt_topo Lubt_util

@@ -1,0 +1,1 @@
+lib/core/lubt.ml: Ebf Embed Lubt_lp Printf Routed

@@ -1,0 +1,1 @@
+lib/core/lubt.mli: Ebf Embed Instance Lubt_lp Lubt_topo Routed

@@ -1,0 +1,1 @@
+lib/core/routed.ml: Array Format Instance List Lubt_delay Lubt_geom Lubt_topo Lubt_util Printf

@@ -1,0 +1,1 @@
+lib/core/routed.mli: Format Instance Lubt_geom Lubt_topo

@@ -1,0 +1,1 @@
+lib/core/skew_lp.ml: Array Ebf Hashtbl Instance List Lubt_geom Lubt_lp Lubt_topo

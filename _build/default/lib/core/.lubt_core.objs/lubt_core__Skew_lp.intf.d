@@ -1,0 +1,1 @@
+lib/core/skew_lp.mli: Ebf Instance Lubt_lp Lubt_topo

@@ -1,0 +1,1 @@
+lib/core/snake.ml: Array List Lubt_geom Lubt_topo Routed

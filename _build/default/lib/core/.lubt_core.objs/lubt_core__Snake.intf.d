@@ -1,0 +1,1 @@
+lib/core/snake.mli: Lubt_geom Routed

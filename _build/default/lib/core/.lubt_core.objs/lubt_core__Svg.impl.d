@@ -1,0 +1,1 @@
+lib/core/svg.ml: Array Buffer List Lubt_geom Lubt_topo Printf Routed Snake String

@@ -1,0 +1,1 @@
+lib/core/topo_opt.ml: Array Ebf Instance List Lubt_geom Lubt_lp Lubt_topo

@@ -1,0 +1,1 @@
+lib/core/topo_opt.mli: Ebf Instance Lubt_topo

@@ -1,0 +1,1 @@
+lib/core/zeroskew.ml: Array Instance List Lubt_geom Lubt_topo Printf

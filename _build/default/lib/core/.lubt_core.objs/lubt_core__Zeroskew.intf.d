@@ -1,0 +1,1 @@
+lib/core/zeroskew.mli: Instance Lubt_topo

@@ -1,0 +1,293 @@
+module Point = Lubt_geom.Point
+module Tree = Lubt_topo.Tree
+module Problem = Lubt_lp.Problem
+module Simplex = Lubt_lp.Simplex
+module Status = Lubt_lp.Status
+
+type options = {
+  lazy_steiner : bool;
+  knn : int;
+  batch : int;
+  violation_tol : float;
+  max_rounds : int;
+  lp_params : Simplex.params;
+}
+
+let default_options =
+  {
+    lazy_steiner = true;
+    knn = 3;
+    batch = 64;
+    violation_tol = 1e-9;
+    max_rounds = 10_000;
+    lp_params = { Simplex.default_params with Simplex.sparse_basis = true };
+  }
+
+type result = {
+  status : Status.t;
+  lengths : float array;
+  objective : float;
+  lp_rows : int;
+  full_rows : int;
+  lp_iterations : int;
+  rounds : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Shared helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let check_tree_matches inst tree =
+  if Tree.num_sinks tree <> Instance.num_sinks inst then
+    invalid_arg "Ebf: tree sink count differs from instance"
+
+(* Terminals: every node whose location is fixed; the source (node 0)
+   participates when its location is given. *)
+let terminals (inst : Instance.t) tree =
+  let sink_nodes = Tree.sinks tree in
+  let base =
+    Array.to_list
+      (Array.mapi (fun k node -> (node, inst.Instance.sinks.(k))) sink_nodes)
+  in
+  match inst.Instance.source with
+  | Some src -> (Tree.root, src) :: base
+  | None -> base
+
+let edge_var i = i - 1
+
+(* coefficient list of the row "sum of edge lengths on path(a,b)" *)
+let path_coeffs tree a b = List.map (fun e -> (edge_var e, 1.0)) (Tree.path tree a b)
+
+let add_edge_vars ?weights tree prob =
+  let n = Tree.num_nodes tree in
+  for i = 1 to n - 1 do
+    let w = match weights with None -> 1.0 | Some ws -> ws.(i) in
+    let up = if Tree.forced_zero tree i then 0.0 else infinity in
+    let j = Problem.add_var ~lo:0.0 ~up ~obj:w ~name:(Printf.sprintf "e%d" i) prob in
+    assert (j = edge_var i)
+  done
+
+let add_delay_rows (inst : Instance.t) tree prob =
+  let sink_nodes = Tree.sinks tree in
+  Array.iteri
+    (fun k node ->
+      let l = inst.Instance.lower.(k) and u = inst.Instance.upper.(k) in
+      if l > 0.0 || u < infinity then
+        ignore
+          (Problem.add_row prob
+             ~name:(Printf.sprintf "delay_s%d" node)
+             ~lo:l ~up:u
+             (path_coeffs tree Tree.root node)))
+    sink_nodes
+
+let full_row_count inst =
+  let m = Instance.num_sinks inst in
+  let terms = m + (match inst.Instance.source with Some _ -> 1 | None -> 0) in
+  (terms * (terms - 1) / 2) + (2 * m)
+
+(* ------------------------------------------------------------------ *)
+(* Eager formulation (Section 4.3 verbatim)                            *)
+(* ------------------------------------------------------------------ *)
+
+let formulate ?weights inst tree =
+  check_tree_matches inst tree;
+  let prob = Problem.create () in
+  add_edge_vars ?weights tree prob;
+  let terms = Array.of_list (terminals inst tree) in
+  let t = Array.length terms in
+  for i = 0 to t - 1 do
+    for j = i + 1 to t - 1 do
+      let a, pa = terms.(i) and b, pb = terms.(j) in
+      let d = Point.dist pa pb in
+      if d > 0.0 then
+        ignore
+          (Problem.add_row prob
+             ~name:(Printf.sprintf "steiner_%d_%d" a b)
+             ~lo:d ~up:infinity (path_coeffs tree a b))
+    done
+  done;
+  add_delay_rows inst tree prob;
+  prob
+
+(* ------------------------------------------------------------------ *)
+(* Lazy row generation (Section 4.6 as exact lazy constraints)         *)
+(* ------------------------------------------------------------------ *)
+
+(* k nearest terminals of each terminal, by Manhattan distance *)
+let knn_pairs terms k =
+  let t = Array.length terms in
+  let pairs = Hashtbl.create (t * k) in
+  for i = 0 to t - 1 do
+    let _, pi = terms.(i) in
+    let dists =
+      Array.init t (fun j ->
+          let _, pj = terms.(j) in
+          (Point.dist pi pj, j))
+    in
+    Array.sort compare dists;
+    let added = ref 0 in
+    let idx = ref 0 in
+    while !added < k && !idx < t do
+      let _, j = dists.(!idx) in
+      incr idx;
+      if j <> i then begin
+        let key = (min i j, max i j) in
+        if not (Hashtbl.mem pairs key) then Hashtbl.replace pairs key ();
+        incr added
+      end
+    done
+  done;
+  pairs
+
+let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
+  check_tree_matches inst tree;
+  let terms = Array.of_list (terminals inst tree) in
+  let t = Array.length terms in
+  let prob = Problem.create () in
+  add_edge_vars ?weights tree prob;
+  add_delay_rows inst tree prob;
+  let added = Hashtbl.create 256 in
+  let scale =
+    max 1.0 (Instance.diameter inst +. Instance.radius inst)
+  in
+  let eager = (not options.lazy_steiner) || t <= 12 in
+  let seed_pairs =
+    if eager then begin
+      let all = Hashtbl.create (t * t) in
+      for i = 0 to t - 1 do
+        for j = i + 1 to t - 1 do
+          Hashtbl.replace all (i, j) ()
+        done
+      done;
+      all
+    end
+    else begin
+      let pairs = knn_pairs terms options.knn in
+      (* all source-sink rows: cheap and almost always binding *)
+      (match inst.Instance.source with
+      | Some _ ->
+        for j = 1 to t - 1 do
+          Hashtbl.replace pairs (0, j) ()
+        done
+      | None -> ());
+      pairs
+    end
+  in
+  let row_of_pair (i, j) =
+    let a, pa = terms.(i) and b, pb = terms.(j) in
+    let d = Point.dist pa pb in
+    (path_coeffs tree a b, d)
+  in
+  Hashtbl.iter
+    (fun key () ->
+      Hashtbl.replace added key ();
+      let coeffs, d = row_of_pair key in
+      if d > 0.0 then ignore (Problem.add_row prob ~lo:d ~up:infinity coeffs))
+    seed_pairs;
+  let eng = Simplex.of_problem ~params:options.lp_params prob in
+  let lengths_of_primal primal =
+    let n = Tree.num_nodes tree in
+    let lengths = Array.make n 0.0 in
+    for i = 1 to n - 1 do
+      lengths.(i) <- max 0.0 primal.(edge_var i)
+    done;
+    lengths
+  in
+  (* main loop: solve, scan all pairs for violated Steiner constraints via
+     O(1) LCA path lengths, add the worst, re-optimise (dual simplex) *)
+  let rec loop rounds =
+    let status = Simplex.solve eng in
+    if status <> Status.Optimal then (status, rounds)
+    else begin
+      let lengths = lengths_of_primal (Simplex.primal eng) in
+      let d = Tree.delays tree lengths in
+      let violations = ref [] in
+      for i = 0 to t - 1 do
+        for j = i + 1 to t - 1 do
+          if not (Hashtbl.mem added (i, j)) then begin
+            let a, pa = terms.(i) and b, pb = terms.(j) in
+            let need = Point.dist pa pb in
+            if need > 0.0 then begin
+              let have = d.(a) +. d.(b) -. (2.0 *. d.(Tree.lca tree a b)) in
+              let viol = need -. have in
+              if viol > options.violation_tol *. scale then
+                violations := (viol, (i, j)) :: !violations
+            end
+          end
+        done
+      done;
+      match !violations with
+      | [] -> (Status.Optimal, rounds)
+      | vs ->
+        if rounds >= options.max_rounds then (Status.Iteration_limit, rounds)
+        else begin
+          let sorted = List.sort (fun (a, _) (b, _) -> compare b a) vs in
+          let take = ref 0 in
+          List.iter
+            (fun (_, key) ->
+              if !take < options.batch then begin
+                incr take;
+                Hashtbl.replace added key ();
+                let coeffs, dist = row_of_pair key in
+                Simplex.add_row eng ~lo:dist ~up:infinity coeffs
+              end)
+            sorted;
+          loop (rounds + 1)
+        end
+    end
+  in
+  let status, rounds = loop 1 in
+  let lengths = lengths_of_primal (Simplex.primal eng) in
+  {
+    status;
+    lengths;
+    objective = Simplex.objective eng;
+    lp_rows = Simplex.nrows eng;
+    full_rows = full_row_count inst;
+    lp_iterations = Simplex.iterations eng;
+    rounds;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive verification of a length assignment                      *)
+(* ------------------------------------------------------------------ *)
+
+let check_lengths ?(tol = 1e-6) (inst : Instance.t) tree lengths =
+  check_tree_matches inst tree;
+  let terms = Array.of_list (terminals inst tree) in
+  let t = Array.length terms in
+  let d = Tree.delays tree lengths in
+  let scale = max 1.0 (Instance.diameter inst +. Instance.radius inst) in
+  let eps = tol *. scale in
+  let error = ref None in
+  let fail msg = if !error = None then error := Some msg in
+  for i = 1 to Tree.num_nodes tree - 1 do
+    if lengths.(i) < -.eps then
+      fail (Printf.sprintf "edge %d has negative length %g" i lengths.(i));
+    if Tree.forced_zero tree i && abs_float lengths.(i) > eps then
+      fail (Printf.sprintf "edge %d must be zero but has length %g" i lengths.(i))
+  done;
+  for i = 0 to t - 1 do
+    for j = i + 1 to t - 1 do
+      let a, pa = terms.(i) and b, pb = terms.(j) in
+      let need = Point.dist pa pb in
+      let have = d.(a) +. d.(b) -. (2.0 *. d.(Tree.lca tree a b)) in
+      if have < need -. eps then
+        fail
+          (Printf.sprintf "Steiner constraint (%d,%d): path %g < dist %g" a b
+             have need)
+    done
+  done;
+  Array.iteri
+    (fun k node ->
+      let dl = d.(node) in
+      if dl < inst.Instance.lower.(k) -. eps then
+        fail
+          (Printf.sprintf "sink %d delay %g below lower bound %g" node dl
+             inst.Instance.lower.(k));
+      if dl > inst.Instance.upper.(k) +. eps then
+        fail
+          (Printf.sprintf "sink %d delay %g above upper bound %g" node dl
+             inst.Instance.upper.(k)))
+    (Tree.sinks tree);
+  match !error with None -> Ok () | Some msg -> Error msg

@@ -1,0 +1,66 @@
+(** Edge-Based Formulation (Section 4).
+
+    Builds and solves the linear program
+
+    {v
+    min   sum_k w_k e_k
+    s.t.  sum_{e_k in path(s_i,s_j)} e_k >= dist(s_i,s_j)   (Steiner, 4.1)
+          l_i <= sum_{e_k in path(s_0,s_i)} e_k <= u_i      (delay, 4.2)
+          e_k >= 0,   e_k = 0 for split edges
+    v}
+
+    over all terminal pairs (sinks, plus the source when its location is
+    given). Two modes:
+
+    - [lazy_steiner = false]: all [\binom{m}{2}] Steiner rows upfront;
+    - [lazy_steiner = true] (default): row generation — start from the
+      k-nearest-neighbour pairs plus all source-sink rows, solve, scan all
+      pairs for violations in O(m^2) using LCA path lengths, add the worst
+      offenders, and re-optimise with the warm-started dual simplex. This
+      is the exact-optimal realisation of the paper's Section 4.6
+      constraint reduction. *)
+
+type options = {
+  lazy_steiner : bool;
+  knn : int;  (** nearest-neighbour pairs seeded per terminal (default 3) *)
+  batch : int;  (** violated rows added per round (default 64) *)
+  violation_tol : float;  (** relative violation tolerance (default 1e-9) *)
+  max_rounds : int;
+  lp_params : Lubt_lp.Simplex.params;
+}
+
+val default_options : options
+
+type result = {
+  status : Lubt_lp.Status.t;
+  lengths : float array;  (** edge lengths indexed by node id; entry 0 = 0 *)
+  objective : float;
+  lp_rows : int;  (** rows in the final LP *)
+  full_rows : int;  (** rows the full formulation would have had *)
+  lp_iterations : int;
+  rounds : int;  (** row-generation rounds (1 when eager) *)
+}
+
+val formulate : ?weights:float array -> Instance.t -> Lubt_topo.Tree.t -> Lubt_lp.Problem.t
+(** The complete (eager) LP of Section 4.3, e.g. for inspection; variable
+    [i-1] is edge [e_i]. [weights] (indexed by edge/node id, entry 0
+    ignored) implement the weighted objective of Section 7. *)
+
+val solve :
+  ?options:options ->
+  ?weights:float array ->
+  Instance.t ->
+  Lubt_topo.Tree.t ->
+  result
+(** Solves the EBF for the instance under the given topology. The [k]-th
+    sink of the instance corresponds to node [(Tree.sinks tree).(k)].
+    An [Infeasible] status certifies that no LUBT exists for this topology
+    and these bounds (Theorem 4.2 discussion).
+
+    @raise Invalid_argument when the tree's sink count differs from the
+    instance's. *)
+
+val check_lengths :
+  ?tol:float -> Instance.t -> Lubt_topo.Tree.t -> float array -> (unit, string) Stdlib.result
+(** Verifies that edge lengths satisfy every Steiner and delay constraint
+    (all pairs, no laziness). Used by tests and by [validate] paths. *)

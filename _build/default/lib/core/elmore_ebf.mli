@@ -1,0 +1,42 @@
+(** EBF under the Elmore delay model (Section 7).
+
+    The delay constraints become quadratic in the edge lengths, so the
+    problem is no longer an LP; the paper notes it is convex when all lower
+    bounds are zero and proposes general nonlinear programming otherwise.
+    This module implements a sequential linear programming (SLP) heuristic:
+    linearise the Elmore delays around the current point, add a trust
+    region, solve the LP, and accept/shrink based on an exact-penalty merit
+    function. With [l_i = 0] the feasible set is convex and SLP converges
+    to the optimum; with positive lower bounds it is a local method, as in
+    the paper. *)
+
+type options = {
+  max_outer : int;  (** SLP iterations (default 60) *)
+  initial_trust : float;  (** trust-region radius / instance radius *)
+  tol : float;  (** relative convergence tolerance *)
+  penalty : float;  (** merit-function weight on constraint violation *)
+}
+
+val default_options : options
+
+type status = Converged | Stalled | Lp_failure of Lubt_lp.Status.t
+
+type result = {
+  status : status;
+  lengths : float array;
+  cost : float;
+  sink_delays : float array;  (** Elmore delays at [lengths] *)
+  max_violation : float;  (** residual bound violation (absolute) *)
+  outer_iterations : int;
+}
+
+val solve :
+  ?options:options ->
+  wire:Lubt_delay.Elmore.wire ->
+  loads:float array ->
+  Instance.t ->
+  Lubt_topo.Tree.t ->
+  result
+(** [loads] are the sink load capacitances in instance sink order. The
+    instance bounds are interpreted as Elmore-delay bounds (absolute, in
+    the wire's time units). *)

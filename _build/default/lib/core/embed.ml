@@ -1,0 +1,98 @@
+module Point = Lubt_geom.Point
+module Trr = Lubt_geom.Trr
+module Tree = Lubt_topo.Tree
+
+type policy = Center | Closest_to_parent | Sampled of Lubt_util.Prng.t
+
+type t = {
+  positions : Point.t array;
+  feasible_regions : Trr.t array;
+}
+
+let place ?(policy = Center) ?(eps = 1e-9) (inst : Instance.t) tree lengths =
+  let n = Tree.num_nodes tree in
+  let scale = max 1.0 (Instance.diameter inst +. Instance.radius inst) in
+  let slack = eps *. scale in
+  (* fixed locations: sinks, and the source if given *)
+  let fixed = Array.make n None in
+  Array.iteri
+    (fun k node -> fixed.(node) <- Some inst.Instance.sinks.(k))
+    (Tree.sinks tree);
+  (match inst.Instance.source with
+  | Some src -> fixed.(Tree.root) <- Some src
+  | None -> ());
+  let fr = Array.make n (Trr.of_point (Point.make 0.0 0.0)) in
+  let err = ref None in
+  let fail msg = if !err = None then err := Some msg in
+  (* bottom-up feasible regions *)
+  let post = Tree.postorder tree in
+  Array.iter
+    (fun v ->
+      if !err = None then begin
+        let child_regions =
+          List.map
+            (fun c -> Trr.expand fr.(c) (lengths.(c) +. slack))
+            (Tree.children tree v)
+        in
+        let regions =
+          match fixed.(v) with
+          | Some p -> Trr.of_point p :: child_regions
+          | None -> child_regions
+        in
+        match regions with
+        | [] -> fail (Printf.sprintf "node %d is a floating leaf Steiner point" v)
+        | _ -> (
+          match Trr.intersect_all regions with
+          | Some r -> fr.(v) <- r
+          | None ->
+            fail
+              (Printf.sprintf
+                 "empty feasible region at node %d (Steiner constraints \
+                  violated)"
+                 v))
+      end)
+    post;
+  match !err with
+  | Some msg -> Error msg
+  | None ->
+    (* top-down placement *)
+    let positions = Array.make n (Point.make 0.0 0.0) in
+    let choose region parent_opt =
+      match policy with
+      | Center -> Trr.center region
+      | Sampled rng -> Trr.sample rng region
+      | Closest_to_parent -> (
+        match parent_opt with
+        | None -> Trr.center region
+        | Some p -> Trr.closest_point region p)
+    in
+    positions.(Tree.root) <-
+      (match fixed.(Tree.root) with
+      | Some src -> src
+      | None -> choose fr.(Tree.root) None);
+    let pre = Tree.preorder tree in
+    Array.iter
+      (fun v ->
+        if !err = None && v <> Tree.root then begin
+          let p = positions.(Tree.parent tree v) in
+          let reach = Trr.expand (Trr.of_point p) (lengths.(v) +. slack) in
+          match Trr.intersect fr.(v) reach with
+          | Some region -> positions.(v) <- choose region (Some p)
+          | None ->
+            (* padding accumulated over the bottom-up pass can leave the
+               parent a few epsilons outside the child's exact reach; fall
+               back to the nearest point of the feasible region as long as
+               the shortfall is within tolerance *)
+            let q, _ = Trr.closest_pair fr.(v) reach in
+            let shortfall = Point.dist q p -. lengths.(v) in
+            if shortfall <= 1e-6 *. scale then positions.(v) <- q
+            else
+              fail
+                (Printf.sprintf
+                   "empty placement region at node %d (edge %d short by %g)" v
+                   v shortfall)
+        end)
+      pre;
+    (match !err with
+    | Some msg -> Error msg
+    | None -> Ok { positions; feasible_regions = fr })

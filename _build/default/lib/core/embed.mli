@@ -1,0 +1,35 @@
+(** Placement of Steiner points (Section 5): bottom-up feasible-region
+    construction followed by top-down placement.
+
+    Bottom-up: the feasible region of a leaf terminal is its fixed point;
+    [TRR_k = TRR(FR_k, e_k)]; the feasible region of an internal node is
+    the intersection of its children's TRRs (and of its own fixed point
+    when the node is itself a terminal). By Theorem 4.1, these
+    intersections are nonempty whenever the edge lengths satisfy the
+    Steiner constraints.
+
+    Top-down: the root is placed anywhere in its feasible region (at the
+    given source when there is one); each child is then placed inside
+    [FR_child ∩ TRR({parent}, e_child)]. *)
+
+type policy =
+  | Center  (** centre of the allowed region (default) *)
+  | Closest_to_parent  (** point of the allowed region nearest the parent *)
+  | Sampled of Lubt_util.Prng.t  (** uniform random point (for tests) *)
+
+type t = {
+  positions : Lubt_geom.Point.t array;  (** per node *)
+  feasible_regions : Lubt_geom.Trr.t array;  (** per node, bottom-up FRs *)
+}
+
+val place :
+  ?policy:policy ->
+  ?eps:float ->
+  Instance.t ->
+  Lubt_topo.Tree.t ->
+  float array ->
+  (t, string) result
+(** [place inst tree lengths] embeds the tree in the Manhattan plane.
+    Fails (with a message) if some feasible region is empty, i.e. the edge
+    lengths violate a Steiner constraint beyond the numerical tolerance
+    [eps] (relative; default 1e-9). *)

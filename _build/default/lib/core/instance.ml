@@ -1,0 +1,73 @@
+module Point = Lubt_geom.Point
+
+type t = {
+  sinks : Point.t array;
+  source : Point.t option;
+  lower : float array;
+  upper : float array;
+}
+
+let create ?source ~sinks ~lower ~upper () =
+  let m = Array.length sinks in
+  if m = 0 then invalid_arg "Instance.create: no sinks";
+  if Array.length lower <> m || Array.length upper <> m then
+    invalid_arg "Instance.create: bounds length mismatch";
+  for i = 0 to m - 1 do
+    if not (0.0 <= lower.(i) && lower.(i) <= upper.(i)) then
+      invalid_arg "Instance.create: need 0 <= lower <= upper"
+  done;
+  { sinks; source; lower = Array.copy lower; upper = Array.copy upper }
+
+let uniform_bounds ?source ~sinks ~lower ~upper () =
+  let m = Array.length sinks in
+  create ?source ~sinks ~lower:(Array.make m lower) ~upper:(Array.make m upper)
+    ()
+
+let num_sinks t = Array.length t.sinks
+
+(* In rotated coordinates the Manhattan diameter of a point set is the
+   larger of the two coordinate ranges. *)
+let diameter t =
+  let ulo = ref infinity and uhi = ref neg_infinity in
+  let vlo = ref infinity and vhi = ref neg_infinity in
+  Array.iter
+    (fun p ->
+      let u, v = Point.to_rotated p in
+      if u < !ulo then ulo := u;
+      if u > !uhi then uhi := u;
+      if v < !vlo then vlo := v;
+      if v > !vhi then vhi := v)
+    t.sinks;
+  max (!uhi -. !ulo) (!vhi -. !vlo)
+
+let radius t =
+  match t.source with
+  | None -> diameter t /. 2.0
+  | Some src ->
+    Array.fold_left (fun acc p -> max acc (Point.dist src p)) 0.0 t.sinks
+
+let with_bounds t ~lower ~upper =
+  create ?source:t.source ~sinks:t.sinks ~lower ~upper ()
+
+let with_normalized_bounds t ~lower ~upper =
+  let r = radius t in
+  let m = num_sinks t in
+  with_bounds t ~lower:(Array.make m (lower *. r))
+    ~upper:(Array.make m (upper *. r))
+
+let bounds_admissible t =
+  let r = radius t in
+  let ok = ref true in
+  Array.iteri
+    (fun i p ->
+      let floor_u =
+        match t.source with Some src -> Point.dist src p | None -> r
+      in
+      if t.upper.(i) < floor_u -. 1e-9 then ok := false)
+    t.sinks;
+  !ok
+
+let pp fmt t =
+  Format.fprintf fmt "instance(%d sinks%s, radius %g)" (num_sinks t)
+    (match t.source with Some _ -> ", source fixed" | None -> "")
+    (radius t)

@@ -1,0 +1,54 @@
+(** A LUBT problem instance (Definition 2.1): sink locations, an optional
+    source location, and per-sink delay bounds.
+
+    Bounds are absolute wire-length units under the linear delay model. The
+    paper normalises bounds to the instance radius; use {!radius} and
+    {!with_normalized_bounds} for that convention. *)
+
+type t = private {
+  sinks : Lubt_geom.Point.t array;
+  source : Lubt_geom.Point.t option;
+  lower : float array;  (** per sink, same order as [sinks] *)
+  upper : float array;
+}
+
+val create :
+  ?source:Lubt_geom.Point.t ->
+  sinks:Lubt_geom.Point.t array ->
+  lower:float array ->
+  upper:float array ->
+  unit ->
+  t
+(** @raise Invalid_argument when arrays disagree in length, some
+    [lower > upper], or some bound is negative. *)
+
+val uniform_bounds :
+  ?source:Lubt_geom.Point.t ->
+  sinks:Lubt_geom.Point.t array ->
+  lower:float ->
+  upper:float ->
+  unit ->
+  t
+(** Same bounds for every sink (the tolerable-skew setting of Section 6). *)
+
+val num_sinks : t -> int
+
+val diameter : t -> float
+(** Largest Manhattan distance between two sinks, O(m) via rotated
+    coordinates. *)
+
+val radius : t -> float
+(** Distance from the source to the farthest sink when the source is given;
+    half the diameter otherwise (Section 2). *)
+
+val with_normalized_bounds : t -> lower:float -> upper:float -> t
+(** Replaces the bounds with [lower * radius, upper * radius] for every
+    sink (the convention of Tables 1-3). *)
+
+val with_bounds : t -> lower:float array -> upper:float array -> t
+
+val bounds_admissible : t -> bool
+(** Checks condition (3)/(4): [0 <= l_i <= u_i] and [u_i >= dist(s_0,s_i)]
+    (source given) or [u_i >= radius] (source free). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+type report = { routed : Routed.t; ebf : Ebf.result }
+
+type error =
+  | No_solution
+  | Solver_failure of Lubt_lp.Status.t
+  | Embedding_failure of string
+
+let error_to_string = function
+  | No_solution -> "no LUBT exists for this topology and these bounds"
+  | Solver_failure st ->
+    Printf.sprintf "LP solver failed: %s" (Lubt_lp.Status.to_string st)
+  | Embedding_failure msg -> Printf.sprintf "embedding failed: %s" msg
+
+let solve ?options ?weights ?policy inst tree =
+  let ebf = Ebf.solve ?options ?weights inst tree in
+  match ebf.Ebf.status with
+  | Lubt_lp.Status.Infeasible -> Error No_solution
+  | Lubt_lp.Status.Optimal -> (
+    match Embed.place ?policy inst tree ebf.Ebf.lengths with
+    | Error msg -> Error (Embedding_failure msg)
+    | Ok embedding ->
+      let routed =
+        {
+          Routed.instance = inst;
+          tree;
+          lengths = ebf.Ebf.lengths;
+          positions = embedding.Embed.positions;
+        }
+      in
+      Ok { routed; ebf })
+  | other -> Error (Solver_failure other)
+
+let solve_exn ?options ?weights ?policy inst tree =
+  match solve ?options ?weights ?policy inst tree with
+  | Ok r -> r
+  | Error e -> failwith (error_to_string e)

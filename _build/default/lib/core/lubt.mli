@@ -1,0 +1,36 @@
+(** High-level driver: solve the EBF and embed the result.
+
+    This is the main entry point of the library: given an instance and a
+    topology it returns a fully placed, validated LUBT, or a reason why
+    none exists. *)
+
+type report = {
+  routed : Routed.t;
+  ebf : Ebf.result;
+}
+
+type error =
+  | No_solution  (** the LP is infeasible: no LUBT exists (Theorem 4.2) *)
+  | Solver_failure of Lubt_lp.Status.t
+  | Embedding_failure of string
+
+val error_to_string : error -> string
+
+val solve :
+  ?options:Ebf.options ->
+  ?weights:float array ->
+  ?policy:Embed.policy ->
+  Instance.t ->
+  Lubt_topo.Tree.t ->
+  (report, error) result
+(** Solves the LUBT problem for the given topology: EBF linear program for
+    the edge lengths, then DME-style placement of the Steiner points. *)
+
+val solve_exn :
+  ?options:Ebf.options ->
+  ?weights:float array ->
+  ?policy:Embed.policy ->
+  Instance.t ->
+  Lubt_topo.Tree.t ->
+  report
+(** @raise Failure on any error. *)

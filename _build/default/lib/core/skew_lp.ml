@@ -1,0 +1,161 @@
+module Point = Lubt_geom.Point
+module Tree = Lubt_topo.Tree
+module Problem = Lubt_lp.Problem
+module Simplex = Lubt_lp.Simplex
+module Status = Lubt_lp.Status
+
+type result = {
+  status : Status.t;
+  lengths : float array;
+  objective : float;
+  window : float * float;
+  lp_rows : int;
+  lp_iterations : int;
+  rounds : int;
+}
+
+(* Mirrors Ebf.solve's lazy row generation, with one extra free variable t
+   and the delay rows 0 <= path(s_0, s_i) - t <= B. The Steiner machinery
+   is identical; kept separate because the variable layout differs. *)
+let solve ?(options = Ebf.default_options) ?weights ~skew_bound
+    (inst : Instance.t) tree =
+  if Tree.num_sinks tree <> Instance.num_sinks inst then
+    invalid_arg "Skew_lp: tree sink count differs from instance";
+  if skew_bound < 0.0 then invalid_arg "Skew_lp: negative skew bound";
+  let n = Tree.num_nodes tree in
+  let edge_var i = i - 1 in
+  let prob = Problem.create () in
+  for i = 1 to n - 1 do
+    let w = match weights with None -> 1.0 | Some ws -> ws.(i) in
+    let up = if Tree.forced_zero tree i then 0.0 else infinity in
+    ignore (Problem.add_var ~lo:0.0 ~up ~obj:w prob)
+  done;
+  let t_var =
+    Problem.add_var ~lo:neg_infinity ~up:infinity ~obj:0.0 ~name:"t" prob
+  in
+  let path_coeffs a b = List.map (fun e -> (edge_var e, 1.0)) (Tree.path tree a b) in
+  (* delay rows: t <= delay_i <= t + B *)
+  Array.iter
+    (fun node ->
+      ignore
+        (Problem.add_row prob ~lo:0.0 ~up:skew_bound
+           ((t_var, -1.0) :: path_coeffs Tree.root node)))
+    (Tree.sinks tree);
+  let terms =
+    let sink_nodes = Tree.sinks tree in
+    let base =
+      Array.to_list
+        (Array.mapi (fun k node -> (node, inst.Instance.sinks.(k))) sink_nodes)
+    in
+    match inst.Instance.source with
+    | Some src -> Array.of_list ((Tree.root, src) :: base)
+    | None -> Array.of_list base
+  in
+  let nt = Array.length terms in
+  let added = Hashtbl.create 256 in
+  let scale = max 1.0 (Instance.diameter inst +. Instance.radius inst) in
+  let eager = (not options.Ebf.lazy_steiner) || nt <= 12 in
+  let add_pair_row key =
+    Hashtbl.replace added key ();
+    let i, j = key in
+    let a, pa = terms.(i) and b, pb = terms.(j) in
+    let d = Point.dist pa pb in
+    if d > 0.0 then ignore (Problem.add_row prob ~lo:d ~up:infinity (path_coeffs a b))
+  in
+  if eager then
+    for i = 0 to nt - 1 do
+      for j = i + 1 to nt - 1 do
+        add_pair_row (i, j)
+      done
+    done
+  else begin
+    (* nearest-neighbour seeding as in Ebf *)
+    for i = 0 to nt - 1 do
+      let _, pi = terms.(i) in
+      let dists =
+        Array.init nt (fun j ->
+            let _, pj = terms.(j) in
+            (Point.dist pi pj, j))
+      in
+      Array.sort compare dists;
+      let count = ref 0 and idx = ref 0 in
+      while !count < options.Ebf.knn && !idx < nt do
+        let _, j = dists.(!idx) in
+        incr idx;
+        if j <> i then begin
+          let key = (min i j, max i j) in
+          if not (Hashtbl.mem added key) then add_pair_row key;
+          incr count
+        end
+      done
+    done;
+    match inst.Instance.source with
+    | Some _ ->
+      for j = 1 to nt - 1 do
+        if not (Hashtbl.mem added (0, j)) then add_pair_row (0, j)
+      done
+    | None -> ()
+  end;
+  let eng = Simplex.of_problem ~params:options.Ebf.lp_params prob in
+  let lengths_of_primal primal =
+    let lengths = Array.make n 0.0 in
+    for i = 1 to n - 1 do
+      lengths.(i) <- max 0.0 primal.(edge_var i)
+    done;
+    lengths
+  in
+  let rec loop rounds =
+    let status = Simplex.solve eng in
+    if status <> Status.Optimal then (status, rounds)
+    else begin
+      let lengths = lengths_of_primal (Simplex.primal eng) in
+      let d = Tree.delays tree lengths in
+      let violations = ref [] in
+      for i = 0 to nt - 1 do
+        for j = i + 1 to nt - 1 do
+          if not (Hashtbl.mem added (i, j)) then begin
+            let a, pa = terms.(i) and b, pb = terms.(j) in
+            let need = Point.dist pa pb in
+            if need > 0.0 then begin
+              let have = d.(a) +. d.(b) -. (2.0 *. d.(Tree.lca tree a b)) in
+              let viol = need -. have in
+              if viol > options.Ebf.violation_tol *. scale then
+                violations := (viol, (i, j)) :: !violations
+            end
+          end
+        done
+      done;
+      match !violations with
+      | [] -> (Status.Optimal, rounds)
+      | vs ->
+        if rounds >= options.Ebf.max_rounds then (Status.Iteration_limit, rounds)
+        else begin
+          let sorted = List.sort (fun (a, _) (b, _) -> compare b a) vs in
+          let take = ref 0 in
+          List.iter
+            (fun (_, (i, j)) ->
+              if !take < options.Ebf.batch then begin
+                incr take;
+                Hashtbl.replace added (i, j) ();
+                let a, pa = terms.(i) and b, pb = terms.(j) in
+                let dist = Point.dist pa pb in
+                Simplex.add_row eng ~lo:dist ~up:infinity (path_coeffs a b)
+              end)
+            sorted;
+          loop (rounds + 1)
+        end
+    end
+  in
+  let status, rounds = loop 1 in
+  let primal = Simplex.primal eng in
+  let lengths = lengths_of_primal primal in
+  let t = primal.(t_var) in
+  {
+    status;
+    lengths;
+    objective = Simplex.objective eng;
+    window = (t, t +. skew_bound);
+    lp_rows = Simplex.nrows eng;
+    lp_iterations = Simplex.iterations eng;
+    rounds;
+  }

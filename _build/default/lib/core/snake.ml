@@ -1,0 +1,57 @@
+module Point = Lubt_geom.Point
+module Tree = Lubt_topo.Tree
+
+type polyline = Point.t list
+
+let length = function
+  | [] | [ _ ] -> 0.0
+  | first :: rest ->
+    let acc = ref 0.0 and prev = ref first in
+    List.iter
+      (fun p ->
+        acc := !acc +. Point.dist !prev p;
+        prev := p)
+      rest;
+    !acc
+
+(* The base route is the L-shape p -> (q.x, p.y) -> q. Surplus wire is
+   absorbed by lifting the horizontal leg to a detour line: p rises by h,
+   crosses, and descends, adding exactly 2h. The detour goes to the side
+   opposite q's vertical direction so the descending segment cannot overlap
+   the final vertical leg. When the points share an x column the detour is
+   horizontal instead. *)
+let route p q len =
+  let d = Point.dist p q in
+  let extra = max 0.0 (len -. d) in
+  if extra <= 0.0 then
+    if p.Point.x = q.Point.x || p.Point.y = q.Point.y then [ p; q ]
+    else [ p; Point.make q.Point.x p.Point.y; q ]
+  else begin
+    let h = extra /. 2.0 in
+    if p.Point.x <> q.Point.x then begin
+      let dir = if q.Point.y > p.Point.y then -1.0 else 1.0 in
+      let ylift = p.Point.y +. (dir *. h) in
+      [ p;
+        Point.make p.Point.x ylift;
+        Point.make q.Point.x ylift;
+        Point.make q.Point.x p.Point.y;
+        q ]
+    end
+    else begin
+      (* same column: detour sideways *)
+      let dir = 1.0 in
+      let xlift = p.Point.x +. (dir *. h) in
+      [ p;
+        Point.make xlift p.Point.y;
+        Point.make xlift q.Point.y;
+        q ]
+    end
+  end
+
+let route_tree (r : Routed.t) =
+  let n = Tree.num_nodes r.Routed.tree in
+  Array.init (n - 1) (fun k ->
+      let i = k + 1 in
+      let p = r.Routed.positions.(i) in
+      let q = r.Routed.positions.(Tree.parent r.Routed.tree i) in
+      (i, route p q r.Routed.lengths.(i)))

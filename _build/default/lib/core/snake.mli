@@ -1,0 +1,24 @@
+(** Materialisation of elongated edges as rectilinear polylines.
+
+    The EBF assigns each edge a length that may exceed the Manhattan
+    distance between its endpoints (wire elongation, the paper's mechanism
+    for meeting lower delay bounds without buffers). This module produces a
+    concrete rectilinear path of exactly the prescribed length, "snaking"
+    the surplus. *)
+
+type polyline = Lubt_geom.Point.t list
+(** At least two points; consecutive points differ in exactly one
+    coordinate (rectilinear segments). *)
+
+val length : polyline -> float
+
+val route : Lubt_geom.Point.t -> Lubt_geom.Point.t -> float -> polyline
+(** [route p q len] returns a rectilinear polyline from [p] to [q] of total
+    length [len]. Requires [len >= Point.dist p q] (up to roundoff; the
+    result's length always equals [max len (dist p q)]). The surplus is
+    absorbed by a single square detour placed on the side away from the
+    L-bend, so the path never overlaps itself. *)
+
+val route_tree : Routed.t -> (int * polyline) array
+(** One polyline per edge of an embedded tree (edge id, path from the node
+    to its parent). Degenerate edges produce two coincident points. *)

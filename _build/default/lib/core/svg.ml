@@ -1,0 +1,87 @@
+module Point = Lubt_geom.Point
+module Tree = Lubt_topo.Tree
+
+let of_routed ?(size = 800) ?(show_labels = false) (r : Routed.t) =
+  let polylines = Snake.route_tree r in
+  (* bounding box over everything drawn *)
+  let xlo = ref infinity and xhi = ref neg_infinity in
+  let ylo = ref infinity and yhi = ref neg_infinity in
+  let see (p : Point.t) =
+    if p.Point.x < !xlo then xlo := p.Point.x;
+    if p.Point.x > !xhi then xhi := p.Point.x;
+    if p.Point.y < !ylo then ylo := p.Point.y;
+    if p.Point.y > !yhi then yhi := p.Point.y
+  in
+  Array.iter see r.Routed.positions;
+  Array.iter (fun (_, poly) -> List.iter see poly) polylines;
+  let span = max (!xhi -. !xlo) (!yhi -. !ylo) in
+  let span = if span <= 0.0 then 1.0 else span in
+  let margin = 0.05 *. span in
+  let scale = float_of_int size /. (span +. (2.0 *. margin)) in
+  (* SVG's y axis points down; flip so the plot reads like the plane *)
+  let sx x = (x -. !xlo +. margin) *. scale in
+  let sy y = float_of_int size -. ((y -. !ylo +. margin) *. scale) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        viewBox=\"0 0 %d %d\">\n"
+       size size size size);
+  Buffer.add_string buf
+    "<rect width=\"100%\" height=\"100%\" fill=\"#fcfcf7\"/>\n";
+  (* wires *)
+  Array.iter
+    (fun (edge, poly) ->
+      let elongated = Routed.edge_slack r edge > 1e-9 *. (1.0 +. r.Routed.lengths.(edge)) in
+      let points =
+        List.map (fun (p : Point.t) -> Printf.sprintf "%.2f,%.2f" (sx p.Point.x) (sy p.Point.y)) poly
+        |> String.concat " "
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" \
+            stroke-width=\"1.5\"%s/>\n"
+           points
+           (if elongated then "#d95f02" else "#2c7fb8")
+           (if elongated then " stroke-dasharray=\"4 2\"" else "")))
+    polylines;
+  (* nodes *)
+  let dot cx cy radius fill shape =
+    match shape with
+    | `Circle ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<circle cx=\"%.2f\" cy=\"%.2f\" r=\"%.1f\" fill=\"%s\"/>\n" cx cy
+           radius fill)
+    | `Square ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<rect x=\"%.2f\" y=\"%.2f\" width=\"%.1f\" height=\"%.1f\" \
+            fill=\"%s\"/>\n"
+           (cx -. radius) (cy -. radius) (2.0 *. radius) (2.0 *. radius) fill)
+  in
+  for v = 0 to Tree.num_nodes r.Routed.tree - 1 do
+    let p = r.Routed.positions.(v) in
+    let cx = sx p.Point.x and cy = sy p.Point.y in
+    if v = Tree.root then dot cx cy 6.0 "#000000" `Circle
+    else if Tree.is_sink r.Routed.tree v then dot cx cy 4.0 "#e41a1c" `Square
+    else dot cx cy 2.0 "#555555" `Circle;
+    if show_labels then
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"%.2f\" y=\"%.2f\" font-size=\"10\" fill=\"#333\">%d</text>\n"
+           (cx +. 5.0) (cy -. 5.0) v)
+  done;
+  (* legend *)
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"8\" y=\"16\" font-size=\"12\" fill=\"#333\">cost %.1f, skew \
+        %.2f, %d elongated edges</text>\n"
+       (Routed.cost r) (Routed.skew r) (Routed.num_elongated r));
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let write ?size ?show_labels path r =
+  let oc = open_out path in
+  output_string oc (of_routed ?size ?show_labels r);
+  close_out oc

@@ -1,0 +1,14 @@
+(** SVG rendering of embedded routing trees.
+
+    Wires are drawn as their snaked rectilinear polylines (see {!Snake}),
+    so elongated edges are visible as detours; sinks, Steiner points and
+    the source get distinct markers. Handy for eyeballing solutions:
+
+    {[ Svg.write "tree.svg" routed ]} *)
+
+val of_routed : ?size:int -> ?show_labels:bool -> Routed.t -> string
+(** Renders to an SVG document string. [size] is the pixel width/height of
+    the square canvas (default 800); [show_labels] adds node-id text
+    labels (default false). *)
+
+val write : ?size:int -> ?show_labels:bool -> string -> Routed.t -> unit

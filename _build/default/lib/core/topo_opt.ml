@@ -1,0 +1,174 @@
+module Point = Lubt_geom.Point
+module Tree = Lubt_topo.Tree
+module Status = Lubt_lp.Status
+
+type options = {
+  max_passes : int;
+  neighbours : int;
+  max_evaluations : int;
+  min_gain : float;
+  ebf : Ebf.options;
+}
+
+let default_options =
+  {
+    max_passes = 3;
+    neighbours = 4;
+    max_evaluations = 400;
+    min_gain = 1e-9;
+    ebf = Ebf.default_options;
+  }
+
+type result = {
+  tree : Tree.t;
+  cost : float;
+  initial_cost : float;
+  evaluations : int;
+  accepted : int;
+  passes : int;
+}
+
+(* The move keeps node ids stable: sink [s] hangs under its private Steiner
+   parent [p] whose other child is [t]. Detaching hands [t] to [p]'s old
+   parent and re-uses [p] as the new Steiner point spliced into the edge
+   above [u]:
+
+        g                g                 pu            pu
+        |                |                 |             |
+        p       ->       t        and      u      ->     p
+       / \                                               / \
+      s   t                                             s   u
+
+   Validity: p must not be the root, and u must lie outside {p, s, t}
+   (u = t reproduces the original tree; excluded as a no-op) and not be
+   the root. After detaching, subtree(p) = {p, s}, so u can never be
+   inside it and the structure stays a tree. *)
+let reattach parents zero ~s ~p ~t ~u =
+  let n = Array.length parents in
+  let g = parents.(p) in
+  if g < 0 then None
+  else if u = p || u = s || u = t || u = Tree.root then None
+  else begin
+    let parents' = Array.copy parents in
+    let zero' = Array.copy zero in
+    parents'.(t) <- g;
+    parents'.(p) <- parents.(u);
+    parents'.(u) <- p;
+    (* p's edge is a fresh plain edge now; t keeps its own edge flag *)
+    zero'.(p) <- false;
+    ignore n;
+    Some (parents', zero')
+  end
+
+let arrays_of_tree tree =
+  let n = Tree.num_nodes tree in
+  let parents = Array.init n (fun i -> Tree.parent tree i) in
+  let zero = Array.init n (fun i -> if i = 0 then false else Tree.forced_zero tree i) in
+  (parents, zero)
+
+let evaluate options inst tree =
+  let r = Ebf.solve ~options:options.ebf inst tree in
+  if r.Ebf.status = Status.Optimal then Some r.Ebf.objective else None
+
+(* geometric nearest sinks of each sink, by instance coordinates *)
+let nearest_sinks (inst : Instance.t) k =
+  let m = Array.length inst.Instance.sinks in
+  Array.init m (fun i ->
+      let dists =
+        Array.init m (fun j -> (Point.dist inst.Instance.sinks.(i) inst.Instance.sinks.(j), j))
+      in
+      Array.sort compare dists;
+      let out = ref [] in
+      let count = ref 0 in
+      Array.iter
+        (fun (_, j) ->
+          if j <> i && !count < k then begin
+            out := j :: !out;
+            incr count
+          end)
+        dists;
+      List.rev !out)
+
+let improve ?(options = default_options) inst tree0 =
+  let sinks = Tree.sinks tree0 in
+  let neighbour_table = nearest_sinks inst options.neighbours in
+  let evaluations = ref 0 in
+  let accepted = ref 0 in
+  let eval tree =
+    incr evaluations;
+    evaluate options inst tree
+  in
+  match eval tree0 with
+  | None ->
+    {
+      tree = tree0;
+      cost = infinity;
+      initial_cost = infinity;
+      evaluations = !evaluations;
+      accepted = 0;
+      passes = 0;
+    }
+  | Some cost0 ->
+    let best_tree = ref tree0 and best_cost = ref cost0 in
+    let passes = ref 0 in
+    let improved_in_pass = ref true in
+    while
+      !improved_in_pass
+      && !passes < options.max_passes
+      && !evaluations < options.max_evaluations
+    do
+      incr passes;
+      improved_in_pass := false;
+      Array.iteri
+        (fun sink_idx s ->
+          if !evaluations < options.max_evaluations then begin
+            let tree = !best_tree in
+            let p = Tree.parent tree s in
+            let siblings =
+              List.filter (fun c -> c <> s) (Tree.children tree p)
+            in
+            match siblings with
+            | [ t ] when p <> Tree.root ->
+              let parents, zero = arrays_of_tree tree in
+              (* stop after the first accepted move for this sink: the
+                 captured arrays describe the pre-move tree *)
+              let moved = ref false in
+              List.iter
+                (fun nb_sink_idx ->
+                  if (not !moved) && !evaluations < options.max_evaluations
+                  then begin
+                    (* candidate: splice p into the edge above the
+                       neighbour sink's node *)
+                    let u = (Tree.sinks tree).(nb_sink_idx) in
+                    match reattach parents zero ~s ~p ~t ~u with
+                    | None -> ()
+                    | Some (parents', zero') -> (
+                      match
+                        Tree.create ~forced_zero:zero' ~parents:parents'
+                          ~sinks:(Tree.sinks tree) ()
+                      with
+                      | exception Invalid_argument _ -> ()
+                      | cand -> (
+                        match eval cand with
+                        | Some c
+                          when c < !best_cost *. (1.0 -. options.min_gain) ->
+                          best_tree := cand;
+                          best_cost := c;
+                          incr accepted;
+                          moved := true;
+                          improved_in_pass := true
+                        | Some _ | None -> ()))
+                  end)
+                neighbour_table.(sink_idx)
+            | _ -> ()
+          end)
+        sinks
+    done;
+    {
+      tree = !best_tree;
+      cost = !best_cost;
+      initial_cost = cost0;
+      evaluations = !evaluations;
+      accepted = !accepted;
+      passes = !passes;
+    }

@@ -1,0 +1,39 @@
+(** Topology improvement guided by the delay bounds (the paper's stated
+    future work, Section 9: "better topology generation which is guided by
+    both the lower and the upper bounds").
+
+    Local search over topologies: a sink (together with its private
+    Steiner parent) is detached and re-inserted onto the parent edge of a
+    geometrically nearby sink; each candidate topology is evaluated
+    exactly by re-solving the EBF linear program, so the move oracle *is*
+    the paper's optimal embedder. Improving moves are kept, others
+    discarded; the search stops after a fixed number of passes, when a
+    pass yields no improvement, or when the LP-evaluation budget is
+    exhausted.
+
+    Topologies keep all sinks as leaves and all Steiner nodes binary, so
+    Lemma 3.1 feasibility is preserved by construction. *)
+
+type options = {
+  max_passes : int;  (** sweeps over all sinks (default 3) *)
+  neighbours : int;  (** reinsertion candidates per sink (default 4) *)
+  max_evaluations : int;  (** LP solves allowed (default 400) *)
+  min_gain : float;  (** relative improvement required to accept (1e-9) *)
+  ebf : Ebf.options;
+}
+
+val default_options : options
+
+type result = {
+  tree : Lubt_topo.Tree.t;
+  cost : float;
+  initial_cost : float;
+  evaluations : int;  (** LP solves spent *)
+  accepted : int;  (** improving moves kept *)
+  passes : int;
+}
+
+val improve : ?options:options -> Instance.t -> Lubt_topo.Tree.t -> result
+(** Improves the topology for the given instance. The instance must be
+    feasible for the initial topology (otherwise the initial LP fails and
+    the input is returned unchanged with [cost = infinity]). *)

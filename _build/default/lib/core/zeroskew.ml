@@ -1,0 +1,113 @@
+module Point = Lubt_geom.Point
+module Trr = Lubt_geom.Trr
+module Tree = Lubt_topo.Tree
+
+type t = { lengths : float array; root_delay : float }
+
+(* Since wire elongation is allowed, every point of a merging region
+   realises the subtree's common delay exactly; merging two regions with
+   delays (da, db) therefore minimises ea + eb subject to
+   da + ea = db + eb, ea, eb >= 0, ea + eb >= dist(Ra, Rb). *)
+let merge_lengths da db d =
+  if abs_float (da -. db) <= d then
+    let ea = (d +. db -. da) /. 2.0 in
+    (ea, d -. ea)
+  else if da < db then (db -. da, 0.0)
+  else (0.0, da -. db)
+
+let intersect_padded ra ea rb eb d =
+  match Trr.intersect (Trr.expand ra ea) (Trr.expand rb eb) with
+  | Some r -> r
+  | None -> (
+    (* regions that only touch can miss by a few ulps *)
+    let pad = 1e-9 *. (1.0 +. d) in
+    match Trr.intersect (Trr.expand ra (ea +. pad)) (Trr.expand rb (eb +. pad)) with
+    | Some r -> r
+    | None -> assert false)
+
+let balance (inst : Instance.t) tree =
+  if not (Tree.all_sinks_are_leaves tree) then
+    invalid_arg "Zeroskew.balance: every sink must be a leaf";
+  let n = Tree.num_nodes tree in
+  let lengths = Array.make n 0.0 in
+  let region = Array.make n (Trr.of_point (Point.make 0.0 0.0)) in
+  let delay = Array.make n 0.0 in
+  let post = Tree.postorder tree in
+  Array.iter
+    (fun v ->
+      match Tree.children tree v with
+      | [] ->
+        if Tree.is_sink tree v then begin
+          region.(v) <- Trr.of_point inst.Instance.sinks.(Tree.sink_index tree v);
+          delay.(v) <- 0.0
+        end
+        else invalid_arg "Zeroskew.balance: leaf Steiner point"
+      | [ c ] ->
+        (* chain node: pass through with a zero-length edge *)
+        lengths.(c) <- 0.0;
+        region.(v) <- region.(c);
+        delay.(v) <- delay.(c)
+      | [ a; b ] -> (
+        let da = delay.(a) and db = delay.(b) in
+        match (v, inst.Instance.source) with
+        | 0, Some src ->
+          (* the root is pinned at the source: balance each child's region
+             against the point directly (cheaper than merging the children
+             first and then stretching both edges to reach the source) *)
+          let dist_a = Trr.dist_to_point region.(a) src in
+          let dist_b = Trr.dist_to_point region.(b) src in
+          let ea = max dist_a (dist_b +. db -. da) in
+          let eb = ea +. da -. db in
+          lengths.(a) <- ea;
+          lengths.(b) <- eb;
+          region.(v) <- Trr.of_point src;
+          delay.(v) <- da +. ea
+        | _ ->
+          let d = Trr.distance region.(a) region.(b) in
+          let ea, eb = merge_lengths da db d in
+          lengths.(a) <- ea;
+          lengths.(b) <- eb;
+          region.(v) <- intersect_padded region.(a) ea region.(b) eb d;
+          delay.(v) <- da +. ea)
+      | _ :: _ :: _ ->
+        invalid_arg "Zeroskew.balance: topology must be binary (binarise first)")
+    post;
+  let root_delay =
+    match inst.Instance.source with
+    | None -> delay.(Tree.root)
+    | Some src ->
+      let gap = Trr.dist_to_point region.(Tree.root) src in
+      delay.(Tree.root) +. gap
+  in
+  (* a fixed source above a single-child (or chain) root still has to reach
+     the root's merging region: fold that wire into the root's child edges *)
+  (match inst.Instance.source with
+  | None -> ()
+  | Some src ->
+    let gap = Trr.dist_to_point region.(Tree.root) src in
+    if gap > 0.0 then
+      List.iter
+        (fun c -> lengths.(c) <- lengths.(c) +. gap)
+        (Tree.children tree Tree.root));
+  { lengths; root_delay }
+
+let solve ?target inst tree =
+  let base = balance inst tree in
+  let target = match target with Some t -> t | None -> base.root_delay in
+  if target < base.root_delay -. (1e-9 *. (1.0 +. base.root_delay)) then
+    Error
+      (Printf.sprintf
+         "zero-skew target delay %g below the minimum %g achievable for this \
+          topology"
+         target base.root_delay)
+  else begin
+    let extra = max 0.0 (target -. base.root_delay) in
+    let lengths = Array.copy base.lengths in
+    if extra > 0.0 then
+      (* every root-to-sink path crosses exactly one root child edge, so
+         adding the slack there raises all delays uniformly *)
+      List.iter
+        (fun c -> lengths.(c) <- lengths.(c) +. extra)
+        (Tree.children tree Tree.root);
+    Ok { lengths; root_delay = target }
+  end

@@ -1,0 +1,29 @@
+(** Zero-skew closed form (Section 4.6).
+
+    When [l_i = u_i = c] for every sink, the EBF constraints collapse to
+    [n] linear equations solvable by one bottom-up DME-style pass — no LP
+    needed. Each internal node balances its children's subtree delays,
+    elongating the faster side when the delay difference exceeds the
+    distance between the children's merging regions.
+
+    Only defined for topologies in which every sink is a leaf. *)
+
+type t = {
+  lengths : float array;  (** balanced edge lengths, indexed by node id *)
+  root_delay : float;
+      (** the minimum common source-to-sink delay achievable for this
+          topology (before any extra target-delay elongation) *)
+}
+
+val balance : Instance.t -> Lubt_topo.Tree.t -> t
+(** Computes the minimum-cost zero-skew edge lengths for the topology,
+    ignoring the instance bounds. The common delay achieved is
+    [root_delay].
+
+    @raise Invalid_argument if some sink is not a leaf. *)
+
+val solve : ?target:float -> Instance.t -> Lubt_topo.Tree.t -> (t, string) result
+(** Zero-skew lengths with common delay exactly [target] (default: the
+    minimum achievable, i.e. [root_delay] of {!balance}). Fails when
+    [target] is below the minimum. The extra delay is injected at the
+    topmost edges, which never violates Steiner constraints. *)

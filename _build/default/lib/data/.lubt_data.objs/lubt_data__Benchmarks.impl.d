@@ -1,0 +1,1 @@
+lib/data/benchmarks.ml: Array List Lubt_core Lubt_geom Lubt_util

@@ -1,0 +1,1 @@
+lib/data/benchmarks.mli: Lubt_core Lubt_geom

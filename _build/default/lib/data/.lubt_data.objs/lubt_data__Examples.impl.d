@@ -1,0 +1,1 @@
+lib/data/examples.ml: Lubt_core Lubt_geom Lubt_topo

@@ -1,0 +1,1 @@
+lib/data/io.ml: Array Buffer List Lubt_core Lubt_geom Lubt_topo Printf String

@@ -1,0 +1,1 @@
+lib/data/io.mli: Lubt_core Lubt_topo

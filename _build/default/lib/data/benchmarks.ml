@@ -1,0 +1,87 @@
+module Point = Lubt_geom.Point
+module Prng = Lubt_util.Prng
+module Instance = Lubt_core.Instance
+
+type size = Tiny | Scaled | Full
+
+type distribution = Uniform | Clustered
+
+type spec = {
+  name : string;
+  num_sinks : int;
+  extent : float;
+  seed : int;
+  distribution : distribution;
+}
+
+(* Paper sizes: prim1 = 269, prim2 = 603 (MCNC), r1 = 267, r3 = 862
+   (Tsay). Extents follow the originals' rough scale: the prim chips are
+   ~10x10 mm in 1990s units, the r benchmarks an order of magnitude
+   larger — only relative costs matter. *)
+let specs = function
+  | Full ->
+    [
+      { name = "prim1s"; num_sinks = 269; extent = 10_000.0; seed = 1069; distribution = Uniform };
+      { name = "prim2s"; num_sinks = 603; extent = 10_000.0; seed = 2069; distribution = Uniform };
+      { name = "r1s"; num_sinks = 267; extent = 100_000.0; seed = 3069; distribution = Uniform };
+      { name = "r3s"; num_sinks = 862; extent = 100_000.0; seed = 4069; distribution = Uniform };
+    ]
+  | Scaled ->
+    [
+      { name = "prim1s"; num_sinks = 96; extent = 10_000.0; seed = 1069; distribution = Uniform };
+      { name = "prim2s"; num_sinks = 160; extent = 10_000.0; seed = 2069; distribution = Uniform };
+      { name = "r1s"; num_sinks = 120; extent = 100_000.0; seed = 3069; distribution = Uniform };
+      { name = "r3s"; num_sinks = 220; extent = 100_000.0; seed = 4069; distribution = Uniform };
+    ]
+  | Tiny ->
+    [
+      { name = "prim1s"; num_sinks = 24; extent = 10_000.0; seed = 1069; distribution = Uniform };
+      { name = "prim2s"; num_sinks = 40; extent = 10_000.0; seed = 2069; distribution = Uniform };
+      { name = "r1s"; num_sinks = 30; extent = 100_000.0; seed = 3069; distribution = Uniform };
+      { name = "r3s"; num_sinks = 56; extent = 100_000.0; seed = 4069; distribution = Uniform };
+    ]
+
+let clustered size =
+  List.map
+    (fun s -> { s with name = s.name ^ "-c"; distribution = Clustered })
+    (specs size)
+
+let find size name =
+  let all = specs size @ clustered size in
+  match List.find_opt (fun s -> s.name = name) all with
+  | Some s -> s
+  | None -> raise Not_found
+
+(* Clustered fields mimic real clock pins: a handful of macro regions,
+   each holding a tight group of flip-flops. *)
+let sinks spec =
+  let rng = Prng.create spec.seed in
+  match spec.distribution with
+  | Uniform ->
+    Array.init spec.num_sinks (fun _ ->
+        let x = Prng.float rng spec.extent in
+        let y = Prng.float rng spec.extent in
+        Point.make x y)
+  | Clustered ->
+    let num_clusters = max 3 (spec.num_sinks / 16) in
+    let centres =
+      Array.init num_clusters (fun _ ->
+          (Prng.float rng spec.extent, Prng.float rng spec.extent))
+    in
+    let sigma = spec.extent /. 25.0 in
+    Array.init spec.num_sinks (fun k ->
+        let cx, cy = centres.(k mod num_clusters) in
+        let jitter () = Prng.float_range rng (-.sigma) sigma in
+        let clamp v = Lubt_util.Stats.clamp 0.0 spec.extent v in
+        Point.make (clamp (cx +. jitter () +. jitter ()))
+          (clamp (cy +. jitter () +. jitter ())))
+
+let source spec = Point.make (spec.extent /. 2.0) (spec.extent /. 2.0)
+
+let instance ?(lower = 0.0) ?(upper = infinity) spec =
+  let s = sinks spec in
+  let src = source spec in
+  let base = Instance.uniform_bounds ~source:src ~sinks:s ~lower:0.0 ~upper:infinity () in
+  let r = Instance.radius base in
+  let u = if upper = infinity then infinity else upper *. r in
+  Instance.uniform_bounds ~source:src ~sinks:s ~lower:(lower *. r) ~upper:u ()

@@ -1,0 +1,50 @@
+(** Synthetic stand-ins for the paper's benchmark sink sets.
+
+    The paper evaluates on MCNC [prim1]/[prim2] (269 and 603 sinks, Jackson
+    et al. DAC'90) and Tsay's [r1]/[r3] (267 and 862 sinks, ICCAD'91).
+    Those coordinate files are not redistributable, so this module
+    generates seeded uniform sink fields of matching sizes — every quantity
+    the experiments report (cost vs. skew bound, LUBT vs. baseline ratios,
+    cost vs. bound windows) is a relative shape over a fixed point set, and
+    uniform fields reproduce those shapes (see DESIGN.md, Substitutions).
+
+    [`Scaled] instances (the default) shrink the sink counts so the whole
+    experiment suite runs in minutes; [`Full] restores the paper's sizes; [`Tiny] is for smoke tests and
+    micro-benchmarks. *)
+
+type size = Tiny | Scaled | Full
+
+type distribution = Uniform | Clustered
+
+type spec = {
+  name : string;
+  num_sinks : int;
+  extent : float;  (** square chip side length *)
+  seed : int;
+  distribution : distribution;
+}
+
+val specs : size -> spec list
+(** The four benchmarks, paper order: prim1s, prim2s, r1s, r3s. *)
+
+val clustered : size -> spec list
+(** Clustered-sink variants ("prim1s-c", ...): a handful of macro regions
+    each holding a tight group of flip-flops, closer to real clock-pin
+    distributions than uniform fields. Zero-skew balancing is much more
+    expensive relative to Steiner routing on these. *)
+
+val find : size -> string -> spec
+(** Lookup by name ("prim1s", ..., including the "-c" clustered variants).
+    @raise Not_found for unknown names. *)
+
+val sinks : spec -> Lubt_geom.Point.t array
+(** Deterministic sink field for the spec. *)
+
+val source : spec -> Lubt_geom.Point.t
+(** Source location: the chip centre (clock pads are central in the
+    original benchmarks). *)
+
+val instance :
+  ?lower:float -> ?upper:float -> spec -> Lubt_core.Instance.t
+(** Instance with bounds given as fractions of the radius
+    (default [lower = 0.], [upper = infinity]). *)

@@ -1,0 +1,29 @@
+module Point = Lubt_geom.Point
+module Tree = Lubt_topo.Tree
+module Instance = Lubt_core.Instance
+
+let pt = Point.make
+
+let five_point () =
+  let sinks = [| pt 0.0 4.0; pt 3.0 6.0; pt 6.0 5.0; pt 6.0 3.0; pt 1.0 0.0 |] in
+  let inst = Instance.uniform_bounds ~sinks ~lower:4.0 ~upper:6.0 () in
+  (* root s0 children {s6, s8}; s6 -> {s1, s5}; s8 -> {s2, s7};
+     s7 -> {s3, s4}: the delay expressions then match Section 4.5:
+     delay(s1) = e1+e6, delay(s2) = e2+e8, delay(s3) = e3+e7+e8, ... *)
+  let tree =
+    Tree.create ~parents:[| -1; 6; 8; 7; 7; 6; 0; 8; 0 |]
+      ~sinks:[| 1; 2; 3; 4; 5 |] ()
+  in
+  (inst, tree)
+
+let figure1_instance () =
+  let sinks = [| pt 3.0 0.0; pt (-3.0) 0.0 |] in
+  Instance.uniform_bounds ~source:(pt 0.0 0.0) ~sinks ~lower:0.0 ~upper:6.0 ()
+
+let figure1_chain () = Tree.create ~parents:[| -1; 0; 1 |] ~sinks:[| 1; 2 |] ()
+
+let figure1_star () =
+  Tree.create ~parents:[| -1; 3; 3; 0 |] ~sinks:[| 1; 2 |] ()
+
+let unit_triangle () =
+  [| pt 0.0 0.0; pt 1.0 0.0; pt 0.5 (sqrt 3.0 /. 2.0) |]

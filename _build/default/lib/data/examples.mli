@@ -1,0 +1,21 @@
+(** The paper's worked examples as ready-made fixtures. *)
+
+val five_point : unit -> Lubt_core.Instance.t * Lubt_topo.Tree.t
+(** Section 4.5 / Figure 3: five sinks, eight edges, bounds [4, 6], source
+    position not given. The paper does not print the coordinates, so a
+    reconstructed layout with the exact topology of the figure is used. *)
+
+val figure1_instance : unit -> Lubt_core.Instance.t
+(** Figure 1: source at the origin, two sinks 3 units away on opposite
+    sides, all bounds [0, 6]. *)
+
+val figure1_chain : unit -> Lubt_topo.Tree.t
+(** Topology (a): the source chains through sink 1 to sink 2 — no LUBT
+    exists with the Figure 1 bounds. *)
+
+val figure1_star : unit -> Lubt_topo.Tree.t
+(** Topology (b)/(c): both sinks hang off a Steiner point — feasible. *)
+
+val unit_triangle : unit -> Lubt_geom.Point.t array
+(** Figure 4: the vertices of a unit equilateral triangle (the Euclidean
+    counter-example of Section 4.7). *)

@@ -1,0 +1,30 @@
+(** Plain-text persistence for instances and topologies.
+
+    Instance format (one record per line, '#' comments allowed):
+    {v
+    source <x> <y>          (optional, at most once)
+    sink <x> <y> <l> <u>    (one per sink; 'inf' allowed for <u>)
+    v}
+
+    Topology format:
+    {v
+    nodes <n>
+    edge <child> <parent> [zero]   (one per non-root node)
+    sink <node-id>                 (one per sink)
+    v} *)
+
+val write_instance : string -> Lubt_core.Instance.t -> unit
+
+val read_instance : string -> (Lubt_core.Instance.t, string) result
+
+val write_tree : string -> Lubt_topo.Tree.t -> unit
+
+val read_tree : string -> (Lubt_topo.Tree.t, string) result
+
+val instance_to_string : Lubt_core.Instance.t -> string
+
+val instance_of_string : string -> (Lubt_core.Instance.t, string) result
+
+val tree_to_string : Lubt_topo.Tree.t -> string
+
+val tree_of_string : string -> (Lubt_topo.Tree.t, string) result

@@ -1,0 +1,1 @@
+lib/delay/elmore.ml: Array List Lubt_topo

@@ -1,0 +1,1 @@
+lib/delay/elmore.mli: Lubt_topo

@@ -1,0 +1,1 @@
+lib/delay/linear.ml: Array Lubt_topo

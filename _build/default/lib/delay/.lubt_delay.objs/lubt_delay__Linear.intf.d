@@ -1,0 +1,1 @@
+lib/delay/linear.mli: Lubt_topo

@@ -1,0 +1,83 @@
+module Tree = Lubt_topo.Tree
+
+type wire = { r_w : float; c_w : float }
+
+type loads = float array
+
+let subtree_caps tree wire loads lengths =
+  let n = Tree.num_nodes tree in
+  let caps = Array.make n 0.0 in
+  let post = Tree.postorder tree in
+  Array.iter
+    (fun i ->
+      let own =
+        if Tree.is_sink tree i then loads.(Tree.sink_index tree i) else 0.0
+      in
+      (* children contribute their subtree plus their own parent edge wire *)
+      let below =
+        List.fold_left
+          (fun acc c -> acc +. caps.(c) +. (wire.c_w *. lengths.(c)))
+          0.0 (Tree.children tree i)
+      in
+      caps.(i) <- own +. below)
+    post;
+  caps
+
+let node_delays tree wire loads lengths =
+  let caps = subtree_caps tree wire loads lengths in
+  let n = Tree.num_nodes tree in
+  let d = Array.make n 0.0 in
+  let pre = Tree.preorder tree in
+  Array.iter
+    (fun i ->
+      if i <> Tree.root then begin
+        let e = lengths.(i) in
+        let stage = wire.r_w *. e *. ((wire.c_w *. e /. 2.0) +. caps.(i)) in
+        d.(i) <- d.(Tree.parent tree i) +. stage
+      end)
+    pre;
+  d
+
+let sink_delays tree wire loads lengths =
+  let d = node_delays tree wire loads lengths in
+  Array.map (fun s -> d.(s)) (Tree.sinks tree)
+
+(* d delay(j)/d e_a  =  r_w * ( [a on path(0,j)] * (c_w e_a + C_a)
+                               + c_w * plen(z) )
+   where plen is the linear path length from the root and z is the deepest
+   node that is both an ancestor of a's parent-side and on path(0,j):
+   z = parent(a) when a is on the path, lca(a, j) otherwise. The first term
+   is the direct effect on stage a; the second is e_a's wire capacitance
+   showing up in C_k of every upstream stage k shared with the path. *)
+let gradient tree wire loads lengths sink_node =
+  let caps = subtree_caps tree wire loads lengths in
+  let plen = Tree.delays tree lengths in
+  let n = Tree.num_nodes tree in
+  let on_path = Array.make n false in
+  let rec mark i =
+    if i <> Tree.root then begin
+      on_path.(i) <- true;
+      mark (Tree.parent tree i)
+    end
+  in
+  mark sink_node;
+  let g = Array.make n 0.0 in
+  for a = 1 to n - 1 do
+    let z = if on_path.(a) then Tree.parent tree a else Tree.lca tree a sink_node in
+    let shared = plen.(z) in
+    let direct =
+      if on_path.(a) then (wire.c_w *. lengths.(a)) +. caps.(a) else 0.0
+    in
+    g.(a) <- wire.r_w *. (direct +. (wire.c_w *. shared))
+  done;
+  g
+
+let skew tree wire loads lengths =
+  let ds = sink_delays tree wire loads lengths in
+  let lo = ref ds.(0) and hi = ref ds.(0) in
+  Array.iter
+    (fun v ->
+      if v < !lo then lo := v;
+      if v > !hi then hi := v)
+    ds;
+  !hi -. !lo

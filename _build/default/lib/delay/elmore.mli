@@ -1,0 +1,29 @@
+(** Elmore delay model (Section 7).
+
+    [delay(s_j) = sum over e_k on path(s_0, s_j) of
+       r_w * e_k * (c_w * e_k / 2 + C_k)]
+    where [C_k] is the capacitance of the subtree hanging below [s_k]
+    (downstream edge wire capacitance plus sink load capacitances). *)
+
+type wire = { r_w : float;  (** resistance per unit length *)
+              c_w : float  (** capacitance per unit length *) }
+
+type loads = float array
+(** Load capacitance per sink, in [Tree.sinks] order. *)
+
+val subtree_caps : Lubt_topo.Tree.t -> wire -> loads -> float array -> float array
+(** [C_k] per node: sink loads plus wire capacitance strictly below the
+    node (the node's own parent edge excluded). *)
+
+val node_delays : Lubt_topo.Tree.t -> wire -> loads -> float array -> float array
+(** Elmore delay per node. *)
+
+val sink_delays : Lubt_topo.Tree.t -> wire -> loads -> float array -> float array
+
+val gradient : Lubt_topo.Tree.t -> wire -> loads -> float array -> int -> float array
+(** [gradient tree wire loads lengths sink_node] is the gradient of the
+    Elmore delay of [sink_node] with respect to every edge length:
+    [g.(a) = d delay(sink) / d e_a]. Entry 0 (the root, which owns no
+    edge) is 0. Used by the sequential-LP solver for the Elmore EBF. *)
+
+val skew : Lubt_topo.Tree.t -> wire -> loads -> float array -> float

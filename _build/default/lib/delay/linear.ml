@@ -1,0 +1,21 @@
+module Tree = Lubt_topo.Tree
+
+let node_delays tree lengths = Tree.delays tree lengths
+
+let sink_delays tree lengths =
+  let d = node_delays tree lengths in
+  Array.map (fun s -> d.(s)) (Tree.sinks tree)
+
+let min_max_delay tree lengths =
+  let ds = sink_delays tree lengths in
+  let lo = ref ds.(0) and hi = ref ds.(0) in
+  Array.iter
+    (fun v ->
+      if v < !lo then lo := v;
+      if v > !hi then hi := v)
+    ds;
+  (!lo, !hi)
+
+let skew tree lengths =
+  let lo, hi = min_max_delay tree lengths in
+  hi -. lo

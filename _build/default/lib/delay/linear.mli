@@ -1,0 +1,14 @@
+(** Linear delay model: the delay of a sink is the total wire length from
+    the source to the sink (Equation 1). *)
+
+val node_delays : Lubt_topo.Tree.t -> float array -> float array
+(** Per-node delay; indexed by node id. [lengths] is indexed by edge id. *)
+
+val sink_delays : Lubt_topo.Tree.t -> float array -> float array
+(** Delay of each sink, in [Tree.sinks] order. *)
+
+val skew : Lubt_topo.Tree.t -> float array -> float
+(** Difference between the largest and smallest sink delay. *)
+
+val min_max_delay : Lubt_topo.Tree.t -> float array -> float * float
+(** Shortest and longest source-to-sink delay. *)

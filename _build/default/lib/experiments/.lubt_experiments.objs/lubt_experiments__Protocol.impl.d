@@ -1,0 +1,1 @@
+lib/experiments/protocol.ml: Array Lubt_bst Lubt_core Lubt_data Lubt_lp Printf Unix

@@ -1,0 +1,1 @@
+lib/experiments/protocol.mli: Lubt_bst Lubt_core Lubt_data

@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Array List Lubt_bst Lubt_core Lubt_data Lubt_delay Lubt_lp Lubt_topo Lubt_util Printf Protocol Report String

@@ -1,0 +1,79 @@
+module Benchmarks = Lubt_data.Benchmarks
+module Bst_dme = Lubt_bst.Bst_dme
+module Instance = Lubt_core.Instance
+module Ebf = Lubt_core.Ebf
+module Status = Lubt_lp.Status
+
+type baseline_run = {
+  spec : Benchmarks.spec;
+  radius : float;
+  skew_rel : float;
+  bst : Bst_dme.result;
+  shortest_rel : float;
+  longest_rel : float;
+  bst_seconds : float;
+}
+
+type lubt_run = {
+  lower_rel : float;
+  upper_rel : float;
+  cost : float;
+  ebf : Ebf.result;
+  lubt_seconds : float;
+}
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let run_baseline spec ~skew_rel =
+  let sinks = Benchmarks.sinks spec in
+  let source = Benchmarks.source spec in
+  let inst0 =
+    Instance.uniform_bounds ~source ~sinks ~lower:0.0 ~upper:infinity ()
+  in
+  let radius = Instance.radius inst0 in
+  let bound = if skew_rel = infinity then infinity else skew_rel *. radius in
+  let bst, bst_seconds =
+    time (fun () -> Bst_dme.route ~skew_bound:bound ~source sinks)
+  in
+  {
+    spec;
+    radius;
+    skew_rel;
+    bst;
+    shortest_rel = bst.Bst_dme.dmin /. radius;
+    longest_rel = bst.Bst_dme.dmax /. radius;
+    bst_seconds;
+  }
+
+let run_lubt ?options (b : baseline_run) ~lower_rel ~upper_rel =
+  let inst0 = b.bst.Bst_dme.routed.Lubt_core.Routed.instance in
+  let m = Instance.num_sinks inst0 in
+  let lower = Array.make m (lower_rel *. b.radius) in
+  let upper =
+    Array.make m
+      (if upper_rel = infinity then infinity else upper_rel *. b.radius)
+  in
+  let inst = Instance.with_bounds inst0 ~lower ~upper in
+  let ebf, lubt_seconds =
+    time (fun () -> Ebf.solve ?options inst b.bst.Bst_dme.topology)
+  in
+  if ebf.Ebf.status <> Status.Optimal then
+    failwith
+      (Printf.sprintf "LUBT LP on %s [%g, %g] returned %s" b.spec.Benchmarks.name
+         lower_rel upper_rel
+         (Status.to_string ebf.Ebf.status));
+  {
+    lower_rel;
+    upper_rel;
+    cost = ebf.Ebf.objective;
+    ebf;
+    lubt_seconds;
+  }
+
+let run_lubt_from_baseline ?options (b : baseline_run) =
+  if b.skew_rel = infinity then
+    run_lubt ?options b ~lower_rel:0.0 ~upper_rel:infinity
+  else run_lubt ?options b ~lower_rel:b.shortest_rel ~upper_rel:b.longest_rel

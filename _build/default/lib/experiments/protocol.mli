@@ -1,0 +1,46 @@
+(** The experimental protocol of Section 8.
+
+    For a benchmark and a skew bound, run the [9]-style baseline router
+    ({!Lubt_bst.Bst_dme}), extract the produced topology and the achieved
+    shortest/longest sink delays, and re-solve the same topology with the
+    LUBT LP using those delays as the [l]/[u] bounds. All delays and bounds
+    are reported normalised to the instance radius, as in the paper's
+    tables. *)
+
+type baseline_run = {
+  spec : Lubt_data.Benchmarks.spec;
+  radius : float;
+  skew_rel : float;  (** requested skew bound / radius; [infinity] allowed *)
+  bst : Lubt_bst.Bst_dme.result;
+  shortest_rel : float;  (** achieved dmin / radius *)
+  longest_rel : float;  (** achieved dmax / radius *)
+  bst_seconds : float;
+}
+
+val run_baseline : Lubt_data.Benchmarks.spec -> skew_rel:float -> baseline_run
+
+type lubt_run = {
+  lower_rel : float;
+  upper_rel : float;
+  cost : float;
+  ebf : Lubt_core.Ebf.result;
+  lubt_seconds : float;
+}
+
+val run_lubt :
+  ?options:Lubt_core.Ebf.options ->
+  baseline_run ->
+  lower_rel:float ->
+  upper_rel:float ->
+  lubt_run
+(** Solves the LUBT LP on the baseline's topology with bounds
+    [lower_rel * radius, upper_rel * radius].
+    @raise Failure if the LP does not reach optimality. *)
+
+val run_lubt_from_baseline : ?options:Lubt_core.Ebf.options -> baseline_run -> lubt_run
+(** The Table 1 protocol: bounds = the baseline's achieved
+    [shortest, longest] delays ([0, infinity] for the unbounded-skew
+    row). *)
+
+val time : (unit -> 'a) -> 'a * float
+(** Wall-clock timing helper. *)

@@ -1,0 +1,50 @@
+type cell = string
+
+let is_numeric s =
+  s <> ""
+  && String.for_all (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+' || c = 'e' || c = 'i' || c = 'n' || c = 'f' || c = '*') s
+
+let render ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i c -> if i < cols then widths.(i) <- max widths.(i) (String.length c))
+        row)
+    all;
+  let buf = Buffer.create 1024 in
+  let emit_row row =
+    List.iteri
+      (fun i c ->
+        let pad = widths.(i) - String.length c in
+        let cell =
+          if is_numeric c then String.make pad ' ' ^ c
+          else c ^ String.make pad ' '
+        in
+        Buffer.add_string buf (if i = 0 then cell else "  " ^ cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  let rule = List.map (fun _ -> "") header in
+  ignore rule;
+  Buffer.add_string buf (String.make (Array.fold_left ( + ) (2 * (cols - 1)) widths) '-');
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print ~title ~header rows =
+  Printf.printf "\n=== %s ===\n%s%!" title (render ~header rows)
+
+let fnum f =
+  if f = infinity then "inf"
+  else if f = neg_infinity then "-inf"
+  else if Float.is_integer f && abs_float f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.4g" f
+
+let fnum1 f = if f = infinity then "inf" else Printf.sprintf "%.1f" f
+
+let fnum3 f = if f = infinity then "inf" else Printf.sprintf "%.3f" f

@@ -1,0 +1,19 @@
+(** Column-aligned ASCII table rendering for experiment output. *)
+
+type cell = string
+
+val render : header:cell list -> cell list list -> string
+(** Renders rows under a header, right-aligning numeric-looking cells. *)
+
+val print : title:string -> header:cell list -> cell list list -> unit
+(** Renders with a title banner to stdout. *)
+
+val fnum : float -> string
+(** Compact numeric formatting: integers without decimals, "inf" for
+    infinities, 4 significant decimals otherwise. *)
+
+val fnum1 : float -> string
+(** One-decimal fixed formatting (tree costs, matching the paper). *)
+
+val fnum3 : float -> string
+(** Three-decimal fixed formatting (normalised delays/skews). *)

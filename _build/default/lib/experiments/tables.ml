@@ -1,0 +1,614 @@
+module Benchmarks = Lubt_data.Benchmarks
+module Bst_dme = Lubt_bst.Bst_dme
+module Instance = Lubt_core.Instance
+module Ebf = Lubt_core.Ebf
+module Zeroskew = Lubt_core.Zeroskew
+module Tree = Lubt_topo.Tree
+module Status = Lubt_lp.Status
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type t1_row = {
+  bench : string;
+  skew_rel : float;
+  shortest : float;
+  longest : float;
+  bst_cost : float;
+  lubt_cost : float;
+}
+
+let table1_skews = [ 0.0; 0.01; 0.05; 0.1; 0.5; 1.0; 2.0; infinity ]
+
+let table1 ?(size = Benchmarks.Scaled) ?(clustered = false) () =
+  List.concat_map
+    (fun spec ->
+      List.map
+        (fun skew_rel ->
+          let b = Protocol.run_baseline spec ~skew_rel in
+          let l = Protocol.run_lubt_from_baseline b in
+          {
+            bench = spec.Benchmarks.name;
+            skew_rel;
+            shortest = (if skew_rel = infinity then 0.0 else b.Protocol.shortest_rel);
+            longest = (if skew_rel = infinity then infinity else b.Protocol.longest_rel);
+            bst_cost = b.Protocol.bst.Bst_dme.cost;
+            lubt_cost = l.Protocol.cost;
+          })
+        table1_skews)
+    (if clustered then Benchmarks.clustered size else Benchmarks.specs size)
+
+let print_table1 rows =
+  Report.print ~title:"Table 1: routing costs for the [9]-style baseline and for LUBT"
+    ~header:[ "bench"; "skew"; "shortest"; "longest"; "[9] cost"; "LUBT cost" ]
+    (List.map
+       (fun r ->
+         [
+           r.bench;
+           Report.fnum3 r.skew_rel;
+           Report.fnum3 r.shortest;
+           Report.fnum3 r.longest;
+           Report.fnum1 r.bst_cost;
+           Report.fnum1 r.lubt_cost;
+         ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* Table 2                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type t2_row = {
+  bench : string;
+  skew_rel : float;
+  lower_rel : float;
+  upper_rel : float;
+  from_baseline : bool;
+  cost : float;
+}
+
+let table2 ?(size = Benchmarks.Scaled) () =
+  let benches = [ "prim1s"; "prim2s" ] in
+  let skews = [ 0.3; 0.5 ] in
+  List.concat_map
+    (fun name ->
+      let spec = Benchmarks.find size name in
+      List.concat_map
+        (fun skew_rel ->
+          let b = Protocol.run_baseline spec ~skew_rel in
+          (* windows with the same width as the skew bound: the tightest
+             admissible one, two shifted ones, and the window the baseline
+             itself achieved (starred in the paper's table) *)
+          let l_min = max 0.0 (1.0 -. skew_rel) in
+          let candidates =
+            [
+              (l_min, false);
+              (l_min +. 0.1, false);
+              (b.Protocol.shortest_rel, true);
+              (l_min +. 0.25, false);
+            ]
+          in
+          List.map
+            (fun (lower_rel, from_baseline) ->
+              let upper_rel = lower_rel +. skew_rel in
+              let r = Protocol.run_lubt b ~lower_rel ~upper_rel in
+              {
+                bench = name;
+                skew_rel;
+                lower_rel;
+                upper_rel;
+                from_baseline;
+                cost = r.Protocol.cost;
+              })
+            candidates)
+        skews)
+    benches
+
+let print_table2 rows =
+  Report.print
+    ~title:"Table 2: LUBT cost for the same skew but shifted [lower, upper] windows"
+    ~header:[ "bench"; "skew"; "lower"; "upper"; "LUBT cost" ]
+    (List.map
+       (fun r ->
+         [
+           r.bench;
+           Report.fnum3 r.skew_rel;
+           (if r.from_baseline then "*" else "") ^ Report.fnum3 r.lower_rel;
+           (if r.from_baseline then "*" else "") ^ Report.fnum3 r.upper_rel;
+           Report.fnum1 r.cost;
+         ])
+       rows);
+  Printf.printf "(*: the window produced by the [9]-style baseline)\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Table 3                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type t3_row = {
+  bench : string;
+  lower_rel : float;
+  upper_rel : float;
+  cost : float;
+}
+
+let table3_windows =
+  [
+    (0.99, 1.0);
+    (0.98, 1.0);
+    (0.95, 1.0);
+    (0.9, 1.0);
+    (0.5, 1.0);
+    (0.0, 1.0);
+    (0.0, 1.5);
+    (0.0, 2.0);
+  ]
+
+let table3 ?(size = Benchmarks.Scaled) () =
+  List.concat_map
+    (fun spec ->
+      List.map
+        (fun (lower_rel, upper_rel) ->
+          (* the topology generator is guided by the available skew *)
+          let b = Protocol.run_baseline spec ~skew_rel:(upper_rel -. lower_rel) in
+          let r = Protocol.run_lubt b ~lower_rel ~upper_rel in
+          { bench = spec.Benchmarks.name; lower_rel; upper_rel; cost = r.Protocol.cost })
+        table3_windows)
+    (Benchmarks.specs size)
+
+let print_table3 rows =
+  Report.print ~title:"Table 3: LUBT cost for various other bound combinations"
+    ~header:[ "bench"; "lower"; "upper"; "LUBT cost" ]
+    (List.map
+       (fun r ->
+         [
+           r.bench;
+           Report.fnum3 r.lower_rel;
+           Report.fnum3 r.upper_rel;
+           Report.fnum1 r.cost;
+         ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type curve_point = { lower_rel : float; upper_rel : float; cost : float }
+
+let tradeoff ?(size = Benchmarks.Scaled) ?(bench = "prim2s") () =
+  let spec = Benchmarks.find size bench in
+  (* sweep from loose ([0,2]) to tight ([0.99,1]) windows: first widen the
+     lower bound toward 1 with u fixed, after first tightening u to 1 *)
+  let windows =
+    [ (0.0, 2.0); (0.0, 1.75); (0.0, 1.5); (0.0, 1.25); (0.0, 1.0) ]
+    @ List.map (fun l -> (l, 1.0)) [ 0.2; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 0.95; 0.98; 0.99 ]
+  in
+  List.map
+    (fun (lower_rel, upper_rel) ->
+      let b = Protocol.run_baseline spec ~skew_rel:(upper_rel -. lower_rel) in
+      let r = Protocol.run_lubt b ~lower_rel ~upper_rel in
+      { lower_rel; upper_rel; cost = r.Protocol.cost })
+    windows
+
+let print_tradeoff points =
+  Report.print
+    ~title:"Figure 8: trade-off between tree cost and [lower, upper] bounds (prim2)"
+    ~header:[ "lower"; "upper"; "LUBT cost" ]
+    (List.map
+       (fun p ->
+         [ Report.fnum3 p.lower_rel; Report.fnum3 p.upper_rel; Report.fnum1 p.cost ])
+       points);
+  (* a small ASCII sparkline of the curve *)
+  let costs = List.map (fun p -> p.cost) points in
+  let lo = List.fold_left min infinity costs
+  and hi = List.fold_left max neg_infinity costs in
+  if hi > lo then begin
+    Printf.printf "cost curve (left = loose bounds, right = tight):\n";
+    List.iter
+      (fun p ->
+        let frac = (p.cost -. lo) /. (hi -. lo) in
+        let bar = 2 + int_of_float (frac *. 48.0) in
+        Printf.printf "[%.2f,%.2f] %s %s\n" p.lower_rel p.upper_rel
+          (String.make bar '#') (Report.fnum1 p.cost))
+      points;
+    print_newline ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type ablation_report = {
+  bench : string;
+  lazy_rows : int;
+  lazy_rounds : int;
+  lazy_iterations : int;
+  lazy_seconds : float;
+  eager_rows : int;
+  eager_iterations : int;
+  eager_seconds : float;
+  full_rows : int;
+  objective_gap : float;
+  zeroskew_closed_seconds : float;
+  zeroskew_lp_seconds : float;
+  zeroskew_gap : float;
+}
+
+let ablation ?(size = Benchmarks.Scaled) ?(bench = "prim1s") () =
+  let spec = Benchmarks.find size bench in
+  let b = Protocol.run_baseline spec ~skew_rel:0.5 in
+  let lazy_run, lazy_seconds =
+    Protocol.time (fun () ->
+        Protocol.run_lubt
+          ~options:{ Ebf.default_options with Ebf.lazy_steiner = true }
+          b ~lower_rel:b.Protocol.shortest_rel ~upper_rel:b.Protocol.longest_rel)
+  in
+  let eager_run, eager_seconds =
+    Protocol.time (fun () ->
+        Protocol.run_lubt
+          ~options:{ Ebf.default_options with Ebf.lazy_steiner = false }
+          b ~lower_rel:b.Protocol.shortest_rel ~upper_rel:b.Protocol.longest_rel)
+  in
+  (* zero skew: closed form vs LP, on the same topology *)
+  let sinks = Benchmarks.sinks spec in
+  let source = Benchmarks.source spec in
+  let relaxed = Instance.uniform_bounds ~source ~sinks ~lower:0.0 ~upper:infinity () in
+  let topo = b.Protocol.bst.Bst_dme.topology in
+  let zs, zeroskew_closed_seconds =
+    Protocol.time (fun () -> Zeroskew.balance relaxed topo)
+  in
+  let target = zs.Zeroskew.root_delay in
+  let zinst = Instance.uniform_bounds ~source ~sinks ~lower:target ~upper:target () in
+  let zlp, zeroskew_lp_seconds = Protocol.time (fun () -> Ebf.solve zinst topo) in
+  let zs_cost =
+    Lubt_util.Stats.sum (Array.sub zs.Zeroskew.lengths 1 (Tree.num_edges topo))
+  in
+  {
+    bench;
+    lazy_rows = lazy_run.Protocol.ebf.Ebf.lp_rows;
+    lazy_rounds = lazy_run.Protocol.ebf.Ebf.rounds;
+    lazy_iterations = lazy_run.Protocol.ebf.Ebf.lp_iterations;
+    lazy_seconds;
+    eager_rows = eager_run.Protocol.ebf.Ebf.lp_rows;
+    eager_iterations = eager_run.Protocol.ebf.Ebf.lp_iterations;
+    eager_seconds;
+    full_rows = lazy_run.Protocol.ebf.Ebf.full_rows;
+    objective_gap =
+      abs_float (lazy_run.Protocol.cost -. eager_run.Protocol.cost);
+    zeroskew_closed_seconds;
+    zeroskew_lp_seconds;
+    zeroskew_gap = abs_float (zs_cost -. zlp.Ebf.objective);
+  }
+
+let print_ablation r =
+  Report.print ~title:(Printf.sprintf "Ablations (%s)" r.bench)
+    ~header:[ "experiment"; "rows"; "rounds"; "simplex iters"; "seconds" ]
+    [
+      [
+        "lazy Steiner rows (Sec 4.6)";
+        string_of_int r.lazy_rows;
+        string_of_int r.lazy_rounds;
+        string_of_int r.lazy_iterations;
+        Printf.sprintf "%.3f" r.lazy_seconds;
+      ];
+      [
+        "eager (all rows)";
+        string_of_int r.eager_rows;
+        "1";
+        string_of_int r.eager_iterations;
+        Printf.sprintf "%.3f" r.eager_seconds;
+      ];
+      [ "full formulation rows"; string_of_int r.full_rows; "-"; "-"; "-" ];
+      [
+        "zero-skew closed form";
+        "-";
+        "-";
+        "-";
+        Printf.sprintf "%.4f" r.zeroskew_closed_seconds;
+      ];
+      [
+        "zero-skew via LP";
+        "-";
+        "-";
+        "-";
+        Printf.sprintf "%.3f" r.zeroskew_lp_seconds;
+      ];
+    ];
+  Printf.printf "lazy-vs-eager objective gap: %g; zero-skew closed-form vs LP gap: %g\n%!"
+    r.objective_gap r.zeroskew_gap
+
+(* ------------------------------------------------------------------ *)
+(* Beam-width ablation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type beam_row = {
+  beam : int;
+  bst_cost : float;
+  lubt_cost : float;
+  seconds : float;
+}
+
+let beam_ablation ?(size = Benchmarks.Scaled) ?(bench = "prim1s") ?(skew_rel = 0.5) () =
+  let spec = Benchmarks.find size bench in
+  let sinks = Benchmarks.sinks spec in
+  let source = Benchmarks.source spec in
+  let inst0 = Instance.uniform_bounds ~source ~sinks ~lower:0.0 ~upper:infinity () in
+  let radius = Instance.radius inst0 in
+  let bound = skew_rel *. radius in
+  List.map
+    (fun beam ->
+      let options =
+        { Lubt_bst.Bst_dme.default_options with Lubt_bst.Bst_dme.beam_width = beam }
+      in
+      let bst, seconds =
+        Protocol.time (fun () ->
+            Lubt_bst.Bst_dme.route ~options ~skew_bound:bound ~source sinks)
+      in
+      let inst = Lubt_bst.Bst_dme.extract_instance bst in
+      let lubt = Ebf.solve inst bst.Bst_dme.topology in
+      {
+        beam;
+        bst_cost = bst.Bst_dme.cost;
+        lubt_cost = lubt.Ebf.objective;
+        seconds;
+      })
+    [ 1; 2; 4; 8; 12 ]
+
+let print_beam_ablation rows =
+  Report.print ~title:"Ablation: baseline beam width (skew 0.5)"
+    ~header:[ "beam"; "[9]-style cost"; "LUBT cost"; "seconds" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.beam;
+           Report.fnum1 r.bst_cost;
+           Report.fnum1 r.lubt_cost;
+           Printf.sprintf "%.3f" r.seconds;
+         ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* Topology-optimisation ablation (the paper's future work)             *)
+(* ------------------------------------------------------------------ *)
+
+type topo_opt_row = {
+  bench : string;
+  window : float * float;
+  baseline_topology_cost : float;
+  optimised_cost : float;
+  moves : int;
+  lp_evaluations : int;
+}
+
+let topo_opt_ablation ?(size = Benchmarks.Scaled) ?(bench = "prim1s") () =
+  let spec = Benchmarks.find size bench in
+  let sinks = Benchmarks.sinks spec in
+  let source = Benchmarks.source spec in
+  let inst0 = Instance.uniform_bounds ~source ~sinks ~lower:0.0 ~upper:infinity () in
+  let radius = Instance.radius inst0 in
+  List.map
+    (fun (lo, hi) ->
+      let bound = (hi -. lo) *. radius in
+      let bst = Lubt_bst.Bst_dme.route ~skew_bound:bound ~source sinks in
+      let inst =
+        Instance.uniform_bounds ~source ~sinks ~lower:(lo *. radius)
+          ~upper:(hi *. radius) ()
+      in
+      let options =
+        { Lubt_core.Topo_opt.default_options with
+          Lubt_core.Topo_opt.max_evaluations = 150 }
+      in
+      let opt = Lubt_core.Topo_opt.improve ~options inst bst.Bst_dme.topology in
+      {
+        bench;
+        window = (lo, hi);
+        baseline_topology_cost = opt.Lubt_core.Topo_opt.initial_cost;
+        optimised_cost = opt.Lubt_core.Topo_opt.cost;
+        moves = opt.Lubt_core.Topo_opt.accepted;
+        lp_evaluations = opt.Lubt_core.Topo_opt.evaluations;
+      })
+    [ (0.9, 1.0); (0.5, 1.0); (0.0, 1.5) ]
+
+let print_topo_opt_ablation rows =
+  Report.print
+    ~title:
+      "Ablation: bound-guided topology optimisation (paper Section 9 future \
+       work)"
+    ~header:
+      [ "bench"; "window"; "generator topo"; "optimised"; "gain"; "moves"; "LPs" ]
+    (List.map
+       (fun r ->
+         let lo, hi = r.window in
+         [
+           r.bench;
+           Printf.sprintf "[%.2f,%.2f]" lo hi;
+           Report.fnum1 r.baseline_topology_cost;
+           Report.fnum1 r.optimised_cost;
+           Printf.sprintf "%.2f%%"
+             ((r.baseline_topology_cost -. r.optimised_cost)
+             /. r.baseline_topology_cost *. 100.0);
+           string_of_int r.moves;
+           string_of_int r.lp_evaluations;
+         ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* Optimality gap of the greedy baseline                                *)
+(* ------------------------------------------------------------------ *)
+
+type gap_row = {
+  bench : string;
+  skew_rel : float;
+  greedy_cost : float;
+  optimal_bst_cost : float;
+  lubt_window_cost : float;
+}
+
+let optimality_gap ?(size = Benchmarks.Scaled) ?(bench = "prim1s") () =
+  let spec = Benchmarks.find size bench in
+  let sinks = Benchmarks.sinks spec in
+  let source = Benchmarks.source spec in
+  let inst0 = Instance.uniform_bounds ~source ~sinks ~lower:0.0 ~upper:infinity () in
+  let radius = Instance.radius inst0 in
+  List.map
+    (fun skew_rel ->
+      let bound = skew_rel *. radius in
+      let bst = Bst_dme.route ~skew_bound:bound ~source sinks in
+      let opt = Lubt_core.Skew_lp.solve ~skew_bound:bound inst0 bst.Bst_dme.topology in
+      let window = Bst_dme.extract_instance bst in
+      let lubt = Ebf.solve window bst.Bst_dme.topology in
+      {
+        bench;
+        skew_rel;
+        greedy_cost = bst.Bst_dme.cost;
+        optimal_bst_cost = opt.Lubt_core.Skew_lp.objective;
+        lubt_window_cost = lubt.Ebf.objective;
+      })
+    [ 0.05; 0.1; 0.3; 0.5; 1.0 ]
+
+let print_optimality_gap rows =
+  Report.print
+    ~title:
+      "Extension: greedy baseline vs free-window optimum (Skew_lp) vs LUBT"
+    ~header:
+      [ "bench"; "skew"; "greedy [9]"; "LUBT @window"; "optimal BST"; "greedy gap" ]
+    (List.map
+       (fun r ->
+         [
+           r.bench;
+           Report.fnum3 r.skew_rel;
+           Report.fnum1 r.greedy_cost;
+           Report.fnum1 r.lubt_window_cost;
+           Report.fnum1 r.optimal_bst_cost;
+           Printf.sprintf "%.2f%%"
+             ((r.greedy_cost -. r.optimal_bst_cost) /. r.optimal_bst_cost *. 100.0);
+         ])
+       rows);
+  Printf.printf
+    "(optimal BST = min cost over all delay windows of that width, per \
+     topology;\n LUBT @window is pinned to the window the greedy run \
+     happened to achieve)\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Elmore vs linear delay (Section 7)                                   *)
+(* ------------------------------------------------------------------ *)
+
+type elmore_row = {
+  upper_rel : float;
+  linear_cost : float;
+  elmore_cost : float;
+  elmore_violation : float;
+  slp_iterations : int;
+}
+
+let elmore_table ?(bench = "prim1s") () =
+  let spec = Benchmarks.find Benchmarks.Tiny bench in
+  let sinks = Benchmarks.sinks spec in
+  let source = Benchmarks.source spec in
+  let m = Array.length sinks in
+  let wire = { Lubt_delay.Elmore.r_w = 0.0001; c_w = 0.0002 } in
+  let loads = Array.make m 1.0 in
+  let bst = Bst_dme.route ~source sinks in
+  let topo = bst.Bst_dme.topology in
+  let relaxed = Instance.uniform_bounds ~source ~sinks ~lower:0.0 ~upper:infinity () in
+  let base = Ebf.solve relaxed topo in
+  let max_lin =
+    Array.fold_left max 0.0 (Lubt_delay.Linear.sink_delays topo base.Ebf.lengths)
+  in
+  let max_elm =
+    Array.fold_left max 0.0
+      (Lubt_delay.Elmore.sink_delays topo wire loads base.Ebf.lengths)
+  in
+  (* clock-style delay windows relative to each model's relaxed maximum:
+     the lower bound forces elongation, which is where the models differ *)
+  List.map
+    (fun (lo_rel, hi_rel) ->
+      let lin_inst =
+        Instance.uniform_bounds ~source ~sinks ~lower:(lo_rel *. max_lin)
+          ~upper:(hi_rel *. max_lin) ()
+      in
+      let lin = Ebf.solve lin_inst topo in
+      let elm_inst =
+        Instance.uniform_bounds ~source ~sinks ~lower:(lo_rel *. max_elm)
+          ~upper:(hi_rel *. max_elm) ()
+      in
+      let elm = Lubt_core.Elmore_ebf.solve ~wire ~loads elm_inst topo in
+      {
+        upper_rel = hi_rel -. lo_rel;
+        linear_cost = lin.Ebf.objective;
+        elmore_cost = elm.Lubt_core.Elmore_ebf.cost;
+        elmore_violation = elm.Lubt_core.Elmore_ebf.max_violation;
+        slp_iterations = elm.Lubt_core.Elmore_ebf.outer_iterations;
+      })
+    [ (0.2, 1.05); (0.5, 1.05); (0.8, 1.05); (0.9, 1.05) ]
+
+let print_elmore_table rows =
+  Report.print
+    ~title:"Extension: delay-window cost under linear vs Elmore delay (Section 7)"
+    ~header:
+      [ "window width"; "linear cost"; "elmore cost"; "residual"; "SLP iters" ]
+    (List.map
+       (fun r ->
+         [
+           Report.fnum3 r.upper_rel;
+           Report.fnum1 r.linear_cost;
+           Report.fnum1 r.elmore_cost;
+           Printf.sprintf "%.2g" r.elmore_violation;
+           string_of_int r.slp_iterations;
+         ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* Global routing: BRBC [1] vs upper-bounded LUBT                        *)
+(* ------------------------------------------------------------------ *)
+
+type global_routing_row = {
+  epsilon : float;
+  mst_cost : float;
+  brbc_cost : float;
+  brbc_max_path : float;
+  lubt_cost : float;
+  lubt_max_path : float;
+}
+
+let global_routing_table ?(size = Benchmarks.Scaled) ?(bench = "prim1s") () =
+  let spec = Benchmarks.find size bench in
+  let sinks = Benchmarks.sinks spec in
+  let source = Benchmarks.source spec in
+  let mst_cost = Lubt_bst.Steiner.rmst_length (Array.append sinks [| source |]) in
+  List.map
+    (fun epsilon ->
+      let brbc = Lubt_bst.Brbc.route ~epsilon ~source sinks in
+      let radius = brbc.Lubt_bst.Brbc.radius in
+      let cap = (1.0 +. epsilon) *. radius in
+      let inst = Instance.uniform_bounds ~source ~sinks ~lower:0.0 ~upper:cap () in
+      let lubt = Ebf.solve inst brbc.Lubt_bst.Brbc.topology in
+      let d = Lubt_delay.Linear.sink_delays brbc.Lubt_bst.Brbc.topology lubt.Ebf.lengths in
+      let lubt_max = Array.fold_left max 0.0 d in
+      {
+        epsilon;
+        mst_cost;
+        brbc_cost = brbc.Lubt_bst.Brbc.cost;
+        brbc_max_path = brbc.Lubt_bst.Brbc.max_path /. radius;
+        lubt_cost = lubt.Ebf.objective;
+        lubt_max_path = lubt_max /. radius;
+      })
+    [ 0.1; 0.25; 0.5; 1.0; 2.0 ]
+
+let print_global_routing_table rows =
+  Report.print
+    ~title:
+      "Extension: global routing — BRBC [1] vs upper-bounded LUBT at radius \
+       cap (1+eps)"
+    ~header:
+      [ "eps"; "MST"; "BRBC cost"; "BRBC maxpath"; "LUBT cost"; "LUBT maxpath" ]
+    (List.map
+       (fun r ->
+         [
+           Report.fnum3 r.epsilon;
+           Report.fnum1 r.mst_cost;
+           Report.fnum1 r.brbc_cost;
+           Report.fnum3 r.brbc_max_path;
+           Report.fnum1 r.lubt_cost;
+           Report.fnum3 r.lubt_max_path;
+         ])
+       rows)

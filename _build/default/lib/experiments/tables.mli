@@ -1,0 +1,165 @@
+(** Regenerators for every table and figure in the paper's evaluation.
+
+    Each function returns structured rows and can print them in the
+    paper's layout. Sizes default to the scaled-down benchmark fields
+    (see {!Lubt_data.Benchmarks.size}); pass [~size:Full] for paper-sized
+    runs. *)
+
+type t1_row = {
+  bench : string;
+  skew_rel : float;
+  shortest : float;
+  longest : float;
+  bst_cost : float;
+  lubt_cost : float;
+}
+
+val table1 :
+  ?size:Lubt_data.Benchmarks.size -> ?clustered:bool -> unit -> t1_row list
+(** Table 1: baseline [9] cost vs LUBT cost for skew bounds
+    {0, 0.01, 0.05, 0.1, 0.5, 1, 2, inf} on all four benchmarks.
+    [clustered] switches to the clustered-sink variants, whose
+    zero-skew-to-Steiner cost ratio matches the paper's real clock
+    benchmarks much more closely than uniform fields. *)
+
+val print_table1 : t1_row list -> unit
+
+type t2_row = {
+  bench : string;
+  skew_rel : float;
+  lower_rel : float;
+  upper_rel : float;
+  from_baseline : bool;  (** the window the baseline itself produced *)
+  cost : float;
+}
+
+val table2 : ?size:Lubt_data.Benchmarks.size -> unit -> t2_row list
+(** Table 2: same skew bound, shifted [l, u] windows (prim1, prim2; skew
+    0.3 and 0.5) — the flexibility [9] lacks. *)
+
+val print_table2 : t2_row list -> unit
+
+type t3_row = {
+  bench : string;
+  lower_rel : float;
+  upper_rel : float;
+  cost : float;
+}
+
+val table3 : ?size:Lubt_data.Benchmarks.size -> unit -> t3_row list
+(** Table 3: other bound combinations ([0.99,1] ... [0,2]), global-routing
+    style included. *)
+
+val print_table3 : t3_row list -> unit
+
+type curve_point = { lower_rel : float; upper_rel : float; cost : float }
+
+val tradeoff : ?size:Lubt_data.Benchmarks.size -> ?bench:string -> unit -> curve_point list
+(** Figure 8: the cost-versus-bounds trade-off curve for prim2 — windows
+    tighten from [0,2] to [0.99,1]. *)
+
+val print_tradeoff : curve_point list -> unit
+
+type ablation_report = {
+  bench : string;
+  lazy_rows : int;
+  lazy_rounds : int;
+  lazy_iterations : int;
+  lazy_seconds : float;
+  eager_rows : int;
+  eager_iterations : int;
+  eager_seconds : float;
+  full_rows : int;
+  objective_gap : float;  (** |lazy - eager| *)
+  zeroskew_closed_seconds : float;
+  zeroskew_lp_seconds : float;
+  zeroskew_gap : float;
+}
+
+val ablation : ?size:Lubt_data.Benchmarks.size -> ?bench:string -> unit -> ablation_report
+
+val print_ablation : ablation_report -> unit
+
+type beam_row = {
+  beam : int;
+  bst_cost : float;
+  lubt_cost : float;
+  seconds : float;
+}
+
+val beam_ablation :
+  ?size:Lubt_data.Benchmarks.size -> ?bench:string -> ?skew_rel:float -> unit -> beam_row list
+(** Effect of the baseline's beam width on its cost and on the LUBT cost
+    that the extracted topology supports (design-choice ablation for the
+    [lubt.bst] router). *)
+
+val print_beam_ablation : beam_row list -> unit
+
+type topo_opt_row = {
+  bench : string;
+  window : float * float;  (** (lower, upper) x radius *)
+  baseline_topology_cost : float;
+  optimised_cost : float;
+  moves : int;
+  lp_evaluations : int;
+}
+
+val topo_opt_ablation :
+  ?size:Lubt_data.Benchmarks.size -> ?bench:string -> unit -> topo_opt_row list
+(** The paper's future-work experiment: improving the topology under the
+    actual [l, u] bounds (Section 9), measured against the skew-guided
+    generator's topology. *)
+
+val print_topo_opt_ablation : topo_opt_row list -> unit
+
+type gap_row = {
+  bench : string;
+  skew_rel : float;
+  greedy_cost : float;  (** the [9]-style heuristic *)
+  optimal_bst_cost : float;  (** {!Lubt_core.Skew_lp} on the same topology *)
+  lubt_window_cost : float;  (** LUBT at the greedy run's achieved window *)
+}
+
+val optimality_gap :
+  ?size:Lubt_data.Benchmarks.size -> ?bench:string -> unit -> gap_row list
+(** Extension experiment: quantifies the greedy baseline's gap to the
+    per-topology optimum (the free-window LP of {!Lubt_core.Skew_lp}),
+    and situates the paper's fixed-window LUBT between the two. *)
+
+val print_optimality_gap : gap_row list -> unit
+
+type elmore_row = {
+  upper_rel : float;  (** width of the delay window, relative to the
+                          model's relaxed maximum delay *)
+  linear_cost : float;
+  elmore_cost : float;
+  elmore_violation : float;
+  slp_iterations : int;
+}
+
+val elmore_table : ?bench:string -> unit -> elmore_row list
+(** Extension experiment (Section 7): wire cost of meeting a clock-style
+    delay window [lo, 1.05] x (relaxed max delay) under the linear model
+    vs the Elmore model (sequential LP; the positive lower bound is the
+    non-convex case the paper highlights). Runs on the tiny benchmark
+    size — the SLP's eager Steiner rows grow quadratically. *)
+
+val print_elmore_table : elmore_row list -> unit
+
+type global_routing_row = {
+  epsilon : float;
+  mst_cost : float;
+  brbc_cost : float;
+  brbc_max_path : float;  (** / radius *)
+  lubt_cost : float;  (** LUBT with cap (1+epsilon) x radius, same topology *)
+  lubt_max_path : float;
+}
+
+val global_routing_table :
+  ?size:Lubt_data.Benchmarks.size -> ?bench:string -> unit -> global_routing_row list
+(** Extension experiment: the upper-bound-only LUBT case ([l = 0,
+    u < inf], Section 4.3) against the classic provably-good
+    bounded-radius global router (reference [1]), at matched radius
+    bounds (1 + epsilon) x radius. *)
+
+val print_global_routing_table : global_routing_row list -> unit

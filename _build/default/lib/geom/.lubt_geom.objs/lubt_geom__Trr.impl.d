@@ -1,0 +1,1 @@
+lib/geom/trr.ml: Format List Lubt_util Point

@@ -1,0 +1,1 @@
+lib/geom/trr.mli: Format Lubt_util Point

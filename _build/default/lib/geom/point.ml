@@ -1,0 +1,28 @@
+type t = { x : float; y : float }
+
+let make x y = { x; y }
+
+let dist p q = abs_float (p.x -. q.x) +. abs_float (p.y -. q.y)
+
+let dist_euclid p q =
+  let dx = p.x -. q.x and dy = p.y -. q.y in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let midpoint p q = { x = (p.x +. q.x) /. 2.0; y = (p.y +. q.y) /. 2.0 }
+
+let equal ?(eps = 1e-9) p q =
+  abs_float (p.x -. q.x) <= eps && abs_float (p.y -. q.y) <= eps
+
+let add p q = { x = p.x +. q.x; y = p.y +. q.y }
+
+let sub p q = { x = p.x -. q.x; y = p.y -. q.y }
+
+let scale k p = { x = k *. p.x; y = k *. p.y }
+
+let pp fmt p = Format.fprintf fmt "(%g, %g)" p.x p.y
+
+let to_string p = Format.asprintf "%a" pp p
+
+let to_rotated p = (p.x +. p.y, p.x -. p.y)
+
+let of_rotated u v = { x = (u +. v) /. 2.0; y = (u -. v) /. 2.0 }

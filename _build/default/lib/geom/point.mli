@@ -1,0 +1,35 @@
+(** Points in the Manhattan plane. *)
+
+type t = { x : float; y : float }
+
+val make : float -> float -> t
+
+val dist : t -> t -> float
+(** Manhattan (L1) distance. *)
+
+val dist_euclid : t -> t -> float
+(** Euclidean (L2) distance; used only by the Euclidean counter-example of
+    Section 4.7 and by diagnostics. *)
+
+val midpoint : t -> t -> t
+
+val equal : ?eps:float -> t -> t -> bool
+(** Coordinate-wise comparison with absolute tolerance (default 1e-9). *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** Rotated coordinates [u = x + y], [v = x - y], in which the Manhattan
+    metric becomes the Chebyshev (L-infinity) metric. All TRR arithmetic
+    happens in this frame. *)
+
+val to_rotated : t -> float * float
+
+val of_rotated : float -> float -> t

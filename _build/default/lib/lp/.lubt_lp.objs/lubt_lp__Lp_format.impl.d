@@ -1,0 +1,1 @@
+lib/lp/lp_format.ml: Array Buffer Float Hashtbl List Printf Problem Sparse String

@@ -1,0 +1,1 @@
+lib/lp/presolve.ml: Array Hashtbl List Printf Problem Solver Sparse Status String

@@ -1,0 +1,1 @@
+lib/lp/simplex.ml: Array Basis Lu Printf Problem Sparse Status

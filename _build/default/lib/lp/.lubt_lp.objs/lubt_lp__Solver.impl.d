@@ -1,0 +1,1 @@
+lib/lp/solver.ml: Printf Simplex Status

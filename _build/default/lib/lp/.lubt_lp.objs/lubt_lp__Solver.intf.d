@@ -1,0 +1,1 @@
+lib/lp/solver.mli: Problem Simplex Status

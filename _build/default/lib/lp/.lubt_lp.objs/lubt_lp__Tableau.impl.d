@@ -1,0 +1,1 @@
+lib/lp/tableau.ml: Array List Problem Sparse Status

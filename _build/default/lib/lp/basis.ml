@@ -1,0 +1,60 @@
+(* B^-1 = E_k ... E_1 (LU)^-1 with each eta E from a pivot (r, w):
+   E is the identity except for column r, where E[r][r] = 1/w_r and
+   E[i][r] = -w_i / w_r. *)
+
+type eta = { r : int; w : float array }
+
+type t = {
+  mutable lu : Lu.t;
+  mutable etas : eta list;  (* newest first *)
+  mutable count : int;
+}
+
+let create cols = { lu = Lu.factor cols; etas = []; count = 0 }
+
+let dim t = Lu.dim t.lu
+
+let eta_count t = t.count
+
+(* (E v): v_r' = v_r / w_r; v_i' = v_i - w_i * v_r'. *)
+let apply_eta e v =
+  let vr = v.(e.r) /. e.w.(e.r) in
+  if v.(e.r) <> 0.0 then begin
+    let w = e.w in
+    for i = 0 to Array.length v - 1 do
+      if i <> e.r then v.(i) <- v.(i) -. (w.(i) *. vr)
+    done
+  end;
+  v.(e.r) <- vr
+
+(* (E^T c): only component r changes:
+   c_r' = (c_r - (w . c - w_r c_r)) / w_r. *)
+let apply_eta_transpose e c =
+  let w = e.w in
+  let s = ref 0.0 in
+  for i = 0 to Array.length c - 1 do
+    s := !s +. (w.(i) *. c.(i))
+  done;
+  c.(e.r) <- (c.(e.r) -. (!s -. (w.(e.r) *. c.(e.r)))) /. w.(e.r)
+
+let ftran t b =
+  let v = Lu.solve t.lu b in
+  (* oldest eta first *)
+  List.iter (fun e -> apply_eta e v) (List.rev t.etas);
+  v
+
+let btran t c =
+  let v = Array.copy c in
+  (* adjoints newest first *)
+  List.iter (fun e -> apply_eta_transpose e v) t.etas;
+  Lu.solve_transpose t.lu v
+
+let btran_unit t r =
+  let c = Array.make (dim t) 0.0 in
+  c.(r) <- 1.0;
+  btran t c
+
+let update t r w =
+  if abs_float w.(r) < 1e-12 then failwith "Basis.update: zero pivot";
+  t.etas <- { r; w = Array.copy w } :: t.etas;
+  t.count <- t.count + 1

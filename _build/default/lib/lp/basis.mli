@@ -1,0 +1,33 @@
+(** Product-form-update basis representation for the revised simplex:
+    a sparse LU factorisation of the basis matrix plus a file of eta
+    transformations, one per pivot since the last refactorisation.
+
+    Replaces the explicit dense inverse: ftran/btran cost O(nnz + m x
+    etas) instead of O(m^2), and refactorisation costs a sparse LU
+    instead of O(m^3). The simplex engine can run on either backend
+    ({!Simplex.params}[.sparse_basis]); results agree to numerical
+    tolerance. *)
+
+type t
+
+val create : Sparse.t array -> t
+(** Factorises the basis given by its columns.
+    @raise Lu.Singular when the basis is singular. *)
+
+val dim : t -> int
+
+val eta_count : t -> int
+
+val ftran : t -> float array -> float array
+(** [ftran t b] is [B^-1 b]; [b] is unchanged. *)
+
+val btran : t -> float array -> float array
+(** [btran t c] is [B^-T c]. *)
+
+val btran_unit : t -> int -> float array
+(** [btran_unit t r] is row [r] of [B^-1]. *)
+
+val update : t -> int -> float array -> unit
+(** [update t r w] records a pivot: the basic variable at position [r] is
+    replaced; [w] must be the ftran of the entering column (it is copied).
+    @raise Failure if [w.(r)] is (numerically) zero. *)

@@ -1,0 +1,18 @@
+(** CPLEX-LP-format export and a compatible subset reader.
+
+    Useful for eyeballing EBF programs and for cross-checking against
+    external solvers when one is available. The writer emits standard
+    sections ([Minimize], [Subject To], [Bounds], [End]); range rows are
+    written as two inequalities. The reader accepts the subset the writer
+    produces (one constraint per line, [<=]/[>=]/[=], free-form spacing,
+    [\ ] comments). *)
+
+val to_string : Problem.t -> string
+
+val write : string -> Problem.t -> unit
+
+val of_string : string -> (Problem.t, string) result
+(** Variables are created in order of first appearance; names are
+    preserved. *)
+
+val read : string -> (Problem.t, string) result

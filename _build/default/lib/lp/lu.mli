@@ -1,0 +1,36 @@
+(** Sparse LU factorisation with partial pivoting (left-looking,
+    Gilbert-Peierls style with a dense accumulator column).
+
+    Factors a square matrix given by its sparse columns as [P A = L U]
+    and provides the four triangular solves the revised simplex needs:
+    ftran ([A x = b]), btran ([A^T x = c]), and their dense-input
+    variants. Basis matrices of EBF programs are extremely sparse (path
+    incidence structure), so factorisation and solves run in roughly
+    O(nnz) instead of the dense O(n^3)/O(n^2). *)
+
+type t
+
+exception Singular of int
+(** Raised by {!factor} with the offending column when the matrix is
+    numerically singular (pivot below the tolerance). *)
+
+val factor : ?pivot_tol:float -> Sparse.t array -> t
+(** [factor cols] factors the square matrix whose [j]-th column is
+    [cols.(j)] (row indices must be < [Array.length cols]). *)
+
+val dim : t -> int
+
+val nnz : t -> int
+(** Fill-in diagnostic: stored nonzeros of [L] and [U]. *)
+
+val solve : t -> float array -> float array
+(** [solve t b] returns [x] with [A x = b]; [b] is indexed by rows, [x]
+    by columns. [b] is not modified. *)
+
+val solve_transpose : t -> float array -> float array
+(** [solve_transpose t c] returns [x] with [A^T x = c]; [c] is indexed by
+    columns, [x] by rows. *)
+
+val inverse_column : t -> int -> float array
+(** [inverse_column t j] is the [j]-th column of [A^-1] (a unit-vector
+    solve). *)

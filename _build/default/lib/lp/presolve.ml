@@ -1,0 +1,247 @@
+type work = {
+  n : int;
+  lo : float array;
+  up : float array;
+  obj : float array;
+  mutable fixed : bool array;
+  (* rows as mutable cells: None = dropped *)
+  mutable rows : (float * float * (int * float) list) option array;
+}
+
+type t = {
+  original : Problem.t;
+  reduced : Problem.t;
+  var_map : int array;  (* original var -> reduced var, or -1 when fixed *)
+  fixed_value : float array;  (* per original var; meaningful when fixed *)
+  row_map : int array;  (* original row -> reduced row, or -1 when dropped *)
+  obj_shift : float;
+}
+
+type outcome = Reduced of t | Infeasible_detected of string
+
+let eps = 1e-9
+
+exception Infeasible of string
+
+(* substitute every currently-fixed variable out of the rows *)
+let substitute_fixed w =
+  Array.iteri
+    (fun i row ->
+      match row with
+      | None -> ()
+      | Some (rlo, rup, coeffs) ->
+        let shift = ref 0.0 in
+        let remaining =
+          List.filter
+            (fun (j, a) ->
+              if w.fixed.(j) then begin
+                shift := !shift +. (a *. w.lo.(j));
+                false
+              end
+              else true)
+            coeffs
+        in
+        if !shift <> 0.0 || List.length remaining <> List.length coeffs then
+          w.rows.(i) <- Some (rlo -. !shift, rup -. !shift, remaining))
+    w.rows
+
+(* returns true when something changed *)
+let simplify_rows w =
+  let changed = ref false in
+  Array.iteri
+    (fun i row ->
+      match row with
+      | None -> ()
+      | Some (rlo, rup, coeffs) -> (
+        match coeffs with
+        | [] ->
+          if rlo > eps || rup < -.eps then
+            raise (Infeasible (Printf.sprintf "empty row %d with bounds [%g, %g]" i rlo rup));
+          w.rows.(i) <- None;
+          changed := true
+        | _ when rlo = neg_infinity && rup = infinity ->
+          w.rows.(i) <- None;
+          changed := true
+        | [ (j, a) ] ->
+          (* singleton row: fold into the variable's bounds *)
+          let blo, bup =
+            if a > 0.0 then (rlo /. a, rup /. a) else (rup /. a, rlo /. a)
+          in
+          let nlo = max w.lo.(j) blo and nup = min w.up.(j) bup in
+          if nlo > nup +. (eps *. (1.0 +. abs_float nlo)) then
+            raise
+              (Infeasible
+                 (Printf.sprintf "variable %d bounds crossed: [%g, %g]" j nlo nup));
+          w.lo.(j) <- nlo;
+          w.up.(j) <- max nlo nup;
+          if w.lo.(j) = w.up.(j) then w.fixed.(j) <- true;
+          w.rows.(i) <- None;
+          changed := true
+        | _ -> ()))
+    w.rows;
+  !changed
+
+(* duplicate rows: identical coefficient lists merge by bound intersection *)
+let merge_duplicates w =
+  let tbl = Hashtbl.create 64 in
+  let changed = ref false in
+  Array.iteri
+    (fun i row ->
+      match row with
+      | None -> ()
+      | Some (rlo, rup, coeffs) -> (
+        let key =
+          List.map (fun (j, a) -> Printf.sprintf "%d:%.17g" j a)
+            (List.sort compare coeffs)
+          |> String.concat ";"
+        in
+        match Hashtbl.find_opt tbl key with
+        | None -> Hashtbl.replace tbl key i
+        | Some first -> (
+          match w.rows.(first) with
+          | None -> Hashtbl.replace tbl key i
+          | Some (flo, fup, fcoeffs) ->
+            let nlo = max flo rlo and nup = min fup rup in
+            if nlo > nup +. eps then
+              raise (Infeasible "duplicate rows with disjoint bounds");
+            w.rows.(first) <- Some (nlo, nup, fcoeffs);
+            w.rows.(i) <- None;
+            changed := true)))
+    w.rows;
+  !changed
+
+let run prob =
+  let n = Problem.nvars prob in
+  let m = Problem.nrows prob in
+  let w =
+    {
+      n;
+      lo = Array.init n (Problem.var_lo prob);
+      up = Array.init n (Problem.var_up prob);
+      obj = Array.init n (Problem.obj_coeff prob);
+      fixed = Array.make n false;
+      rows =
+        Array.init m (fun i ->
+            let r = Problem.row prob i in
+            Some (r.Problem.rlo, r.Problem.rup, Sparse.to_assoc r.Problem.coeffs));
+    }
+  in
+  match
+    (* fixed-variable detection + fixed-point loop *)
+    for j = 0 to n - 1 do
+      if w.lo.(j) > w.up.(j) then raise (Infeasible "crossed variable bounds");
+      if w.lo.(j) = w.up.(j) then w.fixed.(j) <- true
+    done;
+    let continue = ref true in
+    let guard = ref 0 in
+    while !continue && !guard < 50 do
+      incr guard;
+      substitute_fixed w;
+      let a = simplify_rows w in
+      let b = merge_duplicates w in
+      continue := a || b
+    done
+  with
+  | exception Infeasible msg -> Infeasible_detected msg
+  | () ->
+    (* build the reduced problem *)
+    let var_map = Array.make n (-1) in
+    let fixed_value = Array.make n 0.0 in
+    let reduced = Problem.create () in
+    let obj_shift = ref 0.0 in
+    for j = 0 to n - 1 do
+      if w.fixed.(j) then begin
+        fixed_value.(j) <- w.lo.(j);
+        obj_shift := !obj_shift +. (w.obj.(j) *. w.lo.(j))
+      end
+      else
+        var_map.(j) <-
+          Problem.add_var ~lo:w.lo.(j) ~up:w.up.(j) ~obj:w.obj.(j)
+            ~name:(Problem.var_name prob j) reduced
+    done;
+    let row_map = Array.make m (-1) in
+    Array.iteri
+      (fun i row ->
+        match row with
+        | None -> ()
+        | Some (rlo, rup, coeffs) ->
+          let mapped = List.map (fun (j, a) -> (var_map.(j), a)) coeffs in
+          row_map.(i) <- Problem.add_row reduced ~lo:rlo ~up:rup mapped)
+      w.rows;
+    Reduced
+      {
+        original = prob;
+        reduced;
+        var_map;
+        fixed_value;
+        row_map;
+        obj_shift = !obj_shift;
+      }
+
+let problem t = t.reduced
+
+let original_vars t = Problem.nvars t.original
+
+let reduced_vars t = Problem.nvars t.reduced
+
+let reduced_rows t = Problem.nrows t.reduced
+
+let postsolve t (sol : Status.solution) =
+  let n = Problem.nvars t.original in
+  let m = Problem.nrows t.original in
+  let primal =
+    Array.init n (fun j ->
+        let r = t.var_map.(j) in
+        if r >= 0 then sol.Status.primal.(r) else t.fixed_value.(j))
+  in
+  let row_activity =
+    Array.init m (fun i -> Problem.row_activity t.original i primal)
+  in
+  let dual =
+    Array.init m (fun i ->
+        let r = t.row_map.(i) in
+        if r >= 0 && r < Array.length sol.Status.dual then sol.Status.dual.(r)
+        else 0.0)
+  in
+  {
+    sol with
+    Status.objective = sol.Status.objective +. t.obj_shift;
+    primal;
+    row_activity;
+    dual;
+  }
+
+let solve ?params prob =
+  match run prob with
+  | Infeasible_detected _ ->
+    {
+      Status.status = Status.Infeasible;
+      objective = nan;
+      primal = Array.make (Problem.nvars prob) 0.0;
+      row_activity = Array.make (Problem.nrows prob) 0.0;
+      dual = Array.make (Problem.nrows prob) 0.0;
+      iterations = 0;
+    }
+  | Reduced t ->
+    if Problem.nvars t.reduced = 0 then begin
+      (* everything fixed: check the remaining rows directly *)
+      let primal = Array.map (fun v -> v) t.fixed_value in
+      let feasible = Problem.is_feasible t.original primal in
+      {
+        Status.status = (if feasible then Status.Optimal else Status.Infeasible);
+        objective = t.obj_shift;
+        primal;
+        row_activity =
+          Array.init (Problem.nrows t.original) (fun i ->
+              Problem.row_activity t.original i primal);
+        dual = Array.make (Problem.nrows t.original) 0.0;
+        iterations = 0;
+      }
+    end
+    else begin
+      let sol = Solver.solve ?params t.reduced in
+      if sol.Status.status = Status.Optimal then postsolve t sol
+      else { sol with Status.primal = Array.make (Problem.nvars prob) 0.0;
+             row_activity = Array.make (Problem.nrows prob) 0.0;
+             dual = Array.make (Problem.nrows prob) 0.0 }
+    end

@@ -1,0 +1,43 @@
+(** LP presolve: size reductions that preserve the optimal objective.
+
+    Applied reductions (iterated to a fixed point):
+    - {b fixed variables} ([lo = up]) are substituted into rows and the
+      objective;
+    - {b empty rows} are dropped (or the problem is declared infeasible
+      when their bounds exclude 0);
+    - {b singleton rows} ([a * x_j] between two bounds) are turned into
+      tightened bounds on [x_j] and dropped;
+    - {b duplicate rows} (same coefficient vector) are merged by
+      intersecting their bounds;
+    - {b free rows} ([-inf, +inf]) are dropped.
+
+    The result carries a postsolve mapping that reconstructs a solution of
+    the original problem from a solution of the reduced one. *)
+
+type t
+(** A presolved problem plus its postsolve information. *)
+
+type outcome =
+  | Reduced of t
+  | Infeasible_detected of string
+      (** presolve proved infeasibility (e.g. an empty row with
+          unsatisfiable bounds, or crossed variable bounds) *)
+
+val run : Problem.t -> outcome
+
+val problem : t -> Problem.t
+(** The reduced problem. *)
+
+val original_vars : t -> int
+
+val reduced_vars : t -> int
+
+val reduced_rows : t -> int
+
+val postsolve : t -> Status.solution -> Status.solution
+(** Lifts a solution of the reduced problem back to the original variable
+    space (fixed variables reinstated, row activities recomputed; dual
+    values of dropped rows are reported as 0). *)
+
+val solve : ?params:Simplex.params -> Problem.t -> Status.solution
+(** Convenience: presolve, solve the reduced problem, postsolve. *)

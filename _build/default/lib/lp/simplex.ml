@@ -1,0 +1,866 @@
+type vstat = Basic of int | At_lower | At_upper | Free_zero
+
+type params = {
+  max_iters : int;
+  tol_feas : float;
+  tol_dual : float;
+  tol_pivot : float;
+  refactor_every : int;
+  sparse_basis : bool;
+}
+
+let default_params =
+  {
+    max_iters = 0;
+    tol_feas = 1e-7;
+    tol_dual = 1e-9;
+    tol_pivot = 1e-9;
+    refactor_every = 1000;
+    sparse_basis = false;
+  }
+
+type t = {
+  n : int;  (* structural variables; auxiliary var of row i has index n+i *)
+  p : params;
+  mutable m : int;  (* rows *)
+  mutable cap : int;  (* row capacity of the grown arrays *)
+  cols : Sparse.t array;  (* length n; structural columns over row indices *)
+  mutable lo : float array;  (* length n+cap *)
+  mutable up : float array;
+  mutable obj : float array;
+  mutable basic : int array;  (* length cap: row -> basic variable *)
+  mutable vstat : vstat array;  (* length n+cap *)
+  mutable binv : float array array;  (* cap rows of length cap *)
+  mutable xb : float array;  (* length cap: basic values per row *)
+  mutable last_status : Status.t;
+  mutable sbasis : Basis.t option;  (* product-form backend, sparse mode *)
+  mutable needs_factor : bool;
+  mutable iters : int;
+  mutable since_refactor : int;
+  mutable degen_streak : int;
+  mutable bland : bool;
+  (* scratch vectors, length cap *)
+  mutable w : float array;
+  mutable y : float array;
+  mutable rho : float array;
+  mutable cb : float array;
+}
+
+exception Numerical of string
+
+(* ------------------------------------------------------------------ *)
+(* Small accessors                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let nrows t = t.m
+
+let nvars t = t.n
+
+let iterations t = t.iters
+
+let is_fixed t j = t.up.(j) -. t.lo.(j) <= 0.0
+
+let nonbasic_value t j =
+  match t.vstat.(j) with
+  | Basic _ -> invalid_arg "nonbasic_value: basic"
+  | At_lower -> t.lo.(j)
+  | At_upper -> t.up.(j)
+  | Free_zero -> 0.0
+
+let value t j =
+  match t.vstat.(j) with Basic r -> t.xb.(r) | _ -> nonbasic_value t j
+
+(* Iterate the equality-form column of variable [j]: structural columns come
+   from the model, the auxiliary variable of row i is the column [-e_i]. *)
+let col_iter t j f =
+  if j < t.n then Sparse.iter f t.cols.(j) else f (j - t.n) (-1.0)
+
+let col_dot t j dense =
+  if j < t.n then Sparse.dot_dense t.cols.(j) dense
+  else -.dense.(j - t.n)
+
+(* Relative tolerances: bounds in EBF problems are chip-scale (1e4..1e6), so
+   absolute tests would be meaninglessly tight. *)
+let feas_tol t bound = t.p.tol_feas *. (1.0 +. abs_float bound)
+
+let dual_tol t j = t.p.tol_dual *. (1.0 +. abs_float t.obj.(j))
+
+(* ------------------------------------------------------------------ *)
+(* Linear algebra on the explicit basis inverse                        *)
+(* ------------------------------------------------------------------ *)
+
+let sparse_mode t = t.p.sparse_basis
+
+let dense_col t q =
+  let b = Array.make t.m 0.0 in
+  col_iter t q (fun i a -> b.(i) <- b.(i) +. a);
+  b
+
+(* w <- B^-1 A_j *)
+let ftran t q =
+  if sparse_mode t then begin
+    match t.sbasis with
+    | None -> invalid_arg "ftran: basis not factorised"
+    | Some sb ->
+      let w = Basis.ftran sb (dense_col t q) in
+      Array.blit w 0 t.w 0 t.m
+  end
+  else begin
+  let w = t.w and m = t.m in
+  if q < t.n then begin
+    let col = t.cols.(q) in
+    for r = 0 to m - 1 do
+      let br = t.binv.(r) in
+      let acc = ref 0.0 in
+      Sparse.iter (fun i a -> acc := !acc +. (a *. br.(i))) col;
+      w.(r) <- !acc
+    done
+  end
+  else begin
+    let i = q - t.n in
+    for r = 0 to m - 1 do
+      w.(r) <- -.t.binv.(r).(i)
+    done
+  end
+  end
+
+(* y <- (B^-1)^T cb, skipping zero cost rows (phase I has very few). *)
+let compute_y t cb =
+  if sparse_mode t then begin
+    match t.sbasis with
+    | None -> invalid_arg "compute_y: basis not factorised"
+    | Some sb ->
+      let y = Basis.btran sb (Array.sub cb 0 t.m) in
+      Array.blit y 0 t.y 0 t.m
+  end
+  else begin
+  let y = t.y and m = t.m in
+  Array.fill y 0 m 0.0;
+  for r = 0 to m - 1 do
+    let c = cb.(r) in
+    if c <> 0.0 then begin
+      let br = t.binv.(r) in
+      for i = 0 to m - 1 do
+        y.(i) <- y.(i) +. (c *. br.(i))
+      done
+    end
+  done
+  end
+
+let fill_cb_phase2 t =
+  for r = 0 to t.m - 1 do
+    t.cb.(r) <- t.obj.(t.basic.(r))
+  done
+
+(* Phase-I cost: gradient of the total bound violation of basic variables. *)
+let fill_cb_phase1 t =
+  for r = 0 to t.m - 1 do
+    let b = t.basic.(r) in
+    let x = t.xb.(r) in
+    if x < t.lo.(b) -. feas_tol t t.lo.(b) then t.cb.(r) <- -1.0
+    else if x > t.up.(b) +. feas_tol t t.up.(b) then t.cb.(r) <- 1.0
+    else t.cb.(r) <- 0.0
+  done
+
+let primal_infeasibility t =
+  let total = ref 0.0 in
+  for r = 0 to t.m - 1 do
+    let b = t.basic.(r) in
+    let x = t.xb.(r) in
+    if x < t.lo.(b) then total := !total +. (t.lo.(b) -. x)
+    else if x > t.up.(b) then total := !total +. (x -. t.up.(b))
+  done;
+  !total
+
+let recompute_xb t =
+  let m = t.m in
+  let s = Array.make m 0.0 in
+  for j = 0 to t.n + m - 1 do
+    match t.vstat.(j) with
+    | Basic _ -> ()
+    | At_lower | At_upper | Free_zero ->
+      let v = nonbasic_value t j in
+      if v <> 0.0 then col_iter t j (fun i a -> s.(i) <- s.(i) +. (a *. v))
+  done;
+  if sparse_mode t then begin
+    match t.sbasis with
+    | None -> invalid_arg "recompute_xb: basis not factorised"
+    | Some sb ->
+      let w = Basis.ftran sb s in
+      for r = 0 to m - 1 do
+        t.xb.(r) <- -.w.(r)
+      done
+  end
+  else
+    for r = 0 to m - 1 do
+      let br = t.binv.(r) in
+      let acc = ref 0.0 in
+      for i = 0 to m - 1 do
+        acc := !acc +. (br.(i) *. s.(i))
+      done;
+      t.xb.(r) <- -. !acc
+    done
+
+(* Rebuild B^-1 from the basis: sparse LU factorisation (basis matrices of
+   path-structured LPs are very sparse), then one unit solve per column of
+   the inverse. Falls back on nothing — a singular basis is a hard
+   numerical error handled by the driver. *)
+let basis_columns t =
+  Array.init t.m (fun k ->
+      let entries = ref [] in
+      col_iter t t.basic.(k) (fun i a -> entries := (i, a) :: !entries);
+      Sparse.of_assoc !entries)
+
+let refactor t =
+  if sparse_mode t then begin
+    (match Basis.create (basis_columns t) with
+    | sb ->
+      t.sbasis <- Some sb;
+      t.needs_factor <- false
+    | exception Lu.Singular j ->
+      raise (Numerical (Printf.sprintf "refactor: singular basis (column %d)" j)));
+    t.since_refactor <- 0;
+    recompute_xb t
+  end
+  else begin
+  let m = t.m in
+  let cols =
+    Array.init m (fun k ->
+        let entries = ref [] in
+        col_iter t t.basic.(k) (fun i a -> entries := (i, a) :: !entries);
+        Sparse.of_assoc !entries)
+  in
+  let lu =
+    match Lu.factor cols with
+    | lu -> lu
+    | exception Lu.Singular j ->
+      raise (Numerical (Printf.sprintf "refactor: singular basis (column %d)" j))
+  in
+  for j = 0 to m - 1 do
+    let col = Lu.inverse_column lu j in
+    for r = 0 to m - 1 do
+      t.binv.(r).(j) <- col.(r)
+    done
+  done;
+  (* clear any stale tail beyond m (capacity area) *)
+  for r = 0 to m - 1 do
+    Array.fill t.binv.(r) m (t.cap - m) 0.0
+  done;
+  t.since_refactor <- 0;
+  recompute_xb t
+  end
+
+let maybe_refactor t =
+  if
+    t.since_refactor >= t.p.refactor_every
+    || (sparse_mode t && (t.needs_factor || t.sbasis = None))
+  then refactor t
+
+let check_consistency t =
+  let saved = Array.sub t.xb 0 t.m in
+  recompute_xb t;
+  let worst = ref 0.0 in
+  for r = 0 to t.m - 1 do
+    worst := max !worst (abs_float (saved.(r) -. t.xb.(r)))
+  done;
+  !worst
+
+(* ------------------------------------------------------------------ *)
+(* Pivoting                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Rank-1 update of B^-1 after variable q (with ftran result in t.w)
+   replaces the basic variable of row r. *)
+let update_binv t r =
+  if sparse_mode t then begin
+    if abs_float t.w.(r) < t.p.tol_pivot then raise (Numerical "tiny pivot");
+    match t.sbasis with
+    | None -> invalid_arg "update_binv: basis not factorised"
+    | Some sb -> Basis.update sb r (Array.sub t.w 0 t.m)
+  end
+  else begin
+  let m = t.m and w = t.w in
+  let alpha = w.(r) in
+  if abs_float alpha < t.p.tol_pivot then raise (Numerical "tiny pivot");
+  let br = t.binv.(r) in
+  let d = 1.0 /. alpha in
+  for i = 0 to m - 1 do
+    br.(i) <- br.(i) *. d
+  done;
+  for r' = 0 to m - 1 do
+    if r' <> r then begin
+      let f = w.(r') in
+      if f <> 0.0 then begin
+        let row = t.binv.(r') in
+        for i = 0 to m - 1 do
+          row.(i) <- row.(i) -. (f *. br.(i))
+        done
+      end
+    end
+  done
+  end
+
+type blocking = Flip | Block of { row : int; to_upper : bool }
+
+(* Applies a primal step: entering q moves by sigma*step, the blocking
+   constraint decides who leaves the basis. t.w holds ftran(q). *)
+let apply_primal_pivot t ~q ~sigma ~step ~blocking =
+  let w = t.w in
+  let q_new = value t q +. (sigma *. step) in
+  (match blocking with
+  | Flip ->
+    for r = 0 to t.m - 1 do
+      t.xb.(r) <- t.xb.(r) -. (sigma *. step *. w.(r))
+    done;
+    t.vstat.(q) <-
+      (match t.vstat.(q) with
+      | At_lower -> At_upper
+      | At_upper -> At_lower
+      | Basic _ | Free_zero -> invalid_arg "flip of non-bounded variable")
+  | Block { row = r; to_upper } ->
+    for r' = 0 to t.m - 1 do
+      if r' <> r then t.xb.(r') <- t.xb.(r') -. (sigma *. step *. w.(r'))
+    done;
+    let leaving = t.basic.(r) in
+    t.vstat.(leaving) <- (if to_upper then At_upper else At_lower);
+    update_binv t r;
+    t.basic.(r) <- q;
+    t.vstat.(q) <- Basic r;
+    t.xb.(r) <- q_new);
+  t.iters <- t.iters + 1;
+  t.since_refactor <- t.since_refactor + 1;
+  if step <= t.p.tol_pivot then t.degen_streak <- t.degen_streak + 1
+  else t.degen_streak <- 0;
+  if t.degen_streak > 1000 then t.bland <- true
+  else if t.degen_streak = 0 then t.bland <- false
+
+(* ------------------------------------------------------------------ *)
+(* Pricing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Chooses an entering variable given reduced costs derived from t.y and the
+   supplied per-variable cost function. Returns (q, sigma, d_q). *)
+let price t ~cost =
+  let best = ref None in
+  let consider j d sigma =
+    let score = abs_float d in
+    match !best with
+    | _ when t.bland ->
+      if !best = None then best := Some (j, sigma, score)
+    | Some (_, _, s) when s >= score -> ()
+    | _ -> best := Some (j, sigma, score)
+  in
+  let total = t.n + t.m in
+  (try
+     for j = 0 to total - 1 do
+       (match t.vstat.(j) with
+       | Basic _ -> ()
+       | _ when is_fixed t j -> ()
+       | At_lower ->
+         let d = cost j -. col_dot t j t.y in
+         if d < -.dual_tol t j then consider j d 1.0
+       | At_upper ->
+         let d = cost j -. col_dot t j t.y in
+         if d > dual_tol t j then consider j d (-1.0)
+       | Free_zero ->
+         let d = cost j -. col_dot t j t.y in
+         if d < -.dual_tol t j then consider j d 1.0
+         else if d > dual_tol t j then consider j d (-1.0));
+       (* In Bland mode the first eligible index wins. *)
+       if t.bland && !best <> None then raise Exit
+     done
+   with Exit -> ());
+  !best
+
+(* ------------------------------------------------------------------ *)
+(* Ratio tests                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Phase-II ratio test: every basic variable blocks at the first bound it
+   reaches. Returns (step, blocking) or None for unbounded. *)
+let ratio_phase2 t ~q ~sigma =
+  let w = t.w in
+  let best_step = ref infinity in
+  let best_block = ref Flip in
+  let best_mag = ref 0.0 in
+  (if t.lo.(q) > neg_infinity && t.up.(q) < infinity then begin
+     best_step := t.up.(q) -. t.lo.(q);
+     best_block := Flip;
+     best_mag := 0.0
+   end);
+  for r = 0 to t.m - 1 do
+    let delta = -.(sigma *. w.(r)) in
+    if abs_float delta > t.p.tol_pivot then begin
+      let b = t.basic.(r) in
+      let x = t.xb.(r) in
+      let bound, to_upper =
+        if delta > 0.0 then (t.up.(b), true) else (t.lo.(b), false)
+      in
+      if abs_float bound < infinity then begin
+        let lim = max 0.0 ((bound -. x) /. delta) in
+        let mag = abs_float w.(r) in
+        if
+          lim < !best_step -. t.p.tol_pivot
+          || (lim <= !best_step +. t.p.tol_pivot && mag > !best_mag)
+        then begin
+          best_step := lim;
+          best_block := Block { row = r; to_upper };
+          best_mag := mag
+        end
+      end
+    end
+  done;
+  if !best_step = infinity then None else Some (!best_step, !best_block)
+
+(* Phase-I ratio test: feasible basic variables block as in phase II;
+   infeasible ones block only when the step would carry them to the bound
+   they violate (the phase-I gradient changes there). *)
+let ratio_phase1 t ~q ~sigma =
+  let w = t.w in
+  let best_step = ref infinity in
+  let best_block = ref Flip in
+  let best_mag = ref 0.0 in
+  (if t.lo.(q) > neg_infinity && t.up.(q) < infinity then begin
+     best_step := t.up.(q) -. t.lo.(q);
+     best_block := Flip
+   end);
+  let offer lim r to_upper mag =
+    let lim = max 0.0 lim in
+    if
+      lim < !best_step -. t.p.tol_pivot
+      || (lim <= !best_step +. t.p.tol_pivot && mag > !best_mag)
+    then begin
+      best_step := lim;
+      best_block := Block { row = r; to_upper };
+      best_mag := mag
+    end
+  in
+  for r = 0 to t.m - 1 do
+    let delta = -.(sigma *. w.(r)) in
+    if abs_float delta > t.p.tol_pivot then begin
+      let b = t.basic.(r) in
+      let x = t.xb.(r) in
+      let mag = abs_float w.(r) in
+      if x < t.lo.(b) -. feas_tol t t.lo.(b) then begin
+        (* violated below: blocks only when moving up to its lower bound *)
+        if delta > 0.0 then offer ((t.lo.(b) -. x) /. delta) r false mag
+      end
+      else if x > t.up.(b) +. feas_tol t t.up.(b) then begin
+        if delta < 0.0 then offer ((t.up.(b) -. x) /. delta) r true mag
+      end
+      else begin
+        let bound, to_upper =
+          if delta > 0.0 then (t.up.(b), true) else (t.lo.(b), false)
+        in
+        if abs_float bound < infinity then
+          offer ((bound -. x) /. delta) r to_upper mag
+      end
+    end
+  done;
+  if !best_step = infinity then None else Some (!best_step, !best_block)
+
+(* ------------------------------------------------------------------ *)
+(* Primal simplex                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let effective_max_iters t =
+  if t.p.max_iters > 0 then t.p.max_iters else (100 * (t.n + t.m)) + 10_000
+
+(* Phase II from a primal-feasible basis. *)
+let primal_phase2 t =
+  let zero_cost _ = 0.0 in
+  ignore zero_cost;
+  let rec loop () =
+    if t.iters > effective_max_iters t then Status.Iteration_limit
+    else begin
+      maybe_refactor t;
+      fill_cb_phase2 t;
+      compute_y t t.cb;
+      match price t ~cost:(fun j -> t.obj.(j)) with
+      | None -> Status.Optimal
+      | Some (q, sigma, _) -> (
+        ftran t q;
+        match ratio_phase2 t ~q ~sigma with
+        | None -> Status.Unbounded
+        | Some (step, blocking) ->
+          apply_primal_pivot t ~q ~sigma ~step ~blocking;
+          loop ())
+    end
+  in
+  loop ()
+
+(* Phase I: drive the total bound violation of basic variables to zero. *)
+let primal_phase1 t =
+  let rec loop () =
+    if t.iters > effective_max_iters t then Status.Iteration_limit
+    else begin
+      maybe_refactor t;
+      let inf = primal_infeasibility t in
+      if inf <= t.p.tol_feas *. float_of_int (1 + t.m) then Status.Optimal
+      else begin
+        fill_cb_phase1 t;
+        compute_y t t.cb;
+        match price t ~cost:(fun _ -> 0.0) with
+        | None -> Status.Infeasible
+        | Some (q, sigma, _) -> (
+          ftran t q;
+          match ratio_phase1 t ~q ~sigma with
+          | None -> raise (Numerical "phase 1: unbounded infeasibility")
+          | Some (step, blocking) ->
+            apply_primal_pivot t ~q ~sigma ~step ~blocking;
+            loop ())
+      end
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Dual simplex                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let most_violated_row t =
+  let best = ref None in
+  for r = 0 to t.m - 1 do
+    let b = t.basic.(r) in
+    let x = t.xb.(r) in
+    let viol =
+      if x < t.lo.(b) -. feas_tol t t.lo.(b) then t.lo.(b) -. x
+      else if x > t.up.(b) +. feas_tol t t.up.(b) then x -. t.up.(b)
+      else 0.0
+    in
+    if viol > 0.0 then
+      match !best with
+      | Some (_, v) when v >= viol -> ()
+      | _ -> best := Some (r, viol)
+  done;
+  !best
+
+let dual_simplex t =
+  let rec loop () =
+    if t.iters > effective_max_iters t then Status.Iteration_limit
+    else begin
+      maybe_refactor t;
+      match most_violated_row t with
+      | None -> Status.Optimal
+      | Some (r, _) ->
+        let b = t.basic.(r) in
+        let above = t.xb.(r) > t.up.(b) in
+        let s = if above then 1.0 else -1.0 in
+        (if sparse_mode t then begin
+           match t.sbasis with
+           | None -> invalid_arg "dual: basis not factorised"
+           | Some sb -> Array.blit (Basis.btran_unit sb r) 0 t.rho 0 t.m
+         end
+         else Array.blit t.binv.(r) 0 t.rho 0 t.m);
+        fill_cb_phase2 t;
+        compute_y t t.cb;
+        (* entering candidate: minimum dual ratio |d_j| / |alpha_j| among
+           the columns whose pivot sign restores primal feasibility *)
+        let best = ref None in
+        let consider j ratio alpha =
+          let mag = abs_float alpha in
+          match !best with
+          | Some (_, br, bm) when br < ratio -. 1e-12 || (br <= ratio +. 1e-12 && bm >= mag)
+            -> ()
+          | _ -> best := Some (j, ratio, mag)
+        in
+        let total = t.n + t.m in
+        for j = 0 to total - 1 do
+          match t.vstat.(j) with
+          | Basic _ -> ()
+          | _ when is_fixed t j -> ()
+          | At_lower ->
+            let alpha = s *. col_dot t j t.rho in
+            if alpha > t.p.tol_pivot then begin
+              let d = max 0.0 (t.obj.(j) -. col_dot t j t.y) in
+              consider j (d /. alpha) alpha
+            end
+          | At_upper ->
+            let alpha = s *. col_dot t j t.rho in
+            if alpha < -.t.p.tol_pivot then begin
+              let d = min 0.0 (t.obj.(j) -. col_dot t j t.y) in
+              consider j (d /. alpha) alpha
+            end
+          | Free_zero ->
+            let alpha = s *. col_dot t j t.rho in
+            if abs_float alpha > t.p.tol_pivot then consider j 0.0 alpha
+        done;
+        (match !best with
+        | None -> Status.Infeasible
+        | Some (q, _, _) ->
+          ftran t q;
+          let alpha_rq = t.w.(r) in
+          if abs_float alpha_rq < t.p.tol_pivot then
+            raise (Numerical "dual simplex: tiny pivot");
+          let target = if above then t.up.(b) else t.lo.(b) in
+          let dq = (t.xb.(r) -. target) /. alpha_rq in
+          let q_new = value t q +. dq in
+          for r' = 0 to t.m - 1 do
+            if r' <> r then t.xb.(r') <- t.xb.(r') -. (dq *. t.w.(r'))
+          done;
+          t.vstat.(b) <- (if above then At_upper else At_lower);
+          update_binv t r;
+          t.basic.(r) <- q;
+          t.vstat.(q) <- Basic r;
+          t.xb.(r) <- q_new;
+          t.iters <- t.iters + 1;
+          t.since_refactor <- t.since_refactor + 1;
+          loop ())
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Loading and growing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let initial_vstat lo up =
+  if lo > neg_infinity then At_lower
+  else if up < infinity then At_upper
+  else Free_zero
+
+let grow_arrays t needed_cap =
+  if needed_cap > t.cap then begin
+    let ncap = max needed_cap (2 * t.cap) in
+    let grow_f arr extra =
+      let res = Array.make (extra + ncap) 0.0 in
+      Array.blit arr 0 res 0 (Array.length arr);
+      res
+    in
+    let grow_i arr =
+      let res = Array.make ncap 0 in
+      Array.blit arr 0 res 0 t.m;
+      res
+    in
+    t.lo <- grow_f t.lo t.n;
+    t.up <- grow_f t.up t.n;
+    t.obj <- grow_f t.obj t.n;
+    t.basic <- grow_i t.basic;
+    t.xb <- grow_f t.xb 0;
+    t.w <- Array.make ncap 0.0;
+    t.y <- Array.make ncap 0.0;
+    t.rho <- Array.make ncap 0.0;
+    t.cb <- Array.make ncap 0.0;
+    let vs = Array.make (t.n + ncap) Free_zero in
+    Array.blit t.vstat 0 vs 0 (t.n + t.m);
+    t.vstat <- vs;
+    let nbinv =
+      if t.p.sparse_basis then [||]
+      else
+        Array.init ncap (fun r ->
+            let row = Array.make ncap 0.0 in
+            if r < t.m then Array.blit t.binv.(r) 0 row 0 t.m;
+            row)
+    in
+    t.binv <- nbinv;
+    t.cap <- ncap
+  end
+
+let of_problem ?(params = default_params) prob =
+  let n = Problem.nvars prob in
+  let m = Problem.nrows prob in
+  let cap = max 16 (m + (m / 2)) in
+  (* structural columns: transpose the row-wise model *)
+  let buckets = Array.make n [] in
+  for i = m - 1 downto 0 do
+    Sparse.iter
+      (fun j v -> buckets.(j) <- (i, v) :: buckets.(j))
+      (Problem.row prob i).coeffs
+  done;
+  let cols = Array.map Sparse.of_assoc buckets in
+  let lo = Array.make (n + cap) 0.0 and up = Array.make (n + cap) 0.0 in
+  let obj = Array.make (n + cap) 0.0 in
+  for j = 0 to n - 1 do
+    lo.(j) <- Problem.var_lo prob j;
+    up.(j) <- Problem.var_up prob j;
+    obj.(j) <- Problem.obj_coeff prob j
+  done;
+  for i = 0 to m - 1 do
+    let r = Problem.row prob i in
+    lo.(n + i) <- r.rlo;
+    up.(n + i) <- r.rup
+  done;
+  let vstat = Array.make (n + cap) Free_zero in
+  for j = 0 to n - 1 do
+    vstat.(j) <- initial_vstat lo.(j) up.(j)
+  done;
+  let basic = Array.make cap 0 in
+  for i = 0 to m - 1 do
+    basic.(i) <- n + i;
+    vstat.(n + i) <- Basic i
+  done;
+  let binv =
+    if params.sparse_basis then [||]
+    else
+      Array.init cap (fun r ->
+          let row = Array.make cap 0.0 in
+          if r < m then row.(r) <- -1.0;
+          row)
+  in
+  let t =
+    {
+      n;
+      p = params;
+      m;
+      cap;
+      cols;
+      lo;
+      up;
+      obj;
+      basic;
+      vstat;
+      binv;
+      xb = Array.make cap 0.0;
+      last_status = Status.Iteration_limit;
+      sbasis = None;
+      needs_factor = true;
+      iters = 0;
+      since_refactor = 0;
+      degen_streak = 0;
+      bland = false;
+      w = Array.make cap 0.0;
+      y = Array.make cap 0.0;
+      rho = Array.make cap 0.0;
+      cb = Array.make cap 0.0;
+    }
+  in
+  if params.sparse_basis then refactor t else recompute_xb t;
+  t
+
+let add_row t ~lo ~up coeffs =
+  if not (lo <= up) then invalid_arg "Simplex.add_row: lo > up";
+  let sp = Sparse.of_assoc coeffs in
+  if Sparse.max_index sp >= t.n then
+    invalid_arg "Simplex.add_row: unknown structural variable";
+  grow_arrays t (t.m + 1);
+  let r_new = t.m in
+  let aux = t.n + r_new in
+  t.lo.(aux) <- lo;
+  t.up.(aux) <- up;
+  t.obj.(aux) <- 0.0;
+  (* extend the columns of the referenced structural variables *)
+  Sparse.iter
+    (fun j v ->
+      let old = t.cols.(j) in
+      t.cols.(j) <- Sparse.of_assoc ((r_new, v) :: Sparse.to_assoc old))
+    sp;
+  (* extend B^-1: the new basis matrix is [[B, 0], [C, -1]] whose inverse is
+     [[B^-1, 0], [C B^-1, -1]], where C holds the new row's coefficients on
+     the current basic (necessarily structural) variables. In sparse mode
+     the factorisation is simply rebuilt at the next solve. *)
+  if t.p.sparse_basis then t.needs_factor <- true
+  else begin
+  let new_row = t.binv.(r_new) in
+  Array.fill new_row 0 t.cap 0.0;
+  Sparse.iter
+    (fun j v ->
+      match t.vstat.(j) with
+      | Basic k ->
+        let bk = t.binv.(k) in
+        for i = 0 to t.m - 1 do
+          new_row.(i) <- new_row.(i) +. (v *. bk.(i))
+        done
+      | At_lower | At_upper | Free_zero -> ())
+    sp;
+  new_row.(r_new) <- -1.0
+  end;
+  (* the new auxiliary variable enters the basis at the row's activity *)
+  let activity =
+    Sparse.fold (fun j v acc -> acc +. (v *. value t j)) sp 0.0
+  in
+  t.basic.(r_new) <- aux;
+  t.vstat.(aux) <- Basic r_new;
+  t.xb.(r_new) <- activity;
+  t.m <- t.m + 1;
+  t.last_status <- Status.Iteration_limit
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let dual_feasible t =
+  fill_cb_phase2 t;
+  compute_y t t.cb;
+  let ok = ref true in
+  let total = t.n + t.m in
+  let j = ref 0 in
+  while !ok && !j < total do
+    (match t.vstat.(!j) with
+    | Basic _ -> ()
+    | _ when is_fixed t !j -> ()
+    | At_lower ->
+      if t.obj.(!j) -. col_dot t !j t.y < -.(10.0 *. dual_tol t !j) then
+        ok := false
+    | At_upper ->
+      if t.obj.(!j) -. col_dot t !j t.y > 10.0 *. dual_tol t !j then ok := false
+    | Free_zero ->
+      if abs_float (t.obj.(!j) -. col_dot t !j t.y) > 10.0 *. dual_tol t !j
+      then ok := false);
+    incr j
+  done;
+  !ok
+
+let solve t =
+  (* a stale factorisation (rows added since the last solve) must be
+     rebuilt before anything consults the basis *)
+  if sparse_mode t && (t.needs_factor || t.sbasis = None) then refactor t;
+  let status =
+    try
+      if dual_feasible t then dual_simplex t
+      else begin
+        let inf = primal_infeasibility t in
+        if inf <= t.p.tol_feas *. float_of_int (1 + t.m) then primal_phase2 t
+        else
+          match primal_phase1 t with
+          | Status.Optimal -> primal_phase2 t
+          | other -> other
+      end
+    with Numerical _ -> (
+      (* one recovery attempt: refactorise and retry once *)
+      try
+        refactor t;
+        if dual_feasible t then dual_simplex t
+        else
+          match primal_phase1 t with
+          | Status.Optimal -> primal_phase2 t
+          | other -> other
+      with Numerical _ -> Status.Numerical_failure)
+  in
+  t.last_status <- status;
+  status
+
+(* ------------------------------------------------------------------ *)
+(* Extraction                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let primal t = Array.init t.n (fun j -> value t j)
+
+let row_activity t = Array.init t.m (fun i -> value t (t.n + i))
+
+let objective t =
+  let acc = ref 0.0 in
+  for j = 0 to t.n - 1 do
+    if t.obj.(j) <> 0.0 then acc := !acc +. (t.obj.(j) *. value t j)
+  done;
+  !acc
+
+let dual t =
+  fill_cb_phase2 t;
+  compute_y t t.cb;
+  Array.sub t.y 0 t.m
+
+let reduced_cost t j =
+  assert (j >= 0 && j < t.n);
+  fill_cb_phase2 t;
+  compute_y t t.cb;
+  t.obj.(j) -. col_dot t j t.y
+
+let solution t =
+  {
+    Status.status = t.last_status;
+    objective = objective t;
+    primal = primal t;
+    row_activity = row_activity t;
+    dual = dual t;
+    iterations = t.iters;
+  }

@@ -1,0 +1,78 @@
+(** Revised bounded-variable simplex engine.
+
+    The engine keeps the LP in the GLPK-style computational form: every row
+    [i] of the model gets an auxiliary variable [x_aux_i] tied by
+    [a_i^T x_struct - x_aux_i = 0], so the equality system is
+    [\[A | -I\] x = 0] and all row bounds become bounds on auxiliary
+    variables. The initial all-auxiliary basis is always nonsingular
+    ([B = -I]).
+
+    Three algorithms are provided on the same state:
+    - primal phase I (drives the total bound violation of basic variables
+      to zero),
+    - primal phase II (optimises from a primal-feasible basis),
+    - dual simplex (optimises from a dual-feasible basis; this is the
+      workhorse for the EBF LPs, whose all-slack start is dual feasible,
+      and for warm restarts after rows are added).
+
+    Rows can be appended between solves ([add_row]); the factorised basis is
+    extended in O(m x nnz) and stays dual feasible, so re-optimisation is a
+    short dual-simplex run. This implements the paper's Section 4.6
+    constraint-reduction strategy as exact lazy row generation. *)
+
+type t
+
+type params = {
+  max_iters : int;  (** 0 means choose automatically from the size *)
+  tol_feas : float;  (** absolute primal feasibility tolerance *)
+  tol_dual : float;  (** reduced-cost optimality tolerance *)
+  tol_pivot : float;  (** smallest acceptable pivot magnitude *)
+  refactor_every : int;  (** pivots between basis refactorisations *)
+  sparse_basis : bool;
+      (** use the product-form sparse basis ({!Basis}: LU + eta file)
+          instead of the explicit dense inverse. Same results; much
+          faster and far less memory on large sparse programs (default
+          [false]) *)
+}
+
+val default_params : params
+
+val of_problem : ?params:params -> Problem.t -> t
+(** Loads a model. The engine takes a snapshot: later changes to the
+    [Problem.t] are not seen (use [add_row] to grow the engine itself). *)
+
+val solve : t -> Status.t
+(** Runs the appropriate algorithm(s) from the current basis and returns the
+    final status. Idempotent once optimal. *)
+
+val add_row : t -> lo:float -> up:float -> (int * float) list -> unit
+(** Appends a constraint row over structural variables. The engine stays
+    dual feasible; call [solve] to re-optimise (it will run the dual
+    simplex). *)
+
+val nrows : t -> int
+
+val nvars : t -> int
+(** Number of structural variables. *)
+
+val objective : t -> float
+
+val primal : t -> float array
+(** Structural variable values of the current basis. *)
+
+val row_activity : t -> float array
+
+val dual : t -> float array
+(** Simplex multipliers [y] (one per row) of the current basis. *)
+
+val reduced_cost : t -> int -> float
+(** Reduced cost of a structural variable in the current basis. *)
+
+val iterations : t -> int
+
+val solution : t -> Status.solution
+(** Packages the current state (status as of the last [solve]). *)
+
+val check_consistency : t -> float
+(** Recomputes basic values from scratch and returns the largest absolute
+    discrepancy with the incrementally maintained ones (diagnostics). *)

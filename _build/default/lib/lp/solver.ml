@@ -1,0 +1,12 @@
+let solve ?params prob =
+  let eng = Simplex.of_problem ?params prob in
+  let status = Simplex.solve eng in
+  ignore status;
+  Simplex.solution eng
+
+let solve_exn ?params prob =
+  let sol = solve ?params prob in
+  if sol.Status.status <> Status.Optimal then
+    failwith
+      (Printf.sprintf "LP not optimal: %s" (Status.to_string sol.Status.status));
+  sol

@@ -1,0 +1,7 @@
+(** Convenience front end: load a model into the revised simplex engine,
+    solve it, and package the solution. *)
+
+val solve : ?params:Simplex.params -> Problem.t -> Status.solution
+
+val solve_exn : ?params:Simplex.params -> Problem.t -> Status.solution
+(** Like {!solve}, but raises [Failure] unless the status is [Optimal]. *)

@@ -1,0 +1,94 @@
+type t = { idx : int array; value : float array }
+
+let empty = { idx = [||]; value = [||] }
+
+let check t =
+  let k = Array.length t.idx in
+  assert (Array.length t.value = k);
+  for i = 0 to k - 1 do
+    assert (t.value.(i) <> 0.0);
+    assert (t.idx.(i) >= 0);
+    if i > 0 then assert (t.idx.(i) > t.idx.(i - 1))
+  done
+
+let of_assoc pairs =
+  let sorted = List.sort (fun (i, _) (j, _) -> compare i j) pairs in
+  let merged =
+    List.fold_left
+      (fun acc (i, v) ->
+        assert (i >= 0);
+        match acc with
+        | (j, w) :: rest when j = i -> (j, w +. v) :: rest
+        | _ -> (i, v) :: acc)
+      [] sorted
+  in
+  let nonzero = List.filter (fun (_, v) -> v <> 0.0) (List.rev merged) in
+  let k = List.length nonzero in
+  let idx = Array.make k 0 and value = Array.make k 0.0 in
+  List.iteri
+    (fun pos (i, v) ->
+      idx.(pos) <- i;
+      value.(pos) <- v)
+    nonzero;
+  { idx; value }
+
+let of_arrays idx value =
+  let t = { idx; value } in
+  check t;
+  t
+
+let nnz t = Array.length t.idx
+
+let iter f t =
+  for i = 0 to Array.length t.idx - 1 do
+    f t.idx.(i) t.value.(i)
+  done
+
+let fold f t init =
+  let acc = ref init in
+  for i = 0 to Array.length t.idx - 1 do
+    acc := f t.idx.(i) t.value.(i) !acc
+  done;
+  !acc
+
+let get t i =
+  let rec search lo hi =
+    if lo > hi then 0.0
+    else
+      let mid = (lo + hi) / 2 in
+      if t.idx.(mid) = i then t.value.(mid)
+      else if t.idx.(mid) < i then search (mid + 1) hi
+      else search lo (mid - 1)
+  in
+  search 0 (Array.length t.idx - 1)
+
+let dot_dense t dense =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length t.idx - 1 do
+    acc := !acc +. (t.value.(i) *. dense.(t.idx.(i)))
+  done;
+  !acc
+
+let add_scaled_into dst k t =
+  for i = 0 to Array.length t.idx - 1 do
+    let j = t.idx.(i) in
+    dst.(j) <- dst.(j) +. (k *. t.value.(i))
+  done
+
+let to_assoc t = fold (fun i v acc -> (i, v) :: acc) t [] |> List.rev
+
+let max_index t =
+  let k = Array.length t.idx in
+  if k = 0 then -1 else t.idx.(k - 1)
+
+let scale k t =
+  if k = 0.0 then empty
+  else { idx = Array.copy t.idx; value = Array.map (fun v -> k *. v) t.value }
+
+let map_values f t =
+  of_assoc (to_assoc t |> List.map (fun (i, v) -> (i, f v)))
+
+let pp fmt t =
+  Format.fprintf fmt "[";
+  iter (fun i v -> Format.fprintf fmt " %d:%g" i v) t;
+  Format.fprintf fmt " ]"

@@ -1,0 +1,41 @@
+(** Immutable sparse vectors (index/value pairs), used for LP constraint rows
+    and columns. Indices are strictly increasing and values are nonzero. *)
+
+type t
+
+val empty : t
+
+val of_assoc : (int * float) list -> t
+(** Builds a sparse vector from (index, value) pairs. Duplicate indices are
+    summed; zero results are dropped. Indices must be nonnegative. *)
+
+val of_arrays : int array -> float array -> t
+(** Unsafe fast path: indices must already be strictly increasing and values
+    nonzero (checked by assertions). Arrays are not copied. *)
+
+val nnz : t -> int
+
+val iter : (int -> float -> unit) -> t -> unit
+
+val fold : (int -> float -> 'a -> 'a) -> t -> 'a -> 'a
+
+val get : t -> int -> float
+(** Value at an index ([0.] when absent); O(log nnz). *)
+
+val dot_dense : t -> float array -> float
+(** Dot product with a dense vector; indices must be within bounds. *)
+
+val add_scaled_into : float array -> float -> t -> unit
+(** [add_scaled_into dst k v] performs [dst.(i) <- dst.(i) +. k *. v_i] for
+    every nonzero of [v]. *)
+
+val to_assoc : t -> (int * float) list
+
+val max_index : t -> int
+(** Largest index present; [-1] for the empty vector. *)
+
+val scale : float -> t -> t
+
+val map_values : (float -> float) -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+(** Solver result types shared by the simplex engines. *)
+
+type t =
+  | Optimal
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+  | Numerical_failure
+
+type solution = {
+  status : t;
+  objective : float;
+  primal : float array;  (** structural variable values *)
+  row_activity : float array;  (** [a_i^T x] per row *)
+  dual : float array;  (** simplex multipliers (one per row) *)
+  iterations : int;
+}
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val is_optimal : solution -> bool

@@ -1,0 +1,1 @@
+lib/topo/topogen.ml: Array List Lubt_util Tree

@@ -1,0 +1,1 @@
+lib/topo/topogen.mli: Lubt_util Tree

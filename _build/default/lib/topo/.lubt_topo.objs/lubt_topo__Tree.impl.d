@@ -1,0 +1,1 @@
+lib/topo/tree.ml: Array Format Hashtbl List

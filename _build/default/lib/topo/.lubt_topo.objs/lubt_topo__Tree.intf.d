@@ -1,0 +1,1 @@
+lib/topo/tree.mli: Format

@@ -1,0 +1,17 @@
+(** Structural topology generators (no geometry).
+
+    Geometry-guided generation (nearest-neighbour merging guided by skew,
+    as adopted by the paper from Huang-Kahng-Tsao) lives in [lubt.bst];
+    these generators are used by tests and as simple defaults. *)
+
+val random_binary :
+  Lubt_util.Prng.t -> num_sinks:int -> source_edge:bool -> Tree.t
+(** A uniformly random binary merge tree over [num_sinks] sinks (all sinks
+    are leaves, every Steiner node has two children). With [source_edge]
+    the root has a single child (the usual layout when the source location
+    is fixed); otherwise the root is the top merge node with two children.
+    Sinks get node ids [1..num_sinks] in order. Requires
+    [num_sinks >= 2] (or [>= 1] with [source_edge]). *)
+
+val balanced_binary : num_sinks:int -> source_edge:bool -> Tree.t
+(** Deterministic balanced merge tree over the sinks in index order. *)

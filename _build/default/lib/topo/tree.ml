@@ -1,0 +1,278 @@
+type t = {
+  parents : int array;
+  children : int list array;
+  sink_ids : int array;
+  sink_pos : int array;  (* node -> index in sink_ids, or -1 *)
+  zero : bool array;  (* per edge/node; entry 0 unused *)
+  depths : int array;
+  post : int array;
+  pre : int array;
+  (* Euler-tour LCA: first occurrence + sparse table of minima by depth *)
+  euler : int array;
+  first : int array;
+  table : int array array;  (* table.(k).(i): argmin depth over 2^k window *)
+  log2 : int array;
+}
+
+let root = 0
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let build_children parents =
+  let n = Array.length parents in
+  let children = Array.make n [] in
+  for i = n - 1 downto 1 do
+    let p = parents.(i) in
+    if p < 0 || p >= n || p = i then
+      invalid_arg "Tree.create: bad parent pointer";
+    children.(p) <- i :: children.(p)
+  done;
+  children
+
+let validate parents =
+  let n = Array.length parents in
+  if n = 0 then invalid_arg "Tree.create: empty";
+  if parents.(0) <> -1 then invalid_arg "Tree.create: node 0 must be the root";
+  (* acyclicity + connectivity: every node must reach the root *)
+  let state = Array.make n 0 in
+  (* 0 = unvisited, 1 = in progress, 2 = done *)
+  let rec walk i =
+    if state.(i) = 1 then invalid_arg "Tree.create: cycle in parent array"
+    else if state.(i) = 0 then begin
+      state.(i) <- 1;
+      if i <> 0 then walk parents.(i);
+      state.(i) <- 2
+    end
+  in
+  for i = 0 to n - 1 do
+    walk i
+  done
+
+(* iterative DFS producing euler tour, first occurrences, depths, orders *)
+let dfs parents children =
+  let n = Array.length parents in
+  let depths = Array.make n 0 in
+  let first = Array.make n (-1) in
+  let euler = ref [] and euler_len = ref 0 in
+  let pre = Array.make n 0 and post = Array.make n 0 in
+  let pre_i = ref 0 and post_i = ref 0 in
+  let rec visit i =
+    pre.(!pre_i) <- i;
+    incr pre_i;
+    first.(i) <- !euler_len;
+    euler := i :: !euler;
+    incr euler_len;
+    List.iter
+      (fun c ->
+        depths.(c) <- depths.(i) + 1;
+        visit c;
+        euler := i :: !euler;
+        incr euler_len)
+      children.(i);
+    post.(!post_i) <- i;
+    incr post_i
+  in
+  visit 0;
+  let euler_arr = Array.of_list (List.rev !euler) in
+  (depths, first, euler_arr, pre, post)
+
+let build_sparse_table depths euler =
+  let len = Array.length euler in
+  let log2 = Array.make (len + 1) 0 in
+  for i = 2 to len do
+    log2.(i) <- log2.(i / 2) + 1
+  done;
+  let levels = log2.(len) + 1 in
+  let table = Array.make levels [||] in
+  table.(0) <- Array.copy euler;
+  for k = 1 to levels - 1 do
+    let span = 1 lsl k in
+    let prev = table.(k - 1) in
+    let width = len - span + 1 in
+    if width <= 0 then table.(k) <- [||]
+    else begin
+      let cur = Array.make width 0 in
+      for i = 0 to width - 1 do
+        let a = prev.(i) and b = prev.(i + (span / 2)) in
+        cur.(i) <- (if depths.(a) <= depths.(b) then a else b)
+      done;
+      table.(k) <- cur
+    end
+  done;
+  (table, log2)
+
+let create ?forced_zero ~parents ~sinks () =
+  validate parents;
+  let n = Array.length parents in
+  let children = build_children parents in
+  let sink_pos = Array.make n (-1) in
+  Array.iteri
+    (fun k s ->
+      if s <= 0 || s >= n then invalid_arg "Tree.create: bad sink id";
+      if sink_pos.(s) >= 0 then invalid_arg "Tree.create: duplicate sink";
+      sink_pos.(s) <- k)
+    sinks;
+  if Array.length sinks = 0 then invalid_arg "Tree.create: no sinks";
+  let zero =
+    match forced_zero with
+    | None -> Array.make n false
+    | Some z ->
+      if Array.length z <> n then
+        invalid_arg "Tree.create: forced_zero length mismatch";
+      Array.copy z
+  in
+  let depths, first, euler, pre, post = dfs parents children in
+  let table, log2 = build_sparse_table depths euler in
+  {
+    parents = Array.copy parents;
+    children;
+    sink_ids = Array.copy sinks;
+    sink_pos;
+    zero;
+    depths;
+    post;
+    pre;
+    euler;
+    first;
+    table;
+    log2;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let num_nodes t = Array.length t.parents
+
+let num_edges t = num_nodes t - 1
+
+let num_sinks t = Array.length t.sink_ids
+
+let parent t i = t.parents.(i)
+
+let children t i = t.children.(i)
+
+let degree t i =
+  List.length t.children.(i) + (if i = root then 0 else 1)
+
+let is_sink t i = t.sink_pos.(i) >= 0
+
+let is_leaf t i = t.children.(i) = []
+
+let sinks t = Array.copy t.sink_ids
+
+let sink_index t i =
+  let k = t.sink_pos.(i) in
+  if k < 0 then raise Not_found else k
+
+let forced_zero t i = t.zero.(i)
+
+let depth t i = t.depths.(i)
+
+let path_to_root t i =
+  let rec climb acc i = if i = root then List.rev acc else climb (i :: acc) t.parents.(i) in
+  List.rev (climb [] i)
+
+let lca t a b =
+  if a = b then a
+  else begin
+    let fa = t.first.(a) and fb = t.first.(b) in
+    let lo = min fa fb and hi = max fa fb in
+    let len = hi - lo + 1 in
+    let k = t.log2.(len) in
+    let x = t.table.(k).(lo) and y = t.table.(k).(hi - (1 lsl k) + 1) in
+    if t.depths.(x) <= t.depths.(y) then x else y
+  end
+
+let path t a b =
+  let anc = lca t a b in
+  let rec climb acc i = if i = anc then acc else climb (i :: acc) t.parents.(i) in
+  let up = climb [] a in
+  let down = climb [] b in
+  List.rev_append (List.rev up) (List.rev down)
+
+let delays t lengths =
+  let n = num_nodes t in
+  let d = Array.make n 0.0 in
+  Array.iter
+    (fun i -> if i <> root then d.(i) <- d.(t.parents.(i)) +. lengths.(i))
+    t.pre;
+  d
+
+let path_length t lengths a b =
+  (* cached prefix sums would need invalidation; callers that care compute
+     [delays] once and use it directly. This is the O(depth) fallback. *)
+  let anc = lca t a b in
+  let rec climb acc i = if i = anc then acc else climb (acc +. lengths.(i)) t.parents.(i) in
+  climb (climb 0.0 a) b
+
+let postorder t = Array.copy t.post
+
+let preorder t = Array.copy t.pre
+
+let all_sinks_are_leaves t =
+  Array.for_all (fun s -> is_leaf t s) t.sink_ids
+
+let binarise t =
+  let needs_split =
+    let bad = ref false in
+    for i = 0 to num_nodes t - 1 do
+      let limit = if i = root then 2 else 2 in
+      if List.length t.children.(i) > limit then bad := true
+    done;
+    !bad
+  in
+  if not needs_split then t
+  else begin
+    (* Rebuild the parent array, appending chain nodes: a node with children
+       c1..ck (k > 2) keeps c1 and hands c2..ck to a fresh forced-zero
+       child, recursively. *)
+    let parents = ref (Array.to_list t.parents) in
+    let zeros = ref (Array.to_list t.zero) in
+    let count = ref (num_nodes t) in
+    let reparent = Hashtbl.create 16 in
+    let fresh p =
+      let id = !count in
+      incr count;
+      parents := !parents @ [ p ];
+      zeros := !zeros @ [ true ];
+      id
+    in
+    for i = 0 to num_nodes t - 1 do
+      let cs = t.children.(i) in
+      if List.length cs > 2 then begin
+        (* keep the first child; push the rest down a zero-edge chain *)
+        let rec chain host = function
+          | [] -> ()
+          | [ c ] -> Hashtbl.replace reparent c host
+          | [ c; d ] ->
+            Hashtbl.replace reparent c host;
+            Hashtbl.replace reparent d host
+          | c :: rest ->
+            Hashtbl.replace reparent c host;
+            let next = fresh host in
+            chain next rest
+        in
+        match cs with
+        | [] | [ _ ] | [ _; _ ] -> ()
+        | first_child :: rest ->
+          ignore first_child;
+          let aux = fresh i in
+          chain aux rest
+      end
+    done;
+    let arr = Array.of_list !parents in
+    Hashtbl.iter (fun c host -> arr.(c) <- host) reparent;
+    let zero = Array.of_list !zeros in
+    create ~forced_zero:zero ~parents:arr ~sinks:t.sink_ids ()
+  end
+
+let pp fmt t =
+  Format.fprintf fmt "tree(%d nodes, %d sinks)@\n" (num_nodes t) (num_sinks t);
+  for i = 0 to num_nodes t - 1 do
+    Format.fprintf fmt "  %d <- parent %d%s%s@\n" i t.parents.(i)
+      (if is_sink t i then " [sink]" else "")
+      (if t.zero.(i) then " [zero-edge]" else "")
+  done

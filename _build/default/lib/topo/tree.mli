@@ -1,0 +1,91 @@
+(** Rooted tree topologies (Section 2 of the paper).
+
+    Node 0 is the root (the source [s_0]). Every other node [i] owns the
+    edge [e_i] that connects it to its parent, so "edge i" and "node i" are
+    used interchangeably, exactly as in the paper. Sinks are a designated
+    subset of nodes (usually the leaves); the remaining non-root nodes are
+    Steiner points.
+
+    Edges marked [forced_zero] have their length fixed to 0 in the EBF;
+    they come from splitting degree-4 Steiner points (Figure 2). *)
+
+type t
+
+val create : ?forced_zero:bool array -> parents:int array -> sinks:int array -> unit -> t
+(** [create ~parents ~sinks ()] builds a topology. [parents.(0)] must be
+    [-1]; every other entry must point to an existing node so that the
+    structure is a tree rooted at node 0. [sinks] lists the node ids that
+    are sinks (they must be distinct, nonzero). [forced_zero.(i)] fixes
+    edge [i] to length zero (defaults to all-false).
+
+    @raise Invalid_argument if the parent array is not a rooted tree or the
+    sink set is malformed. *)
+
+val num_nodes : t -> int
+
+val num_edges : t -> int
+(** [num_nodes t - 1]: every non-root node owns one edge. *)
+
+val num_sinks : t -> int
+
+val root : int
+(** Always 0. *)
+
+val parent : t -> int -> int
+(** Parent node id; [-1] for the root. *)
+
+val children : t -> int -> int list
+
+val degree : t -> int -> int
+(** Number of incident edges (children + parent edge). *)
+
+val is_sink : t -> int -> bool
+
+val is_leaf : t -> int -> bool
+
+val sinks : t -> int array
+(** Sink node ids, in the order given at creation. *)
+
+val sink_index : t -> int -> int
+(** Position of a sink node in [sinks t]; raises [Not_found] otherwise. *)
+
+val forced_zero : t -> int -> bool
+
+val depth : t -> int -> int
+(** Number of edges from the root. *)
+
+val path_to_root : t -> int -> int list
+(** Edge ids (= node ids) on the path from the root to the node, listed
+    from the node upward. Empty for the root. *)
+
+val path : t -> int -> int -> int list
+(** Edge ids on the unique path between two nodes ([path(s_i, s_j)]). *)
+
+val lca : t -> int -> int -> int
+(** Lowest common ancestor, O(1) after O(n log n) preprocessing. *)
+
+val path_length : t -> float array -> int -> int -> float
+(** [path_length t lengths i j] is [sum of lengths over path t i j],
+    computed in O(1) via the LCA (requires [lengths] indexed by edge id;
+    entry 0 is ignored). *)
+
+val delays : t -> float array -> float array
+(** Per-node linear delay from the root: prefix sums of edge lengths. *)
+
+val postorder : t -> int array
+(** Children appear before their parents; the root is last. *)
+
+val preorder : t -> int array
+(** Parents appear before their children; the root is first. *)
+
+val all_sinks_are_leaves : t -> bool
+(** Lemma 3.1's hypothesis: when true, a LUBT exists for any bounds. *)
+
+val binarise : t -> t
+(** Splits every Steiner node with more than two children into a chain of
+    degree-3 Steiner nodes joined by forced-zero edges (Figure 2
+    generalised). Node ids [0 .. num_nodes-1] of the input keep their ids;
+    new Steiner nodes are appended. Returns the input unchanged when it is
+    already binary. *)
+
+val pp : Format.formatter -> t -> unit

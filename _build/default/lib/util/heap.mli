@@ -1,0 +1,24 @@
+(** Binary min-heap keyed by floats.
+
+    Supports lazy deletion via user-side stale checks: pop returns the
+    minimum-key element; callers that need decrease-key simply push the
+    element again with the smaller key and discard stale pops. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h key v] inserts [v] with priority [key]. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Minimum-key binding, without removing it. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the minimum-key binding. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,32 @@
+let sum arr =
+  (* Kahan compensated summation: tree costs accumulate thousands of edge
+     lengths and the plain left fold loses digits we assert on in tests. *)
+  let total = ref 0.0 and comp = ref 0.0 in
+  for i = 0 to Array.length arr - 1 do
+    let y = arr.(i) -. !comp in
+    let t = !total +. y in
+    comp := t -. !total -. y;
+    total := t
+  done;
+  !total
+
+let mean arr =
+  assert (Array.length arr > 0);
+  sum arr /. float_of_int (Array.length arr)
+
+let min_max arr =
+  assert (Array.length arr > 0);
+  let lo = ref arr.(0) and hi = ref arr.(0) in
+  for i = 1 to Array.length arr - 1 do
+    if arr.(i) < !lo then lo := arr.(i);
+    if arr.(i) > !hi then hi := arr.(i)
+  done;
+  (!lo, !hi)
+
+let approx_eq ?(eps = 1e-6) a b =
+  let scale = max 1.0 (max (abs_float a) (abs_float b)) in
+  abs_float (a -. b) <= eps *. scale
+
+let clamp lo hi v =
+  assert (lo <= hi);
+  if v < lo then lo else if v > hi then hi else v

@@ -1,0 +1,16 @@
+(** Small numerical helpers shared across the project. *)
+
+val sum : float array -> float
+(** Compensated (Kahan) summation. *)
+
+val mean : float array -> float
+(** Mean of a nonempty array. *)
+
+val min_max : float array -> float * float
+(** Minimum and maximum of a nonempty array. *)
+
+val approx_eq : ?eps:float -> float -> float -> bool
+(** Comparison with mixed absolute/relative tolerance (default 1e-6). *)
+
+val clamp : float -> float -> float -> float
+(** [clamp lo hi v] restricts [v] to [\[lo, hi\]]. Requires [lo <= hi]. *)

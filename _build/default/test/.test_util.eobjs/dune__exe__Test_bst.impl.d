@@ -1,0 +1,1 @@
+test/test_bst.ml: Alcotest Array Lubt_bst Lubt_core Lubt_geom Lubt_lp Lubt_topo Lubt_util Printf QCheck QCheck_alcotest String

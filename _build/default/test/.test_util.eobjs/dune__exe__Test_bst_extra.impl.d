@@ -1,0 +1,1 @@
+test/test_bst_extra.ml: Alcotest Array List Lubt_bst Lubt_core Lubt_delay Lubt_geom Lubt_lp Lubt_topo Lubt_util QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array List Lubt_core Lubt_delay Lubt_geom Lubt_lp Lubt_topo Lubt_util String

@@ -1,0 +1,1 @@
+test/test_core_extra.ml: Alcotest Array Filename Lubt_bst Lubt_core Lubt_data Lubt_geom Lubt_lp Lubt_topo Lubt_util String Sys

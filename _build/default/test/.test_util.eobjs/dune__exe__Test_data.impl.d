@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Filename List Lubt_core Lubt_data Lubt_geom Lubt_topo Lubt_util Sys

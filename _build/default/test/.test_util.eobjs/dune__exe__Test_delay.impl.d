@@ -1,0 +1,1 @@
+test/test_delay.ml: Alcotest Array List Lubt_delay Lubt_topo Lubt_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest List Lubt_data Lubt_experiments

@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Format List Lubt_geom Lubt_util QCheck QCheck_alcotest

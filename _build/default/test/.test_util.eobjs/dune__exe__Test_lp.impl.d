@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array List Lubt_lp Lubt_util Printf

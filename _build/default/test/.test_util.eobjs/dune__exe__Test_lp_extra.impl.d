@@ -1,0 +1,1 @@
+test/test_lp_extra.ml: Alcotest Array List Lubt_core Lubt_data Lubt_lp Lubt_util Printf String

@@ -1,0 +1,1 @@
+test/test_topo.ml: Alcotest Array List Lubt_topo Lubt_util QCheck QCheck_alcotest

@@ -1,0 +1,196 @@
+(* Tests of the experiment harness on the tiny benchmark size: the paper's
+   qualitative claims must hold on every regenerated table. *)
+
+module Benchmarks = Lubt_data.Benchmarks
+module Tables = Lubt_experiments.Tables
+module Protocol = Lubt_experiments.Protocol
+
+let tiny = Benchmarks.Tiny
+
+let test_table1_shape () =
+  let rows = Tables.table1 ~size:tiny () in
+  Alcotest.(check int) "4 benches x 8 skews" 32 (List.length rows);
+  List.iter
+    (fun (r : Tables.t1_row) ->
+      (* LUBT never costs more than the baseline (Theorem 4.2 + the
+         baseline's feasibility for the extracted bounds) *)
+      if r.Tables.lubt_cost > r.Tables.bst_cost +. (1e-6 *. r.Tables.bst_cost) then
+        Alcotest.failf "%s skew %g: LUBT %.8g > baseline %.8g" r.Tables.bench
+          r.Tables.skew_rel r.Tables.lubt_cost r.Tables.bst_cost;
+      (* with zero skew both are exact zero-skew trees of the same
+         topology: costs agree tightly *)
+      if r.Tables.skew_rel = 0.0 then begin
+        Alcotest.(check bool) "zero-skew costs close" true
+          (abs_float (r.Tables.lubt_cost -. r.Tables.bst_cost)
+          <= 1e-4 *. r.Tables.bst_cost);
+        Alcotest.(check (float 1e-6)) "shortest=1" 1.0 r.Tables.shortest;
+        Alcotest.(check (float 1e-6)) "longest=1" 1.0 r.Tables.longest
+      end)
+    rows;
+  (* cost at the loosest bound is strictly below cost at zero skew *)
+  List.iter
+    (fun bench ->
+      let of_skew s =
+        List.find
+          (fun (r : Tables.t1_row) -> r.Tables.bench = bench && r.Tables.skew_rel = s)
+          rows
+      in
+      let zst = of_skew 0.0 and free = of_skew infinity in
+      Alcotest.(check bool)
+        (bench ^ ": unbounded tree cheaper than zero-skew tree")
+        true
+        (free.Tables.lubt_cost < zst.Tables.lubt_cost))
+    [ "prim1s"; "prim2s"; "r1s"; "r3s" ]
+
+let test_table2_shape () =
+  let rows = Tables.table2 ~size:tiny () in
+  Alcotest.(check int) "2 benches x 2 skews x 4 windows" 16 (List.length rows);
+  List.iter
+    (fun (r : Tables.t2_row) ->
+      Alcotest.(check (float 1e-9)) "window width = skew bound" r.Tables.skew_rel
+        (r.Tables.upper_rel -. r.Tables.lower_rel);
+      Alcotest.(check bool) "positive cost" true (r.Tables.cost > 0.0))
+    rows;
+  (* exactly one starred (baseline-produced) window per bench/skew *)
+  List.iter
+    (fun (bench, skew) ->
+      let starred =
+        List.filter
+          (fun (r : Tables.t2_row) ->
+            r.Tables.bench = bench && r.Tables.skew_rel = skew && r.Tables.from_baseline)
+          rows
+      in
+      Alcotest.(check int) "one starred row" 1 (List.length starred))
+    [ ("prim1s", 0.3); ("prim1s", 0.5); ("prim2s", 0.3); ("prim2s", 0.5) ]
+
+let test_table3_shape () =
+  let rows = Tables.table3 ~size:tiny () in
+  Alcotest.(check int) "4 benches x 8 windows" 32 (List.length rows);
+  (* paper's observation: as the window loosens the cost falls; compare
+     the tightest window with the loosest per bench *)
+  List.iter
+    (fun bench ->
+      let cost l u =
+        (List.find
+           (fun (r : Tables.t3_row) ->
+             r.Tables.bench = bench && r.Tables.lower_rel = l && r.Tables.upper_rel = u)
+           rows)
+          .Tables.cost
+      in
+      Alcotest.(check bool) "tight [0.99,1] costs more than loose [0,2]" true
+        (cost 0.99 1.0 > cost 0.0 2.0))
+    [ "prim1s"; "prim2s"; "r1s"; "r3s" ]
+
+let test_tradeoff_curve () =
+  let points = Tables.tradeoff ~size:tiny () in
+  Alcotest.(check bool) "enough points" true (List.length points >= 10);
+  (* endpoints of the sweep: loosest is cheapest, tightest is most
+     expensive (the curve between may wiggle due to topology changes) *)
+  match (points, List.rev points) with
+  | loosest :: _, tightest :: _ ->
+    Alcotest.(check bool) "loose end cheaper" true
+      (loosest.Tables.cost < tightest.Tables.cost)
+  | _ -> Alcotest.fail "empty curve"
+
+let test_ablation_consistency () =
+  let r = Tables.ablation ~size:tiny () in
+  Alcotest.(check bool) "lazy uses fewer rows" true (r.Tables.lazy_rows <= r.Tables.eager_rows);
+  Alcotest.(check bool) "eager rows < full count (zero-dist pairs dropped)"
+    true
+    (r.Tables.eager_rows <= r.Tables.full_rows);
+  Alcotest.(check bool) "objectives agree" true (r.Tables.objective_gap <= 1e-4);
+  Alcotest.(check bool) "zero-skew closed form agrees with LP" true
+    (r.Tables.zeroskew_gap <= 1e-4 *. 100000.0)
+
+let test_protocol_infinite_skew () =
+  let spec = Benchmarks.find tiny "prim1s" in
+  let b = Protocol.run_baseline spec ~skew_rel:infinity in
+  let l = Protocol.run_lubt_from_baseline b in
+  Alcotest.(check (float 1e-9)) "lower bound 0" 0.0 l.Protocol.lower_rel;
+  Alcotest.(check bool) "upper bound inf" true (l.Protocol.upper_rel = infinity)
+
+
+let test_optimality_gap_ordering () =
+  let rows = Tables.optimality_gap ~size:tiny () in
+  List.iter
+    (fun (r : Tables.gap_row) ->
+      (* optimum <= fixed-window LUBT <= greedy, each up to tolerance *)
+      let eps = 1e-6 *. r.Tables.greedy_cost in
+      if r.Tables.optimal_bst_cost > r.Tables.lubt_window_cost +. eps then
+        Alcotest.failf "skew %g: free-window optimum above fixed-window LUBT"
+          r.Tables.skew_rel;
+      if r.Tables.lubt_window_cost > r.Tables.greedy_cost +. eps then
+        Alcotest.failf "skew %g: LUBT above the greedy baseline" r.Tables.skew_rel)
+    rows
+
+let test_elmore_extension_shape () =
+  let rows = Tables.elmore_table () in
+  List.iter
+    (fun (r : Tables.elmore_row) ->
+      Alcotest.(check bool) "residual tiny" true (r.Tables.elmore_violation <= 1e-5);
+      (* elongation is cheaper under the quadratic model *)
+      Alcotest.(check bool) "elmore needs no more wire than linear" true
+        (r.Tables.elmore_cost <= r.Tables.linear_cost +. 1e-6))
+    rows;
+  (* tighter windows cost more under both models *)
+  let costs = List.map (fun (r : Tables.elmore_row) -> r.Tables.linear_cost) rows in
+  (match (costs, List.rev costs) with
+  | loosest :: _, tightest :: _ ->
+    Alcotest.(check bool) "linear cost grows as window tightens" true
+      (tightest >= loosest -. 1e-6)
+  | _ -> Alcotest.fail "empty table")
+
+let test_global_routing_extension () =
+  let rows = Tables.global_routing_table ~size:tiny () in
+  List.iter
+    (fun (r : Tables.global_routing_row) ->
+      Alcotest.(check bool) "BRBC maxpath within bound" true
+        (r.Tables.brbc_max_path <= 1.0 +. r.Tables.epsilon +. 1e-6);
+      Alcotest.(check bool) "LUBT maxpath within bound" true
+        (r.Tables.lubt_max_path <= 1.0 +. r.Tables.epsilon +. 1e-6);
+      Alcotest.(check bool) "LUBT undercuts BRBC" true
+        (r.Tables.lubt_cost <= r.Tables.brbc_cost +. (1e-6 *. r.Tables.brbc_cost));
+      Alcotest.(check bool) "both above the MST at finite eps" true
+        (r.Tables.brbc_cost >= r.Tables.mst_cost -. 1e-6))
+    rows
+
+let test_clustered_table1 () =
+  let rows = Tables.table1 ~size:tiny ~clustered:true () in
+  Alcotest.(check int) "4 benches x 8 skews" 32 (List.length rows);
+  List.iter
+    (fun (r : Tables.t1_row) ->
+      if r.Tables.lubt_cost > r.Tables.bst_cost +. (1e-6 *. r.Tables.bst_cost) then
+        Alcotest.failf "%s skew %g: LUBT above baseline" r.Tables.bench
+          r.Tables.skew_rel)
+    rows;
+  (* the clustered zero-skew to Steiner spread is large (paper regime) *)
+  let of_skew bench s =
+    List.find
+      (fun (r : Tables.t1_row) -> r.Tables.bench = bench && r.Tables.skew_rel = s)
+      rows
+  in
+  let zst = of_skew "prim1s-c" 0.0 and free = of_skew "prim1s-c" infinity in
+  Alcotest.(check bool) "spread over 20%" true
+    (free.Tables.lubt_cost < 0.8 *. zst.Tables.lubt_cost)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "tables",
+        [
+          Alcotest.test_case "table 1 shape" `Slow test_table1_shape;
+          Alcotest.test_case "table 2 shape" `Slow test_table2_shape;
+          Alcotest.test_case "table 3 shape" `Slow test_table3_shape;
+          Alcotest.test_case "figure 8 curve" `Slow test_tradeoff_curve;
+          Alcotest.test_case "ablation consistency" `Slow test_ablation_consistency;
+          Alcotest.test_case "protocol at infinite skew" `Quick
+            test_protocol_infinite_skew;
+          Alcotest.test_case "optimality gap ordering" `Slow
+            test_optimality_gap_ordering;
+          Alcotest.test_case "elmore extension shape" `Slow
+            test_elmore_extension_shape;
+          Alcotest.test_case "global routing extension" `Slow
+            test_global_routing_extension;
+          Alcotest.test_case "clustered table 1" `Slow test_clustered_table1;
+        ] );
+    ]

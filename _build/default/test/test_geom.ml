@@ -1,0 +1,241 @@
+(* Tests for Manhattan geometry: points, TRR interval arithmetic, the Helly
+   property that underpins Theorem 4.1, and closest-point computations. *)
+
+module Point = Lubt_geom.Point
+module Trr = Lubt_geom.Trr
+module Prng = Lubt_util.Prng
+
+let pt = Point.make
+
+let test_dist () =
+  Alcotest.(check (float 1e-12)) "dist" 7.0 (Point.dist (pt 0.0 0.0) (pt 3.0 4.0));
+  Alcotest.(check (float 1e-12)) "dist sym" 7.0 (Point.dist (pt 3.0 4.0) (pt 0.0 0.0));
+  Alcotest.(check (float 1e-12)) "dist zero" 0.0 (Point.dist (pt 1.0 1.0) (pt 1.0 1.0));
+  Alcotest.(check (float 1e-12)) "euclid" 5.0
+    (Point.dist_euclid (pt 0.0 0.0) (pt 3.0 4.0))
+
+let test_rotation_roundtrip () =
+  let rng = Prng.create 5 in
+  for _ = 1 to 100 do
+    let p = pt (Prng.float_range rng (-50.) 50.) (Prng.float_range rng (-50.) 50.) in
+    let u, v = Point.to_rotated p in
+    Alcotest.(check bool) "roundtrip" true (Point.equal p (Point.of_rotated u v))
+  done
+
+let test_rotation_metric () =
+  (* Manhattan distance equals Chebyshev distance in rotated coordinates *)
+  let rng = Prng.create 6 in
+  for _ = 1 to 200 do
+    let p = pt (Prng.float rng 10.) (Prng.float rng 10.) in
+    let q = pt (Prng.float rng 10.) (Prng.float rng 10.) in
+    let up, vp = Point.to_rotated p and uq, vq = Point.to_rotated q in
+    let cheb = max (abs_float (up -. uq)) (abs_float (vp -. vq)) in
+    Alcotest.(check (float 1e-9)) "metric" (Point.dist p q) cheb
+  done
+
+let test_point_trr () =
+  let p = pt 2.0 3.0 in
+  let t = Trr.of_point p in
+  Alcotest.(check bool) "is point" true (Trr.is_point t);
+  Alcotest.(check bool) "contains" true (Trr.contains t p);
+  Alcotest.(check bool) "not contains" false (Trr.contains t (pt 2.1 3.0));
+  Alcotest.(check (float 1e-12)) "zero width" 0.0 (Trr.width t)
+
+let test_expand_distance () =
+  let a = Trr.of_point (pt 0.0 0.0) in
+  let b = Trr.of_point (pt 6.0 0.0) in
+  Alcotest.(check (float 1e-12)) "point dist" 6.0 (Trr.distance a b);
+  let a2 = Trr.expand a 2.0 in
+  Alcotest.(check (float 1e-12)) "after expand" 4.0 (Trr.distance a2 b);
+  Alcotest.(check bool) "expand contains nearby" true (Trr.contains a2 (pt 1.0 1.0));
+  Alcotest.(check bool) "expand excludes far" false (Trr.contains a2 (pt 2.0 1.0));
+  (* expanding both until they just touch *)
+  let a3 = Trr.expand a 3.0 and b3 = Trr.expand b 3.0 in
+  Alcotest.(check (float 1e-9)) "touching" 0.0 (Trr.distance a3 b3);
+  match Trr.intersect a3 b3 with
+  | None -> Alcotest.fail "touching TRRs must intersect"
+  | Some seg ->
+    (* the intersection is the perpendicular bisector segment *)
+    Alcotest.(check bool) "segment" true (Trr.width seg <= 1e-9);
+    Alcotest.(check bool) "contains midpoint" true (Trr.contains seg (pt 3.0 0.0))
+
+let test_intersection_empty () =
+  let a = Trr.expand (Trr.of_point (pt 0.0 0.0)) 1.0 in
+  let b = Trr.expand (Trr.of_point (pt 10.0 0.0)) 1.0 in
+  Alcotest.(check bool) "disjoint" true (Trr.intersect a b = None);
+  Alcotest.(check (float 1e-12)) "distance" 8.0 (Trr.distance a b)
+
+let random_trr rng =
+  let p = pt (Prng.float_range rng (-20.) 20.) (Prng.float_range rng (-20.) 20.) in
+  let q = pt (Prng.float_range rng (-20.) 20.) (Prng.float_range rng (-20.) 20.) in
+  Trr.expand (Trr.of_points [ p; q ]) (Prng.float rng 5.0)
+
+(* Lemma 10.1 (Helly property): pairwise-intersecting TRRs have a common
+   point. This fails for Euclidean balls; it is the crux of Theorem 4.1. *)
+let test_helly_property () =
+  let rng = Prng.create 77 in
+  let trials = ref 0 in
+  while !trials < 200 do
+    let ts = List.init 4 (fun _ -> random_trr rng) in
+    let pairwise =
+      List.for_all
+        (fun a -> List.for_all (fun b -> Trr.intersect a b <> None) ts)
+        ts
+    in
+    if pairwise then begin
+      incr trials;
+      match Trr.intersect_all ts with
+      | None -> Alcotest.fail "Helly property violated"
+      | Some _ -> ()
+    end
+    else incr trials
+  done
+
+let test_closest_point () =
+  let t = Trr.expand (Trr.of_point (pt 0.0 0.0)) 2.0 in
+  (* inside: the point itself *)
+  let inside = pt 0.5 0.5 in
+  Alcotest.(check bool) "inside unchanged" true
+    (Point.equal (Trr.closest_point t inside) inside);
+  (* outside: result on the boundary, distance consistent *)
+  let outside = pt 5.0 0.0 in
+  let c = Trr.closest_point t outside in
+  Alcotest.(check bool) "on trr" true (Trr.contains t c);
+  Alcotest.(check (float 1e-9)) "dist matches" (Trr.dist_to_point t outside)
+    (Point.dist c outside);
+  Alcotest.(check (float 1e-9)) "dist value" 3.0 (Point.dist c outside)
+
+let test_closest_pair () =
+  let rng = Prng.create 11 in
+  for _ = 1 to 200 do
+    let a = random_trr rng and b = random_trr rng in
+    let p, q = Trr.closest_pair a b in
+    Alcotest.(check bool) "p in a" true (Trr.contains ~eps:1e-6 a p);
+    Alcotest.(check bool) "q in b" true (Trr.contains ~eps:1e-6 b q);
+    Alcotest.(check (float 1e-6)) "achieves distance" (Trr.distance a b)
+      (Point.dist p q)
+  done
+
+let test_corners_and_center () =
+  let t = Trr.expand (Trr.of_point (pt 1.0 1.0)) 3.0 in
+  let corners = Trr.corners t in
+  Alcotest.(check int) "four corners" 4 (List.length corners);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "corner on trr" true (Trr.contains t c);
+      Alcotest.(check (float 1e-9)) "corner at radius" 3.0
+        (Point.dist c (pt 1.0 1.0)))
+    corners;
+  Alcotest.(check bool) "center" true (Point.equal (Trr.center t) (pt 1.0 1.0))
+
+let test_of_points_bounding () =
+  let pts = [ pt 0.0 0.0; pt 4.0 0.0; pt 2.0 3.0 ] in
+  let t = Trr.of_points pts in
+  List.iter
+    (fun p -> Alcotest.(check bool) "contains input" true (Trr.contains t p))
+    pts
+
+let test_subset_equal () =
+  let a = Trr.expand (Trr.of_point (pt 0.0 0.0)) 1.0 in
+  let b = Trr.expand (Trr.of_point (pt 0.0 0.0)) 2.0 in
+  Alcotest.(check bool) "a subset b" true (Trr.subset a b);
+  Alcotest.(check bool) "b not subset a" false (Trr.subset b a);
+  Alcotest.(check bool) "a equal a" true (Trr.equal a a);
+  Alcotest.(check bool) "a not equal b" false (Trr.equal a b)
+
+(* properties *)
+
+let trr_gen =
+  QCheck.Gen.(
+    map
+      (fun (x1, y1, x2, y2, r) ->
+        Trr.expand
+          (Trr.of_points [ pt x1 y1; pt x2 y2 ])
+          (abs_float r))
+      (tup5 (float_range (-20.) 20.) (float_range (-20.) 20.)
+         (float_range (-20.) 20.) (float_range (-20.) 20.)
+         (float_range 0. 5.)))
+
+let trr_arb = QCheck.make ~print:(fun t -> Format.asprintf "%a" Trr.pp t) trr_gen
+
+let prop_intersection_commutes =
+  QCheck.Test.make ~name:"intersect commutes" ~count:300
+    (QCheck.pair trr_arb trr_arb) (fun (a, b) ->
+      match (Trr.intersect a b, Trr.intersect b a) with
+      | None, None -> true
+      | Some x, Some y -> Trr.equal x y
+      | _ -> false)
+
+let prop_intersection_subset =
+  QCheck.Test.make ~name:"intersection within both" ~count:300
+    (QCheck.pair trr_arb trr_arb) (fun (a, b) ->
+      match Trr.intersect a b with
+      | None -> true
+      | Some x -> Trr.subset x a && Trr.subset x b)
+
+let prop_expand_monotone =
+  QCheck.Test.make ~name:"expand is monotone" ~count:300
+    (QCheck.pair trr_arb (QCheck.float_range 0.0 10.0)) (fun (a, r) ->
+      Trr.subset a (Trr.expand a r))
+
+let prop_expand_distance =
+  QCheck.Test.make ~name:"expand reaches exactly distance" ~count:300
+    (QCheck.pair trr_arb trr_arb) (fun (a, b) ->
+      let d = Trr.distance a b in
+      if d <= 0.0 then true
+      else
+        (* expanding a by d (plus roundoff headroom) makes them touch;
+           by slightly less keeps them apart *)
+        Trr.intersect (Trr.expand a (d *. (1.0 +. 1e-12) +. 1e-12)) b <> None
+        && (d < 1e-6 || Trr.intersect (Trr.expand a (d *. 0.999)) b = None))
+
+let prop_sample_inside =
+  QCheck.Test.make ~name:"sample lies inside" ~count:300
+    (QCheck.pair trr_arb QCheck.small_int) (fun (a, seed) ->
+      let rng = Prng.create seed in
+      Trr.contains ~eps:1e-9 a (Trr.sample rng a))
+
+let prop_dist_triangle =
+  QCheck.Test.make ~name:"point distance triangle inequality" ~count:300
+    QCheck.(
+      triple
+        (pair (float_range (-20.) 20.) (float_range (-20.) 20.))
+        (pair (float_range (-20.) 20.) (float_range (-20.) 20.))
+        (pair (float_range (-20.) 20.) (float_range (-20.) 20.)))
+    (fun ((x1, y1), (x2, y2), (x3, y3)) ->
+      let a = pt x1 y1 and b = pt x2 y2 and c = pt x3 y3 in
+      Point.dist a c <= Point.dist a b +. Point.dist b c +. 1e-9)
+
+let () =
+  Alcotest.run "geom"
+    [
+      ( "point",
+        [
+          Alcotest.test_case "manhattan distance" `Quick test_dist;
+          Alcotest.test_case "rotation roundtrip" `Quick test_rotation_roundtrip;
+          Alcotest.test_case "rotation metric" `Quick test_rotation_metric;
+        ] );
+      ( "trr",
+        [
+          Alcotest.test_case "point trr" `Quick test_point_trr;
+          Alcotest.test_case "expand and distance" `Quick test_expand_distance;
+          Alcotest.test_case "empty intersection" `Quick test_intersection_empty;
+          Alcotest.test_case "Helly property (Lemma 10.1)" `Quick
+            test_helly_property;
+          Alcotest.test_case "closest point" `Quick test_closest_point;
+          Alcotest.test_case "closest pair" `Quick test_closest_pair;
+          Alcotest.test_case "corners and center" `Quick test_corners_and_center;
+          Alcotest.test_case "of_points bounding" `Quick test_of_points_bounding;
+          Alcotest.test_case "subset/equal" `Quick test_subset_equal;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_intersection_commutes;
+            prop_intersection_subset;
+            prop_expand_monotone;
+            prop_expand_distance;
+            prop_sample_inside;
+            prop_dist_triangle;
+          ] );
+    ]

@@ -1,0 +1,380 @@
+(* Tests for the LP extras: presolve reductions and the LP-format
+   writer/reader. *)
+
+module Problem = Lubt_lp.Problem
+module Solver = Lubt_lp.Solver
+module Presolve = Lubt_lp.Presolve
+module Lp_format = Lubt_lp.Lp_format
+module Status = Lubt_lp.Status
+module Sparse = Lubt_lp.Sparse
+module Prng = Lubt_util.Prng
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* ------------------------------------------------------------------ *)
+(* Presolve                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_fixed_variable_substitution () =
+  let p = Problem.create () in
+  let x = Problem.add_var ~lo:2.0 ~up:2.0 ~obj:3.0 p in
+  let y = Problem.add_var ~obj:1.0 p in
+  ignore (Problem.add_row p ~lo:5.0 ~up:infinity [ (x, 1.0); (y, 1.0) ]);
+  match Presolve.run p with
+  | Presolve.Infeasible_detected msg -> Alcotest.fail msg
+  | Presolve.Reduced t ->
+    Alcotest.(check int) "one variable left" 1 (Presolve.reduced_vars t);
+    let sol = Presolve.solve p in
+    Alcotest.(check bool) "optimal" true (sol.Status.status = Status.Optimal);
+    (* x fixed at 2, row needs y >= 3: objective 3*2 + 3 = 9 *)
+    check_float "objective" 9.0 sol.Status.objective;
+    check_float "x reinstated" 2.0 sol.Status.primal.(x);
+    check_float "y" 3.0 sol.Status.primal.(y)
+
+let test_singleton_row_to_bound () =
+  let p = Problem.create () in
+  let x = Problem.add_var ~obj:1.0 p in
+  ignore (Problem.add_row p ~lo:4.0 ~up:10.0 [ (x, 2.0) ]);
+  match Presolve.run p with
+  | Presolve.Infeasible_detected msg -> Alcotest.fail msg
+  | Presolve.Reduced t ->
+    Alcotest.(check int) "row folded away" 0 (Presolve.reduced_rows t);
+    let sol = Presolve.solve p in
+    check_float "x at tightened lower bound" 2.0 sol.Status.primal.(x)
+
+let test_duplicate_rows_merge () =
+  let p = Problem.create () in
+  let x = Problem.add_var ~obj:1.0 p in
+  let y = Problem.add_var ~obj:1.0 p in
+  ignore (Problem.add_row p ~lo:1.0 ~up:infinity [ (x, 1.0); (y, 1.0) ]);
+  ignore (Problem.add_row p ~lo:3.0 ~up:infinity [ (x, 1.0); (y, 1.0) ]);
+  ignore (Problem.add_row p ~lo:neg_infinity ~up:8.0 [ (x, 1.0); (y, 1.0) ]);
+  match Presolve.run p with
+  | Presolve.Infeasible_detected msg -> Alcotest.fail msg
+  | Presolve.Reduced t ->
+    Alcotest.(check int) "rows merged" 1 (Presolve.reduced_rows t);
+    let sol = Presolve.solve p in
+    check_float "objective" 3.0 sol.Status.objective
+
+let test_presolve_detects_infeasible () =
+  let cases =
+    [
+      (fun p ->
+        (* crossed bounds via two singleton rows *)
+        let x = Problem.add_var p in
+        ignore (Problem.add_row p ~lo:5.0 ~up:infinity [ (x, 1.0) ]);
+        ignore (Problem.add_row p ~lo:neg_infinity ~up:2.0 [ (x, 1.0) ]));
+      (fun p ->
+        (* duplicate rows with disjoint bounds *)
+        let x = Problem.add_var p in
+        let y = Problem.add_var p in
+        ignore (Problem.add_row p ~lo:1.0 ~up:2.0 [ (x, 1.0); (y, 1.0) ]);
+        ignore (Problem.add_row p ~lo:5.0 ~up:6.0 [ (x, 1.0); (y, 1.0) ]));
+      (fun p ->
+        (* empty row after substituting a fixed variable *)
+        let x = Problem.add_var ~lo:1.0 ~up:1.0 p in
+        ignore (Problem.add_row p ~lo:5.0 ~up:6.0 [ (x, 1.0) ]));
+    ]
+  in
+  List.iter
+    (fun build ->
+      let p = Problem.create () in
+      build p;
+      match Presolve.run p with
+      | Presolve.Infeasible_detected _ -> ()
+      | Presolve.Reduced t ->
+        (* presolve may legitimately defer to the solver *)
+        let sol = Solver.solve (Presolve.problem t) in
+        Alcotest.(check bool) "solver confirms infeasible" true
+          (sol.Status.status = Status.Infeasible))
+    cases
+
+let test_all_variables_fixed () =
+  let p = Problem.create () in
+  let x = Problem.add_var ~lo:1.0 ~up:1.0 ~obj:2.0 p in
+  let y = Problem.add_var ~lo:3.0 ~up:3.0 ~obj:1.0 p in
+  ignore (Problem.add_row p ~lo:0.0 ~up:10.0 [ (x, 1.0); (y, 1.0) ]);
+  let sol = Presolve.solve p in
+  Alcotest.(check bool) "optimal" true (sol.Status.status = Status.Optimal);
+  check_float "objective" 5.0 sol.Status.objective;
+  (* and an infeasible variant *)
+  let q = Problem.create () in
+  let a = Problem.add_var ~lo:1.0 ~up:1.0 q in
+  ignore (Problem.add_row q ~lo:5.0 ~up:10.0 [ (a, 1.0) ]);
+  let sol2 = Presolve.solve q in
+  Alcotest.(check bool) "infeasible" true (sol2.Status.status = Status.Infeasible)
+
+(* randomised: presolve+solve agrees with direct solve *)
+let random_problem rng =
+  let nv = 1 + Prng.int rng 6 in
+  let nr = Prng.int rng 8 in
+  let p = Problem.create () in
+  for _ = 1 to nv do
+    let kind = Prng.int rng 5 in
+    let lo, up =
+      match kind with
+      | 0 -> (0.0, infinity)
+      | 1 -> (float_of_int (Prng.int rng 5 - 2), infinity)
+      | 2 ->
+        let l = float_of_int (Prng.int rng 5 - 2) in
+        (l, l +. float_of_int (Prng.int rng 6))
+      | 3 ->
+        (* fixed variable: exercises substitution *)
+        let v = float_of_int (Prng.int rng 7 - 3) in
+        (v, v)
+      | _ -> (neg_infinity, infinity)
+    in
+    let obj = float_of_int (Prng.int rng 9 - 4) in
+    ignore (Problem.add_var ~lo ~up ~obj p)
+  done;
+  for _ = 1 to nr do
+    let coeffs = ref [] in
+    for j = 0 to nv - 1 do
+      if Prng.int rng 3 > 0 then begin
+        let c = float_of_int (Prng.int rng 7 - 3) in
+        if c <> 0.0 then coeffs := (j, c) :: !coeffs
+      end
+    done;
+    let base = float_of_int (Prng.int rng 21 - 10) in
+    let lo, up =
+      match Prng.int rng 4 with
+      | 0 -> (base, infinity)
+      | 1 -> (neg_infinity, base)
+      | 2 -> (base, base +. float_of_int (Prng.int rng 8))
+      | _ -> (base, base)
+    in
+    ignore (Problem.add_row p ~lo ~up !coeffs)
+  done;
+  p
+
+let test_presolve_random_agreement () =
+  let rng = Prng.create 606 in
+  for id = 1 to 300 do
+    let p = random_problem rng in
+    let direct = Solver.solve p in
+    let pre = Presolve.solve p in
+    (match (direct.Status.status, pre.Status.status) with
+    | Status.Optimal, Status.Optimal ->
+      if
+        not
+          (Lubt_util.Stats.approx_eq ~eps:1e-5 direct.Status.objective
+             pre.Status.objective)
+      then
+        Alcotest.failf "case %d: direct %.9g vs presolved %.9g" id
+          direct.Status.objective pre.Status.objective;
+      if not (Problem.is_feasible ~tol:1e-5 p pre.Status.primal) then
+        Alcotest.failf "case %d: postsolved point infeasible" id
+    | a, b when a = b -> ()
+    | Status.Unbounded, Status.Optimal | Status.Optimal, Status.Unbounded ->
+      Alcotest.failf "case %d: optimal/unbounded mismatch" id
+    | a, b ->
+      Alcotest.failf "case %d: status mismatch %s vs %s" id (Status.to_string a)
+        (Status.to_string b))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* LP format                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_lp_format_writer_shape () =
+  let p = Problem.create () in
+  let x = Problem.add_var ~obj:1.0 ~name:"x" p in
+  let y = Problem.add_var ~lo:neg_infinity ~up:infinity ~obj:(-2.0) ~name:"y" p in
+  ignore (Problem.add_row ~name:"r1" p ~lo:1.0 ~up:infinity [ (x, 1.0); (y, 3.0) ]);
+  ignore (Problem.add_row ~name:"r2" p ~lo:0.0 ~up:5.0 [ (x, 2.0) ]);
+  let s = Lp_format.to_string p in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "contains %S" needle) true
+        (contains s needle))
+    [ "Minimize"; "Subject To"; "Bounds"; "End"; "y free"; "r1_l:"; "r2_u:" ]
+
+let test_lp_format_roundtrip () =
+  let rng = Prng.create 7007 in
+  for id = 1 to 200 do
+    let p = random_problem rng in
+    match Lp_format.of_string (Lp_format.to_string p) with
+    | Error msg -> Alcotest.failf "case %d: parse error: %s" id msg
+    | Ok q ->
+      let a = Solver.solve p and b = Solver.solve q in
+      (match (a.Status.status, b.Status.status) with
+      | Status.Optimal, Status.Optimal ->
+        if not (Lubt_util.Stats.approx_eq ~eps:1e-5 a.Status.objective b.Status.objective)
+        then
+          Alcotest.failf "case %d: objective %.9g vs %.9g after roundtrip" id
+            a.Status.objective b.Status.objective
+      | sa, sb when sa = sb -> ()
+      | sa, sb ->
+        Alcotest.failf "case %d: status %s vs %s after roundtrip" id
+          (Status.to_string sa) (Status.to_string sb))
+  done
+
+let test_lp_format_reader_errors () =
+  List.iter
+    (fun (text, why) ->
+      match Lp_format.of_string text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected parse failure: %s" why)
+    [
+      ("x + y <= 3", "content before section");
+      ("Minimize\n obj: x\nSubject To\n c: x ? 3\nEnd", "bad operator");
+      ("Minimize\n obj: x\nSubject To\n c: x <=\nEnd", "missing rhs");
+    ]
+
+let test_ebf_program_exports () =
+  (* the EBF LP of the paper's five-point example survives a write/solve *)
+  let inst, tree = Lubt_data.Examples.five_point () in
+  let prob = Lubt_core.Ebf.formulate inst tree in
+  let text = Lp_format.to_string prob in
+  match Lp_format.of_string text with
+  | Error msg -> Alcotest.fail msg
+  | Ok q ->
+    let a = Solver.solve prob and b = Solver.solve q in
+    Alcotest.(check bool) "both optimal" true
+      (a.Status.status = Status.Optimal && b.Status.status = Status.Optimal);
+    check_float "same optimum" a.Status.objective b.Status.objective
+
+
+(* ------------------------------------------------------------------ *)
+(* Sparse LU                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Lu = Lubt_lp.Lu
+
+let random_nonsingular rng n =
+  (* diagonally dominant random sparse matrix: always nonsingular *)
+  Array.init n (fun j ->
+      let entries = ref [ (j, 10.0 +. Prng.float rng 5.0) ] in
+      for i = 0 to n - 1 do
+        if i <> j && Prng.int rng 3 = 0 then
+          entries := (i, Prng.float rng 4.0 -. 2.0) :: !entries
+      done;
+      Sparse.of_assoc !entries)
+
+let mat_vec cols x =
+  let n = Array.length cols in
+  let y = Array.make n 0.0 in
+  Array.iteri (fun j col -> Sparse.iter (fun i a -> y.(i) <- y.(i) +. (a *. x.(j))) col) cols;
+  y
+
+let mat_t_vec cols x =
+  Array.map (fun col -> Sparse.dot_dense col x) cols
+
+let test_lu_solve_roundtrip () =
+  let rng = Prng.create 2025 in
+  for case = 1 to 50 do
+    let n = 1 + Prng.int rng 30 in
+    let cols = random_nonsingular rng n in
+    let lu = Lu.factor cols in
+    Alcotest.(check int) "dim" n (Lu.dim lu);
+    let x_true = Array.init n (fun _ -> Prng.float rng 10.0 -. 5.0) in
+    let b = mat_vec cols x_true in
+    let x = Lu.solve lu b in
+    Array.iteri
+      (fun i v ->
+        if not (Lubt_util.Stats.approx_eq ~eps:1e-8 v x_true.(i)) then
+          Alcotest.failf "case %d: solve x[%d] = %.12g vs %.12g" case i v
+            x_true.(i))
+      x
+  done
+
+let test_lu_transpose_solve () =
+  let rng = Prng.create 3026 in
+  for case = 1 to 50 do
+    let n = 1 + Prng.int rng 30 in
+    let cols = random_nonsingular rng n in
+    let lu = Lu.factor cols in
+    let x_true = Array.init n (fun _ -> Prng.float rng 10.0 -. 5.0) in
+    let c = mat_t_vec cols x_true in
+    let x = Lu.solve_transpose lu c in
+    Array.iteri
+      (fun i v ->
+        if not (Lubt_util.Stats.approx_eq ~eps:1e-8 v x_true.(i)) then
+          Alcotest.failf "case %d: btran x[%d] = %.12g vs %.12g" case i v
+            x_true.(i))
+      x
+  done
+
+let test_lu_inverse_columns () =
+  let rng = Prng.create 4027 in
+  let n = 12 in
+  let cols = random_nonsingular rng n in
+  let lu = Lu.factor cols in
+  (* A * (column j of A^-1) = e_j *)
+  for j = 0 to n - 1 do
+    let inv_j = Lu.inverse_column lu j in
+    let e = mat_vec cols inv_j in
+    Array.iteri
+      (fun i v ->
+        let want = if i = j then 1.0 else 0.0 in
+        if not (Lubt_util.Stats.approx_eq ~eps:1e-8 v want) then
+          Alcotest.failf "inverse column %d row %d: %.12g vs %.12g" j i v want)
+      e
+  done
+
+let test_lu_detects_singular () =
+  (* two identical columns *)
+  let col = Sparse.of_assoc [ (0, 1.0); (1, 2.0) ] in
+  (match Lu.factor [| col; col |] with
+  | exception Lu.Singular _ -> ()
+  | _ -> Alcotest.fail "duplicate columns must be singular");
+  (* a zero column *)
+  match Lu.factor [| Sparse.of_assoc [ (0, 1.0) ]; Sparse.empty |] with
+  | exception Lu.Singular _ -> ()
+  | _ -> Alcotest.fail "zero column must be singular"
+
+let test_lu_permutation_matrix () =
+  (* a permutation matrix exercises the pivoting bookkeeping *)
+  let n = 6 in
+  let perm = [| 3; 0; 5; 1; 4; 2 |] in
+  let cols = Array.init n (fun j -> Sparse.of_assoc [ (perm.(j), 1.0) ]) in
+  let lu = Lu.factor cols in
+  Alcotest.(check int) "nnz of a permutation" n (Lu.nnz lu);
+  let b = Array.init n float_of_int in
+  let x = Lu.solve lu b in
+  (* x_j = b_(perm j) *)
+  Array.iteri
+    (fun j v -> Alcotest.(check (float 1e-12)) "perm solve" b.(perm.(j)) v)
+    x
+
+let () =
+  Alcotest.run "lp-extra"
+    [
+      ( "presolve",
+        [
+          Alcotest.test_case "fixed variable substitution" `Quick
+            test_fixed_variable_substitution;
+          Alcotest.test_case "singleton row to bound" `Quick
+            test_singleton_row_to_bound;
+          Alcotest.test_case "duplicate rows merge" `Quick
+            test_duplicate_rows_merge;
+          Alcotest.test_case "detects infeasibility" `Quick
+            test_presolve_detects_infeasible;
+          Alcotest.test_case "all variables fixed" `Quick
+            test_all_variables_fixed;
+          Alcotest.test_case "300 random LPs agree" `Slow
+            test_presolve_random_agreement;
+        ] );
+      ( "sparse-lu",
+        [
+          Alcotest.test_case "solve roundtrip" `Quick test_lu_solve_roundtrip;
+          Alcotest.test_case "transpose solve" `Quick test_lu_transpose_solve;
+          Alcotest.test_case "inverse columns" `Quick test_lu_inverse_columns;
+          Alcotest.test_case "detects singular" `Quick test_lu_detects_singular;
+          Alcotest.test_case "permutation matrix" `Quick
+            test_lu_permutation_matrix;
+        ] );
+      ( "lp-format",
+        [
+          Alcotest.test_case "writer sections" `Quick test_lp_format_writer_shape;
+          Alcotest.test_case "roundtrip 200 random LPs" `Slow
+            test_lp_format_roundtrip;
+          Alcotest.test_case "reader errors" `Quick test_lp_format_reader_errors;
+          Alcotest.test_case "EBF program export" `Quick test_ebf_program_exports;
+        ] );
+    ]

@@ -1,0 +1,143 @@
+(* Tests for the utility substrate: PRNG determinism, heap ordering,
+   union-find invariants, numerical helpers. *)
+
+module Prng = Lubt_util.Prng
+module Heap = Lubt_util.Heap
+module Union_find = Lubt_util.Union_find
+module Stats = Lubt_util.Stats
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_copy_independent () =
+  let a = Prng.create 7 in
+  ignore (Prng.next_int64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues" (Prng.next_int64 a) (Prng.next_int64 b)
+
+let test_prng_ranges () =
+  let rng = Prng.create 1 in
+  for _ = 1 to 1000 do
+    let f = Prng.float rng 10.0 in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 10.0);
+    let i = Prng.int rng 7 in
+    Alcotest.(check bool) "int in range" true (i >= 0 && i < 7);
+    let g = Prng.float_range rng (-3.0) 5.0 in
+    Alcotest.(check bool) "range" true (g >= -3.0 && g < 5.0)
+  done
+
+let test_prng_distribution () =
+  (* crude uniformity check: each of 10 buckets gets 5-15% of draws *)
+  let rng = Prng.create 99 in
+  let buckets = Array.make 10 0 in
+  let draws = 20000 in
+  for _ = 1 to draws do
+    let b = Prng.int rng 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let frac = float_of_int c /. float_of_int draws in
+      Alcotest.(check bool) "bucket reasonable" true (frac > 0.05 && frac < 0.15))
+    buckets
+
+let test_heap_sorts () =
+  let h = Heap.create () in
+  let rng = Prng.create 3 in
+  let keys = Array.init 500 (fun _ -> Prng.float rng 100.0) in
+  Array.iter (fun k -> Heap.push h k k) keys;
+  Alcotest.(check int) "length" 500 (Heap.length h);
+  let last = ref neg_infinity in
+  for _ = 1 to 500 do
+    match Heap.pop h with
+    | None -> Alcotest.fail "premature empty"
+    | Some (k, _) ->
+      Alcotest.(check bool) "nondecreasing" true (k >= !last);
+      last := k
+  done;
+  Alcotest.(check bool) "empty at end" true (Heap.is_empty h)
+
+let test_heap_peek_pop () =
+  let h = Heap.create () in
+  Heap.push h 2.0 "b";
+  Heap.push h 1.0 "a";
+  Heap.push h 3.0 "c";
+  (match Heap.peek h with
+  | Some (k, v) ->
+    Alcotest.(check (float 0.0)) "peek key" 1.0 k;
+    Alcotest.(check string) "peek value" "a" v
+  | None -> Alcotest.fail "peek");
+  (match Heap.pop h with
+  | Some (_, v) -> Alcotest.(check string) "pop value" "a" v
+  | None -> Alcotest.fail "pop");
+  Alcotest.(check int) "length after pop" 2 (Heap.length h)
+
+let test_union_find () =
+  let uf = Union_find.create 10 in
+  Alcotest.(check int) "initial count" 10 (Union_find.count uf);
+  Alcotest.(check bool) "union works" true (Union_find.union uf 0 1);
+  Alcotest.(check bool) "re-union is false" false (Union_find.union uf 1 0);
+  Alcotest.(check bool) "same" true (Union_find.same uf 0 1);
+  Alcotest.(check bool) "not same" false (Union_find.same uf 0 2);
+  ignore (Union_find.union uf 2 3);
+  ignore (Union_find.union uf 1 3);
+  Alcotest.(check bool) "transitively same" true (Union_find.same uf 0 2);
+  Alcotest.(check int) "count" 7 (Union_find.count uf)
+
+let test_stats () =
+  Alcotest.(check (float 1e-12)) "sum" 6.0 (Stats.sum [| 1.0; 2.0; 3.0 |]);
+  Alcotest.(check (float 1e-12)) "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  let lo, hi = Stats.min_max [| 3.0; -1.0; 2.0 |] in
+  Alcotest.(check (float 0.0)) "min" (-1.0) lo;
+  Alcotest.(check (float 0.0)) "max" 3.0 hi;
+  Alcotest.(check bool) "approx_eq close" true (Stats.approx_eq 1.0 (1.0 +. 1e-9));
+  Alcotest.(check bool) "approx_eq far" false (Stats.approx_eq 1.0 1.1);
+  Alcotest.(check (float 0.0)) "clamp low" 0.0 (Stats.clamp 0.0 1.0 (-5.0));
+  Alcotest.(check (float 0.0)) "clamp high" 1.0 (Stats.clamp 0.0 1.0 5.0);
+  Alcotest.(check (float 0.0)) "clamp mid" 0.5 (Stats.clamp 0.0 1.0 0.5)
+
+let test_kahan_precision () =
+  (* 10^8 + many tiny values: naive summation loses them entirely *)
+  let n = 10_000 in
+  let arr = Array.make (n + 1) 1e-8 in
+  arr.(0) <- 1e8;
+  let s = Stats.sum arr in
+  Alcotest.(check (float 1e-7)) "kahan keeps tiny terms" (1e8 +. (float_of_int n *. 1e-8)) s
+
+let prop_shuffle_is_permutation =
+  QCheck.Test.make ~name:"shuffle preserves multiset" ~count:100
+    QCheck.(pair small_int (array small_int))
+    (fun (seed, arr) ->
+      let rng = Prng.create seed in
+      let copy = Array.copy arr in
+      Prng.shuffle rng copy;
+      List.sort compare (Array.to_list copy)
+      = List.sort compare (Array.to_list arr))
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "copy" `Quick test_prng_copy_independent;
+          Alcotest.test_case "ranges" `Quick test_prng_ranges;
+          Alcotest.test_case "distribution" `Quick test_prng_distribution;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "heapsort" `Quick test_heap_sorts;
+          Alcotest.test_case "peek/pop" `Quick test_heap_peek_pop;
+        ] );
+      ("union-find", [ Alcotest.test_case "basic" `Quick test_union_find ]);
+      ( "stats",
+        [
+          Alcotest.test_case "basics" `Quick test_stats;
+          Alcotest.test_case "kahan" `Quick test_kahan_precision;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_shuffle_is_permutation ] );
+    ]
