@@ -9,7 +9,12 @@
                                                  #   ablation, extensions, timing
      dune exec bench/main.exe -- table1 --full   # paper-sized sink sets
      dune exec bench/main.exe -- table1 --tiny   # smoke-run sizes
-*)
+     dune exec bench/main.exe -- timing --json BENCH_lp.json
+                                                 # machine-readable timings
+                                                 #   plus solver counters
+
+   Unknown flags and commands are rejected (exit 1): a typo must never
+   silently fall back to the default sweep. *)
 
 module Benchmarks = Lubt_data.Benchmarks
 module Tables = Lubt_experiments.Tables
@@ -18,6 +23,7 @@ module Instance = Lubt_core.Instance
 module Ebf = Lubt_core.Ebf
 module Zeroskew = Lubt_core.Zeroskew
 module Embed = Lubt_core.Embed
+module Simplex = Lubt_lp.Simplex
 module Bst = Lubt_bst.Bst_dme
 
 (* ------------------------------------------------------------------ *)
@@ -62,8 +68,16 @@ let run_extensions size =
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table/figure plus the pipeline     *)
-(* stages, on the tiny size so a timing run stays short.                 *)
+(* stages, on the tiny size so a timing run stays short. Each timed      *)
+(* benchmark optionally carries a probe that reruns the workload once    *)
+(* to harvest solver counters for the JSON record.                       *)
 (* ------------------------------------------------------------------ *)
+
+type timed_bench = {
+  tname : string;
+  test : Bechamel.Test.t;
+  probe : (unit -> Ebf.result) option;
+}
 
 let timing_tests () =
   let open Bechamel in
@@ -79,37 +93,67 @@ let timing_tests () =
       ~upper:(baseline.Protocol.bst.Bst.dmax) ()
   in
   let relaxed = Instance.uniform_bounds ~source ~sinks ~lower:0.0 ~upper:infinity () in
+  let with_pricing pricing =
+    {
+      Ebf.default_options with
+      Ebf.lp_params =
+        { Ebf.default_options.Ebf.lp_params with Simplex.pricing = pricing };
+    }
+  in
+  let plain tname test = { tname; test; probe = None } in
+  let lp tname test probe = { tname; test; probe = Some probe } in
   [
     (* one bench per table/figure *)
-    Test.make ~name:"table1 (tiny)"
-      (Staged.stage (fun () -> ignore (Tables.table1 ~size:tiny ())));
-    Test.make ~name:"table2 (tiny)"
-      (Staged.stage (fun () -> ignore (Tables.table2 ~size:tiny ())));
-    Test.make ~name:"table3 (tiny)"
-      (Staged.stage (fun () -> ignore (Tables.table3 ~size:tiny ())));
-    Test.make ~name:"figure8 tradeoff (tiny)"
-      (Staged.stage (fun () -> ignore (Tables.tradeoff ~size:tiny ())));
+    plain "table1 (tiny)"
+      (Test.make ~name:"table1 (tiny)"
+         (Staged.stage (fun () -> ignore (Tables.table1 ~size:tiny ()))));
+    plain "table2 (tiny)"
+      (Test.make ~name:"table2 (tiny)"
+         (Staged.stage (fun () -> ignore (Tables.table2 ~size:tiny ()))));
+    plain "table3 (tiny)"
+      (Test.make ~name:"table3 (tiny)"
+         (Staged.stage (fun () -> ignore (Tables.table3 ~size:tiny ()))));
+    plain "figure8 tradeoff (tiny)"
+      (Test.make ~name:"figure8 tradeoff (tiny)"
+         (Staged.stage (fun () -> ignore (Tables.tradeoff ~size:tiny ()))));
     (* pipeline stages *)
-    Test.make ~name:"bst route (tiny, 24 sinks)"
-      (Staged.stage (fun () ->
-           ignore (Bst.route ~skew_bound:(0.5 *. baseline.Protocol.radius) ~source sinks)));
-    Test.make ~name:"ebf lazy LP"
-      (Staged.stage (fun () -> ignore (Ebf.solve inst topo)));
-    Test.make ~name:"ebf eager LP"
-      (Staged.stage (fun () ->
-           ignore
-             (Ebf.solve
-                ~options:{ Ebf.default_options with Ebf.lazy_steiner = false }
-                inst topo)));
-    Test.make ~name:"zero-skew closed form"
-      (Staged.stage (fun () -> ignore (Zeroskew.balance relaxed topo)));
-    Test.make ~name:"embedding"
-      (Staged.stage
-         (let lengths = (Ebf.solve inst topo).Ebf.lengths in
-          fun () -> ignore (Embed.place inst topo lengths)));
+    plain "bst route (tiny, 24 sinks)"
+      (Test.make ~name:"bst route (tiny, 24 sinks)"
+         (Staged.stage (fun () ->
+              ignore
+                (Bst.route ~skew_bound:(0.5 *. baseline.Protocol.radius)
+                   ~source sinks))));
+    lp "ebf lazy LP"
+      (Test.make ~name:"ebf lazy LP"
+         (Staged.stage (fun () -> ignore (Ebf.solve inst topo))))
+      (fun () -> Ebf.solve inst topo);
+    lp "ebf lazy LP (full pricing)"
+      (Test.make ~name:"ebf lazy LP (full pricing)"
+         (Staged.stage (fun () ->
+              ignore (Ebf.solve ~options:(with_pricing Simplex.Dantzig) inst topo))))
+      (fun () -> Ebf.solve ~options:(with_pricing Simplex.Dantzig) inst topo);
+    lp "ebf eager LP"
+      (Test.make ~name:"ebf eager LP"
+         (Staged.stage (fun () ->
+              ignore
+                (Ebf.solve
+                   ~options:{ Ebf.default_options with Ebf.lazy_steiner = false }
+                   inst topo))))
+      (fun () ->
+        Ebf.solve
+          ~options:{ Ebf.default_options with Ebf.lazy_steiner = false }
+          inst topo);
+    plain "zero-skew closed form"
+      (Test.make ~name:"zero-skew closed form"
+         (Staged.stage (fun () -> ignore (Zeroskew.balance relaxed topo))));
+    plain "embedding"
+      (Test.make ~name:"embedding"
+         (Staged.stage
+            (let lengths = (Ebf.solve inst topo).Ebf.lengths in
+             fun () -> ignore (Embed.place inst topo lengths))));
   ]
 
-let run_timing () =
+let run_timing json_out =
   let open Bechamel in
   let cfg =
     Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~stabilize:false ()
@@ -120,34 +164,97 @@ let run_timing () =
       ~predictors:[| Measure.run |]
   in
   Printf.printf "\n=== Bechamel timings (tiny benchmarks) ===\n%!";
-  List.iter
-    (fun test ->
-      let results =
-        Benchmark.all cfg instances
-          (Test.make_grouped ~name:"g" [ test ])
-      in
-      let analysed = Analyze.all ols (List.hd instances) results in
-      Hashtbl.iter
-        (fun name ols_result ->
-          match Analyze.OLS.estimates ols_result with
-          | Some [ est ] ->
-            Printf.printf "%-40s %12.3f ms/run\n%!" name (est /. 1e6)
-          | _ -> Printf.printf "%-40s (no estimate)\n%!" name)
-        analysed)
-    (timing_tests ())
+  let entries =
+    List.map
+      (fun tb ->
+        let results =
+          Benchmark.all cfg instances
+            (Test.make_grouped ~name:"g" [ tb.test ])
+        in
+        let analysed = Analyze.all ols (List.hd instances) results in
+        let ms = ref nan in
+        Hashtbl.iter
+          (fun name ols_result ->
+            match Analyze.OLS.estimates ols_result with
+            | Some [ est ] ->
+              ms := est /. 1e6;
+              Printf.printf "%-40s %12.3f ms/run\n%!" name (est /. 1e6)
+            | _ -> Printf.printf "%-40s (no estimate)\n%!" name)
+          analysed;
+        let solver, ebf_result =
+          match tb.probe with
+          | None -> (None, None)
+          | Some probe ->
+            let r = probe () in
+            (Some r.Ebf.lp_stats, Some r)
+        in
+        {
+          Protocol.bench_name = tb.tname;
+          ms_per_run = !ms;
+          solver;
+          ebf_result;
+        })
+      (timing_tests ())
+  in
+  match json_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Protocol.bench_json ~size:"tiny" entries);
+    close_out oc;
+    Printf.printf "wrote %s (%d benchmark records)\n%!" path
+      (List.length entries)
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                          *)
 (* ------------------------------------------------------------------ *)
 
+let known_commands =
+  [ "table1"; "table2"; "table3"; "tradeoff"; "figure8"; "ablation";
+    "extensions"; "timing" ]
+
+let usage_and_exit () =
+  Printf.eprintf
+    "usage: main.exe [COMMAND...] [--tiny|--scaled|--full] [--json FILE]\n\
+     commands: %s (all of them when none given)\n"
+    (String.concat "|" known_commands);
+  exit 1
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let size =
-    if List.mem "--full" args then Benchmarks.Full
-    else if List.mem "--tiny" args then Benchmarks.Tiny
-    else Benchmarks.Scaled
+  let size = ref Benchmarks.Scaled in
+  let json_out = ref None in
+  let commands = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--full" :: rest ->
+      size := Benchmarks.Full;
+      parse rest
+    | "--scaled" :: rest ->
+      size := Benchmarks.Scaled;
+      parse rest
+    | "--tiny" :: rest ->
+      size := Benchmarks.Tiny;
+      parse rest
+    | [ "--json" ] ->
+      Printf.eprintf "--json requires a FILE argument\n";
+      usage_and_exit ()
+    | "--json" :: file :: rest ->
+      json_out := Some file;
+      parse rest
+    | a :: _ when String.length a > 0 && a.[0] = '-' ->
+      Printf.eprintf "unknown flag %S\n" a;
+      usage_and_exit ()
+    | cmd :: rest ->
+      if not (List.mem cmd known_commands) then begin
+        Printf.eprintf "unknown command %S\n" cmd;
+        usage_and_exit ()
+      end;
+      commands := cmd :: !commands;
+      parse rest
   in
-  let commands = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  parse args;
+  let size = !size in
   let run = function
     | "table1" -> run_table1 size
     | "table2" -> run_table2 size
@@ -155,14 +262,10 @@ let () =
     | "tradeoff" | "figure8" -> run_tradeoff size
     | "ablation" -> run_ablation size
     | "extensions" -> run_extensions size
-    | "timing" -> run_timing ()
-    | other ->
-      Printf.eprintf
-        "unknown command %S (table1|table2|table3|tradeoff|ablation|extensions|timing)\n"
-        other;
-      exit 1
+    | "timing" -> run_timing !json_out
+    | _ -> assert false
   in
-  match commands with
+  match List.rev !commands with
   | [] ->
     (* full sweep: every table and figure, then the ablations and timings *)
     run_table1 size;
@@ -171,5 +274,5 @@ let () =
     run_tradeoff size;
     run_ablation size;
     run_extensions size;
-    run_timing ()
+    run_timing !json_out
   | cmds -> List.iter run cmds

@@ -16,6 +16,7 @@ module Ebf = Lubt_core.Ebf
 module Routed = Lubt_core.Routed
 module Lubt = Lubt_core.Lubt
 module Bst = Lubt_bst.Bst_dme
+module Simplex = Lubt_lp.Simplex
 module Benchmarks = Lubt_data.Benchmarks
 module Io = Lubt_data.Io
 module Tables = Lubt_experiments.Tables
@@ -47,10 +48,28 @@ let size_t =
     & info [ "size" ] ~docv:"SIZE"
         ~doc:"Benchmark size: tiny, scaled (default) or full (paper sizes).")
 
+(* benchmark names don't depend on the size, so validate against Tiny *)
+let bench_names =
+  lazy
+    (List.map
+       (fun s -> s.Benchmarks.name)
+       (Benchmarks.specs Benchmarks.Tiny @ Benchmarks.clustered Benchmarks.Tiny))
+
+let bench_arg =
+  let parse s =
+    if List.mem s (Lazy.force bench_names) then Ok s
+    else
+      Error
+        (`Msg
+           (Printf.sprintf "unknown benchmark %S (known: %s)" s
+              (String.concat "|" (Lazy.force bench_names))))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
 let bench_t =
   Arg.(
     value
-    & opt string "prim1s"
+    & opt bench_arg "prim1s"
     & info [ "bench" ] ~docv:"NAME" ~doc:"Benchmark name (prim1s|prim2s|r1s|r3s).")
 
 let or_die = function
@@ -145,7 +164,21 @@ let route_cmd =
 (* solve (LUBT)                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let solve inst_path topo_path eager =
+let print_solver_stats (ebf : Ebf.result) =
+  Format.printf "%a@." Simplex.pp_stats ebf.Ebf.lp_stats;
+  print_endline "lazy-loop rounds:";
+  List.iter
+    (fun (r : Ebf.round_stat) ->
+      Printf.printf
+        "  round %d: %d violations, %d rows added, scan %.3f ms, solve %.3f \
+         ms (%d pivots)\n"
+        r.Ebf.round r.Ebf.violations_found r.Ebf.rows_added
+        (r.Ebf.scan_seconds *. 1e3)
+        (r.Ebf.solve_seconds *. 1e3)
+        r.Ebf.solve_pivots)
+    ebf.Ebf.round_stats
+
+let solve inst_path topo_path eager stats =
   let inst = or_die (Io.read_instance inst_path) in
   let tree =
     match topo_path with
@@ -175,6 +208,7 @@ let solve inst_path topo_path eager =
     Printf.printf "LP: %d rows (full formulation: %d), %d simplex iterations, %d rounds\n"
       report.Lubt.ebf.Ebf.lp_rows report.Lubt.ebf.Ebf.full_rows
       report.Lubt.ebf.Ebf.lp_iterations report.Lubt.ebf.Ebf.rounds;
+    if stats then print_solver_stats report.Lubt.ebf;
     (match Routed.validate routed with
     | Ok () -> print_endline "validation: OK"
     | Error es ->
@@ -197,9 +231,18 @@ let solve_cmd =
       value & flag
       & info [ "eager" ] ~doc:"Disable lazy Steiner-row generation.")
   in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print solver counters (pricing scans, ftran/btran, \
+             refactorisations, phase times) and per-round lazy-loop \
+             telemetry after the solve.")
+  in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve the LUBT problem (EBF + embedding)")
-    Term.(const solve $ inst_path $ topo_path $ eager)
+    Term.(const solve $ inst_path $ topo_path $ eager $ stats)
 
 (* ------------------------------------------------------------------ *)
 (* svg                                                                  *)

@@ -23,6 +23,15 @@ let default_options =
     lp_params = { Simplex.default_params with Simplex.sparse_basis = true };
   }
 
+type round_stat = {
+  round : int;
+  rows_added : int;
+  violations_found : int;
+  scan_seconds : float;
+  solve_seconds : float;
+  solve_pivots : int;
+}
+
 type result = {
   status : Status.t;
   lengths : float array;
@@ -31,6 +40,8 @@ type result = {
   full_rows : int;
   lp_iterations : int;
   rounds : int;
+  round_stats : round_stat list;
+  lp_stats : Simplex.stats;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -195,10 +206,31 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
   in
   (* main loop: solve, scan all pairs for violated Steiner constraints via
      O(1) LCA path lengths, add the worst, re-optimise (dual simplex) *)
+  let round_stats = ref [] in
   let rec loop rounds =
+    let solve_t0 = Unix.gettimeofday () in
+    let pivots0 = Simplex.iterations eng in
     let status = Simplex.solve eng in
-    if status <> Status.Optimal then (status, rounds)
+    let solve_seconds = Unix.gettimeofday () -. solve_t0 in
+    let solve_pivots = Simplex.iterations eng - pivots0 in
+    let record ~rows_added ~violations_found ~scan_seconds =
+      round_stats :=
+        {
+          round = rounds;
+          rows_added;
+          violations_found;
+          scan_seconds;
+          solve_seconds;
+          solve_pivots;
+        }
+        :: !round_stats
+    in
+    if status <> Status.Optimal then begin
+      record ~rows_added:0 ~violations_found:0 ~scan_seconds:0.0;
+      (status, rounds)
+    end
     else begin
+      let scan_t0 = Unix.gettimeofday () in
       let lengths = lengths_of_primal (Simplex.primal eng) in
       let d = Tree.delays tree lengths in
       let violations = ref [] in
@@ -216,10 +248,16 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
           end
         done
       done;
+      let scan_seconds = Unix.gettimeofday () -. scan_t0 in
       match !violations with
-      | [] -> (Status.Optimal, rounds)
+      | [] ->
+        record ~rows_added:0 ~violations_found:0 ~scan_seconds;
+        (Status.Optimal, rounds)
       | vs ->
-        if rounds >= options.max_rounds then (Status.Iteration_limit, rounds)
+        if rounds >= options.max_rounds then begin
+          record ~rows_added:0 ~violations_found:(List.length vs) ~scan_seconds;
+          (Status.Iteration_limit, rounds)
+        end
         else begin
           let sorted = List.sort (fun (a, _) (b, _) -> compare b a) vs in
           let take = ref 0 in
@@ -232,6 +270,8 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
                 Simplex.add_row eng ~lo:dist ~up:infinity coeffs
               end)
             sorted;
+          record ~rows_added:!take ~violations_found:(List.length vs)
+            ~scan_seconds;
           loop (rounds + 1)
         end
     end
@@ -246,6 +286,8 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
     full_rows = full_row_count inst;
     lp_iterations = Simplex.iterations eng;
     rounds;
+    round_stats = List.rev !round_stats;
+    lp_stats = Simplex.stats eng;
   }
 
 (* ------------------------------------------------------------------ *)

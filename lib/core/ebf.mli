@@ -31,6 +31,17 @@ type options = {
 
 val default_options : options
 
+type round_stat = {
+  round : int;  (** 1-based row-generation round *)
+  rows_added : int;  (** violated Steiner rows appended after this round *)
+  violations_found : int;  (** violated pairs seen by the scan (>= rows_added) *)
+  scan_seconds : float;  (** wall time of the all-pairs violation scan *)
+  solve_seconds : float;  (** wall time of this round's LP (re-)solve *)
+  solve_pivots : int;
+      (** simplex pivots of this round's solve; from round 2 on these are
+          the warm-restart dual pivots *)
+}
+
 type result = {
   status : Lubt_lp.Status.t;
   lengths : float array;  (** edge lengths indexed by node id; entry 0 = 0 *)
@@ -39,6 +50,8 @@ type result = {
   full_rows : int;  (** rows the full formulation would have had *)
   lp_iterations : int;
   rounds : int;  (** row-generation rounds (1 when eager) *)
+  round_stats : round_stat list;  (** per-round telemetry, in round order *)
+  lp_stats : Lubt_lp.Simplex.stats;  (** cumulative solver counters *)
 }
 
 val formulate : ?weights:float array -> Instance.t -> Lubt_topo.Tree.t -> Lubt_lp.Problem.t

@@ -2,6 +2,7 @@ module Benchmarks = Lubt_data.Benchmarks
 module Bst_dme = Lubt_bst.Bst_dme
 module Instance = Lubt_core.Instance
 module Ebf = Lubt_core.Ebf
+module Simplex = Lubt_lp.Simplex
 module Status = Lubt_lp.Status
 
 type baseline_run = {
@@ -77,3 +78,93 @@ let run_lubt_from_baseline ?options (b : baseline_run) =
   if b.skew_rel = infinity then
     run_lubt ?options b ~lower_rel:0.0 ~upper_rel:infinity
   else run_lubt ?options b ~lower_rel:b.shortest_rel ~upper_rel:b.longest_rel
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable benchmark records (BENCH_lp.json)                   *)
+(* ------------------------------------------------------------------ *)
+
+type bench_entry = {
+  bench_name : string;
+  ms_per_run : float;
+  solver : Simplex.stats option;
+  ebf_result : Ebf.result option;
+}
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* JSON has no inf/nan literals *)
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.17g" f else "null"
+
+let solver_stats_json (s : Simplex.stats) =
+  Printf.sprintf
+    "{\"iterations\": %d, \"phase1_iterations\": %d, \
+     \"phase2_iterations\": %d, \"dual_iterations\": %d, \
+     \"full_pricing_scans\": %d, \"partial_pricing_scans\": %d, \
+     \"ftran_count\": %d, \"btran_count\": %d, \"basis_updates\": %d, \
+     \"refactorisations\": %d, \"degenerate_pivots\": %d, \
+     \"bland_activations\": %d, \"phase1_ms\": %s, \"phase2_ms\": %s, \
+     \"dual_ms\": %s}"
+    s.Simplex.iterations s.Simplex.phase1_iterations
+    s.Simplex.phase2_iterations s.Simplex.dual_iterations
+    s.Simplex.full_pricing_scans s.Simplex.partial_pricing_scans
+    s.Simplex.ftran_count s.Simplex.btran_count s.Simplex.basis_updates
+    s.Simplex.refactorisations s.Simplex.degenerate_pivots
+    s.Simplex.bland_activations
+    (json_float (s.Simplex.phase1_seconds *. 1e3))
+    (json_float (s.Simplex.phase2_seconds *. 1e3))
+    (json_float (s.Simplex.dual_seconds *. 1e3))
+
+let round_stat_json (r : Ebf.round_stat) =
+  Printf.sprintf
+    "{\"round\": %d, \"rows_added\": %d, \"violations_found\": %d, \
+     \"scan_ms\": %s, \"solve_ms\": %s, \"solve_pivots\": %d}"
+    r.Ebf.round r.Ebf.rows_added r.Ebf.violations_found
+    (json_float (r.Ebf.scan_seconds *. 1e3))
+    (json_float (r.Ebf.solve_seconds *. 1e3))
+    r.Ebf.solve_pivots
+
+let ebf_result_json (e : Ebf.result) =
+  Printf.sprintf
+    "{\"status\": \"%s\", \"objective\": %s, \"lp_rows\": %d, \
+     \"full_rows\": %d, \"lp_iterations\": %d, \"rounds\": %d, \
+     \"round_stats\": [%s]}"
+    (json_escape (Status.to_string e.Ebf.status))
+    (json_float e.Ebf.objective) e.Ebf.lp_rows e.Ebf.full_rows
+    e.Ebf.lp_iterations e.Ebf.rounds
+    (String.concat ", " (List.map round_stat_json e.Ebf.round_stats))
+
+let bench_entry_json e =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\": \"%s\", \"ms_per_run\": %s"
+       (json_escape e.bench_name)
+       (json_float e.ms_per_run));
+  (match e.solver with
+  | Some s -> Buffer.add_string buf (", \"solver\": " ^ solver_stats_json s)
+  | None -> ());
+  (match e.ebf_result with
+  | Some r -> Buffer.add_string buf (", \"ebf\": " ^ ebf_result_json r)
+  | None -> ());
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let bench_json ~size entries =
+  Printf.sprintf
+    "{\n  \"schema\": \"lubt-bench/1\",\n  \"size\": \"%s\",\n  \
+     \"benchmarks\": [\n    %s\n  ]\n}\n"
+    (json_escape size)
+    (String.concat ",\n    " (List.map bench_entry_json entries))

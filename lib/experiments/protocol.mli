@@ -44,3 +44,27 @@ val run_lubt_from_baseline : ?options:Lubt_core.Ebf.options -> baseline_run -> l
 
 val time : (unit -> 'a) -> 'a * float
 (** Wall-clock timing helper. *)
+
+(** {1 Machine-readable benchmark records}
+
+    The [BENCH_lp.json] schema ([lubt-bench/1]) emitted by
+    [bench/main.exe -- timing --json FILE]: a top-level object with
+    [schema], [size] (tiny|scaled|full), and [benchmarks], an array of
+    entries each holding [name], [ms_per_run], and — for LP-backed
+    benchmarks — [solver] (the {!Lubt_lp.Simplex.stats} counters, times in
+    milliseconds) and [ebf] (status, objective, row counts, and
+    [round_stats], the per-round lazy-loop telemetry). Perf PRs append one
+    such file per run to track the trajectory. *)
+
+type bench_entry = {
+  bench_name : string;
+  ms_per_run : float;  (** OLS estimate from Bechamel *)
+  solver : Lubt_lp.Simplex.stats option;
+      (** counters of one representative solve (not the timed runs) *)
+  ebf_result : Lubt_core.Ebf.result option;
+      (** lazy-loop telemetry of the same representative solve *)
+}
+
+val bench_json : size:string -> bench_entry list -> string
+(** Renders entries as the [lubt-bench/1] JSON document (self-contained,
+    no external JSON dependency; [inf]/[nan] become [null]). *)

@@ -2,15 +2,28 @@
    E is the identity except for column r, where E[r][r] = 1/w_r and
    E[i][r] = -w_i / w_r. *)
 
+type counters = {
+  mutable ftrans : int;
+  mutable btrans : int;
+  mutable updates : int;
+  mutable factorisations : int;
+}
+
+let fresh_counters () = { ftrans = 0; btrans = 0; updates = 0; factorisations = 0 }
+
 type eta = { r : int; w : float array }
 
 type t = {
   mutable lu : Lu.t;
   mutable etas : eta list;  (* newest first *)
   mutable count : int;
+  ops : counters;
 }
 
-let create cols = { lu = Lu.factor cols; etas = []; count = 0 }
+let create ?counters cols =
+  let ops = match counters with Some c -> c | None -> fresh_counters () in
+  ops.factorisations <- ops.factorisations + 1;
+  { lu = Lu.factor cols; etas = []; count = 0; ops }
 
 let dim t = Lu.dim t.lu
 
@@ -38,12 +51,14 @@ let apply_eta_transpose e c =
   c.(e.r) <- (c.(e.r) -. (!s -. (w.(e.r) *. c.(e.r)))) /. w.(e.r)
 
 let ftran t b =
+  t.ops.ftrans <- t.ops.ftrans + 1;
   let v = Lu.solve t.lu b in
   (* oldest eta first *)
   List.iter (fun e -> apply_eta e v) (List.rev t.etas);
   v
 
 let btran t c =
+  t.ops.btrans <- t.ops.btrans + 1;
   let v = Array.copy c in
   (* adjoints newest first *)
   List.iter (fun e -> apply_eta_transpose e v) t.etas;
@@ -56,5 +71,6 @@ let btran_unit t r =
 
 let update t r w =
   if abs_float w.(r) < 1e-12 then failwith "Basis.update: zero pivot";
+  t.ops.updates <- t.ops.updates + 1;
   t.etas <- { r; w = Array.copy w } :: t.etas;
   t.count <- t.count + 1

@@ -8,10 +8,27 @@
     ({!Simplex.params}[.sparse_basis]); results agree to numerical
     tolerance. *)
 
+type counters = {
+  mutable ftrans : int;
+  mutable btrans : int;
+  mutable updates : int;
+  mutable factorisations : int;
+}
+(** Cumulative operation counters. A counters record outlives individual
+    basis factorisations: pass the same record to successive {!create}
+    calls (as the simplex engine does across refactorisations) to
+    accumulate a whole solve's linear-algebra traffic. The engine's dense
+    explicit-inverse backend increments the same record at its own
+    call sites, so {!Simplex.stats} reads one source of truth. *)
+
+val fresh_counters : unit -> counters
+(** A zeroed counters record. *)
+
 type t
 
-val create : Sparse.t array -> t
-(** Factorises the basis given by its columns.
+val create : ?counters:counters -> Sparse.t array -> t
+(** Factorises the basis given by its columns, counting the factorisation
+    (and all later ftran/btran/update traffic) in [counters] when given.
     @raise Lu.Singular when the basis is singular. *)
 
 val dim : t -> int

@@ -1,5 +1,7 @@
 type vstat = Basic of int | At_lower | At_upper | Free_zero
 
+type pricing = Dantzig | Partial
+
 type params = {
   max_iters : int;
   tol_feas : float;
@@ -7,6 +9,8 @@ type params = {
   tol_pivot : float;
   refactor_every : int;
   sparse_basis : bool;
+  pricing : pricing;
+  bland_threshold : int;
 }
 
 let default_params =
@@ -17,6 +21,56 @@ let default_params =
     tol_pivot = 1e-9;
     refactor_every = 1000;
     sparse_basis = false;
+    pricing = Partial;
+    bland_threshold = 1000;
+  }
+
+type stats = {
+  iterations : int;
+  phase1_iterations : int;
+  phase2_iterations : int;
+  dual_iterations : int;
+  full_pricing_scans : int;
+  partial_pricing_scans : int;
+  ftran_count : int;
+  btran_count : int;
+  basis_updates : int;
+  refactorisations : int;
+  degenerate_pivots : int;
+  bland_activations : int;
+  phase1_seconds : float;
+  phase2_seconds : float;
+  dual_seconds : float;
+}
+
+(* Internal mutable mirror of the counters that are not already tracked
+   elsewhere (iterations live on [t], linear-algebra traffic in the shared
+   {!Basis.counters}). *)
+type istats = {
+  mutable s_phase1_iters : int;
+  mutable s_phase2_iters : int;
+  mutable s_dual_iters : int;
+  mutable s_full_scans : int;
+  mutable s_partial_scans : int;
+  mutable s_degen : int;
+  mutable s_bland : int;
+  mutable s_phase1_secs : float;
+  mutable s_phase2_secs : float;
+  mutable s_dual_secs : float;
+}
+
+let fresh_istats () =
+  {
+    s_phase1_iters = 0;
+    s_phase2_iters = 0;
+    s_dual_iters = 0;
+    s_full_scans = 0;
+    s_partial_scans = 0;
+    s_degen = 0;
+    s_bland = 0;
+    s_phase1_secs = 0.0;
+    s_phase2_secs = 0.0;
+    s_dual_secs = 0.0;
   }
 
 type t = {
@@ -39,6 +93,13 @@ type t = {
   mutable since_refactor : int;
   mutable degen_streak : int;
   mutable bland : bool;
+  st : istats;
+  ops : Basis.counters;  (* shared with the sparse backend *)
+  (* partial-pricing candidate list: nonbasic columns that priced
+     attractively at the last full scan, revalidated before use *)
+  cand : int array;
+  cand_score : float array;
+  mutable ncand : int;
   (* scratch vectors, length cap *)
   mutable w : float array;
   mutable y : float array;
@@ -106,6 +167,7 @@ let ftran t q =
       Array.blit w 0 t.w 0 t.m
   end
   else begin
+  t.ops.Basis.ftrans <- t.ops.Basis.ftrans + 1;
   let w = t.w and m = t.m in
   if q < t.n then begin
     let col = t.cols.(q) in
@@ -134,6 +196,7 @@ let compute_y t cb =
       Array.blit y 0 t.y 0 t.m
   end
   else begin
+  t.ops.Basis.btrans <- t.ops.Basis.btrans + 1;
   let y = t.y and m = t.m in
   Array.fill y 0 m 0.0;
   for r = 0 to m - 1 do
@@ -191,7 +254,8 @@ let recompute_xb t =
         t.xb.(r) <- -.w.(r)
       done
   end
-  else
+  else begin
+    t.ops.Basis.ftrans <- t.ops.Basis.ftrans + 1;
     for r = 0 to m - 1 do
       let br = t.binv.(r) in
       let acc = ref 0.0 in
@@ -200,6 +264,7 @@ let recompute_xb t =
       done;
       t.xb.(r) <- -. !acc
     done
+  end
 
 (* Rebuild B^-1 from the basis: sparse LU factorisation (basis matrices of
    path-structured LPs are very sparse), then one unit solve per column of
@@ -212,8 +277,13 @@ let basis_columns t =
       Sparse.of_assoc !entries)
 
 let refactor t =
+  (* a fresh factorisation is exact, so the anti-cycling escape restarts:
+     a Bland run triggered by numerical degeneracy must not outlive the
+     basis representation that caused it *)
+  t.degen_streak <- 0;
+  t.bland <- false;
   if sparse_mode t then begin
-    (match Basis.create (basis_columns t) with
+    (match Basis.create ~counters:t.ops (basis_columns t) with
     | sb ->
       t.sbasis <- Some sb;
       t.needs_factor <- false
@@ -223,13 +293,9 @@ let refactor t =
     recompute_xb t
   end
   else begin
+  t.ops.Basis.factorisations <- t.ops.Basis.factorisations + 1;
   let m = t.m in
-  let cols =
-    Array.init m (fun k ->
-        let entries = ref [] in
-        col_iter t t.basic.(k) (fun i a -> entries := (i, a) :: !entries);
-        Sparse.of_assoc !entries)
-  in
+  let cols = basis_columns t in
   let lu =
     match Lu.factor cols with
     | lu -> lu
@@ -266,6 +332,120 @@ let check_consistency t =
   !worst
 
 (* ------------------------------------------------------------------ *)
+(* Pricing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Attractiveness of nonbasic column [j] under the current multipliers t.y:
+   Some (d, sigma) when entering j with direction sigma improves the
+   phase cost, None otherwise. *)
+let attractiveness t ~cost j =
+  match t.vstat.(j) with
+  | Basic _ -> None
+  | _ when is_fixed t j -> None
+  | At_lower ->
+    let d = cost j -. col_dot t j t.y in
+    if d < -.dual_tol t j then Some (d, 1.0) else None
+  | At_upper ->
+    let d = cost j -. col_dot t j t.y in
+    if d > dual_tol t j then Some (d, -1.0) else None
+  | Free_zero ->
+    let d = cost j -. col_dot t j t.y in
+    if d < -.dual_tol t j then Some (d, 1.0)
+    else if d > dual_tol t j then Some (d, -1.0)
+    else None
+
+(* Offers column [j] with [score] to the candidate list, displacing the
+   weakest entry when full. Scores are a selection heuristic only — they go
+   stale as the basis moves and every candidate is repriced before use. *)
+let cand_offer t j score =
+  let cap = Array.length t.cand in
+  if t.ncand < cap then begin
+    t.cand.(t.ncand) <- j;
+    t.cand_score.(t.ncand) <- score;
+    t.ncand <- t.ncand + 1
+  end
+  else begin
+    let weakest = ref 0 in
+    for k = 1 to cap - 1 do
+      if t.cand_score.(k) < t.cand_score.(!weakest) then weakest := k
+    done;
+    if score > t.cand_score.(!weakest) then begin
+      t.cand.(!weakest) <- j;
+      t.cand_score.(!weakest) <- score
+    end
+  end
+
+(* Full Dantzig scan over all n+m columns. Refills the candidate list as a
+   side effect (except in Bland mode, where the first eligible index wins
+   and candidate quality is irrelevant). *)
+let price_full t ~cost =
+  t.st.s_full_scans <- t.st.s_full_scans + 1;
+  let best = ref None in
+  let total = t.n + t.m in
+  if t.bland then (
+    try
+      for j = 0 to total - 1 do
+        match attractiveness t ~cost j with
+        | Some (d, sigma) ->
+          best := Some (j, sigma, abs_float d);
+          raise Exit
+        | None -> ()
+      done
+    with Exit -> ())
+  else begin
+    t.ncand <- 0;
+    for j = 0 to total - 1 do
+      match attractiveness t ~cost j with
+      | None -> ()
+      | Some (d, sigma) ->
+        let score = abs_float d in
+        (match !best with
+        | Some (_, _, s) when s >= score -> ()
+        | _ -> best := Some (j, sigma, score));
+        cand_offer t j score
+    done
+  end;
+  !best
+
+(* Scan only the candidate list, dropping entries that no longer price
+   attractively. Sound because every candidate is revalidated against the
+   current multipliers: a winner here is a legal entering column, and
+   optimality is only ever declared by a full scan. *)
+let price_partial t ~cost =
+  t.st.s_partial_scans <- t.st.s_partial_scans + 1;
+  let best = ref None in
+  let k = ref 0 in
+  while !k < t.ncand do
+    let j = t.cand.(!k) in
+    match attractiveness t ~cost j with
+    | None ->
+      t.ncand <- t.ncand - 1;
+      t.cand.(!k) <- t.cand.(t.ncand);
+      t.cand_score.(!k) <- t.cand_score.(t.ncand)
+    | Some (d, sigma) ->
+      let score = abs_float d in
+      t.cand_score.(!k) <- score;
+      (match !best with
+      | Some (_, _, s) when s >= score -> ()
+      | _ -> best := Some (j, sigma, score));
+      incr k
+  done;
+  !best
+
+(* Chooses an entering variable given reduced costs derived from t.y and the
+   supplied per-variable cost function. Returns (q, sigma, d_q). *)
+let price t ~cost =
+  match t.p.pricing with
+  | Dantzig -> price_full t ~cost
+  | Partial ->
+    if t.bland then price_full t ~cost
+    else begin
+      match price_partial t ~cost with
+      | Some _ as r -> r
+      | None -> price_full t ~cost
+    end
+
+(* ------------------------------------------------------------------ *)
 (* Pivoting                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -279,6 +459,7 @@ let update_binv t r =
     | Some sb -> Basis.update sb r (Array.sub t.w 0 t.m)
   end
   else begin
+  t.ops.Basis.updates <- t.ops.Basis.updates + 1;
   let m = t.m and w = t.w in
   let alpha = w.(r) in
   if abs_float alpha < t.p.tol_pivot then raise (Numerical "tiny pivot");
@@ -326,51 +507,22 @@ let apply_primal_pivot t ~q ~sigma ~step ~blocking =
     update_binv t r;
     t.basic.(r) <- q;
     t.vstat.(q) <- Basic r;
-    t.xb.(r) <- q_new);
+    t.xb.(r) <- q_new;
+    (* the just-ejected variable tends to price attractively again soon:
+       seed it into the candidate list *)
+    if t.p.pricing = Partial then cand_offer t leaving 0.0);
   t.iters <- t.iters + 1;
   t.since_refactor <- t.since_refactor + 1;
-  if step <= t.p.tol_pivot then t.degen_streak <- t.degen_streak + 1
+  if step <= t.p.tol_pivot then begin
+    t.degen_streak <- t.degen_streak + 1;
+    t.st.s_degen <- t.st.s_degen + 1
+  end
   else t.degen_streak <- 0;
-  if t.degen_streak > 1000 then t.bland <- true
+  if t.degen_streak > t.p.bland_threshold then begin
+    if not t.bland then t.st.s_bland <- t.st.s_bland + 1;
+    t.bland <- true
+  end
   else if t.degen_streak = 0 then t.bland <- false
-
-(* ------------------------------------------------------------------ *)
-(* Pricing                                                             *)
-(* ------------------------------------------------------------------ *)
-
-(* Chooses an entering variable given reduced costs derived from t.y and the
-   supplied per-variable cost function. Returns (q, sigma, d_q). *)
-let price t ~cost =
-  let best = ref None in
-  let consider j d sigma =
-    let score = abs_float d in
-    match !best with
-    | _ when t.bland ->
-      if !best = None then best := Some (j, sigma, score)
-    | Some (_, _, s) when s >= score -> ()
-    | _ -> best := Some (j, sigma, score)
-  in
-  let total = t.n + t.m in
-  (try
-     for j = 0 to total - 1 do
-       (match t.vstat.(j) with
-       | Basic _ -> ()
-       | _ when is_fixed t j -> ()
-       | At_lower ->
-         let d = cost j -. col_dot t j t.y in
-         if d < -.dual_tol t j then consider j d 1.0
-       | At_upper ->
-         let d = cost j -. col_dot t j t.y in
-         if d > dual_tol t j then consider j d (-1.0)
-       | Free_zero ->
-         let d = cost j -. col_dot t j t.y in
-         if d < -.dual_tol t j then consider j d 1.0
-         else if d > dual_tol t j then consider j d (-1.0));
-       (* In Bland mode the first eligible index wins. *)
-       if t.bland && !best <> None then raise Exit
-     done
-   with Exit -> ());
-  !best
 
 (* ------------------------------------------------------------------ *)
 (* Ratio tests                                                         *)
@@ -468,8 +620,6 @@ let effective_max_iters t =
 
 (* Phase II from a primal-feasible basis. *)
 let primal_phase2 t =
-  let zero_cost _ = 0.0 in
-  ignore zero_cost;
   let rec loop () =
     if t.iters > effective_max_iters t then Status.Iteration_limit
     else begin
@@ -551,11 +701,15 @@ let dual_simplex t =
            | None -> invalid_arg "dual: basis not factorised"
            | Some sb -> Array.blit (Basis.btran_unit sb r) 0 t.rho 0 t.m
          end
-         else Array.blit t.binv.(r) 0 t.rho 0 t.m);
+         else begin
+           t.ops.Basis.btrans <- t.ops.Basis.btrans + 1;
+           Array.blit t.binv.(r) 0 t.rho 0 t.m
+         end);
         fill_cb_phase2 t;
         compute_y t t.cb;
         (* entering candidate: minimum dual ratio |d_j| / |alpha_j| among
            the columns whose pivot sign restores primal feasibility *)
+        t.st.s_full_scans <- t.st.s_full_scans + 1;
         let best = ref None in
         let consider j ratio alpha =
           let mag = abs_float alpha in
@@ -603,6 +757,7 @@ let dual_simplex t =
           t.basic.(r) <- q;
           t.vstat.(q) <- Basic r;
           t.xb.(r) <- q_new;
+          if t.p.pricing = Partial then cand_offer t b 0.0;
           t.iters <- t.iters + 1;
           t.since_refactor <- t.since_refactor + 1;
           loop ())
@@ -697,6 +852,7 @@ let of_problem ?(params = default_params) prob =
           if r < m then row.(r) <- -1.0;
           row)
   in
+  let cand_cap = max 8 (min 64 ((n + m + 3) / 4)) in
   let t =
     {
       n;
@@ -718,6 +874,11 @@ let of_problem ?(params = default_params) prob =
       since_refactor = 0;
       degen_streak = 0;
       bland = false;
+      st = fresh_istats ();
+      ops = Basis.fresh_counters ();
+      cand = Array.make cand_cap 0;
+      cand_score = Array.make cand_cap 0.0;
+      ncand = 0;
       w = Array.make cap 0.0;
       y = Array.make cap 0.0;
       rho = Array.make cap 0.0;
@@ -800,29 +961,55 @@ let dual_feasible t =
   done;
   !ok
 
+(* Phase-attributed wrappers: account wall time and the iteration delta of
+   one algorithm run to the matching stats bucket. *)
+let run_phase1 t =
+  let t0 = Unix.gettimeofday () in
+  let it0 = t.iters in
+  let r = primal_phase1 t in
+  t.st.s_phase1_secs <- t.st.s_phase1_secs +. (Unix.gettimeofday () -. t0);
+  t.st.s_phase1_iters <- t.st.s_phase1_iters + (t.iters - it0);
+  r
+
+let run_phase2 t =
+  let t0 = Unix.gettimeofday () in
+  let it0 = t.iters in
+  let r = primal_phase2 t in
+  t.st.s_phase2_secs <- t.st.s_phase2_secs +. (Unix.gettimeofday () -. t0);
+  t.st.s_phase2_iters <- t.st.s_phase2_iters + (t.iters - it0);
+  r
+
+let run_dual t =
+  let t0 = Unix.gettimeofday () in
+  let it0 = t.iters in
+  let r = dual_simplex t in
+  t.st.s_dual_secs <- t.st.s_dual_secs +. (Unix.gettimeofday () -. t0);
+  t.st.s_dual_iters <- t.st.s_dual_iters + (t.iters - it0);
+  r
+
 let solve t =
   (* a stale factorisation (rows added since the last solve) must be
      rebuilt before anything consults the basis *)
   if sparse_mode t && (t.needs_factor || t.sbasis = None) then refactor t;
   let status =
     try
-      if dual_feasible t then dual_simplex t
+      if dual_feasible t then run_dual t
       else begin
         let inf = primal_infeasibility t in
-        if inf <= t.p.tol_feas *. float_of_int (1 + t.m) then primal_phase2 t
+        if inf <= t.p.tol_feas *. float_of_int (1 + t.m) then run_phase2 t
         else
-          match primal_phase1 t with
-          | Status.Optimal -> primal_phase2 t
+          match run_phase1 t with
+          | Status.Optimal -> run_phase2 t
           | other -> other
       end
     with Numerical _ -> (
       (* one recovery attempt: refactorise and retry once *)
       try
         refactor t;
-        if dual_feasible t then dual_simplex t
+        if dual_feasible t then run_dual t
         else
-          match primal_phase1 t with
-          | Status.Optimal -> primal_phase2 t
+          match run_phase1 t with
+          | Status.Optimal -> run_phase2 t
           | other -> other
       with Numerical _ -> Status.Numerical_failure)
   in
@@ -864,3 +1051,39 @@ let solution t =
     dual = dual t;
     iterations = t.iters;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let stats t =
+  {
+    iterations = t.iters;
+    phase1_iterations = t.st.s_phase1_iters;
+    phase2_iterations = t.st.s_phase2_iters;
+    dual_iterations = t.st.s_dual_iters;
+    full_pricing_scans = t.st.s_full_scans;
+    partial_pricing_scans = t.st.s_partial_scans;
+    ftran_count = t.ops.Basis.ftrans;
+    btran_count = t.ops.Basis.btrans;
+    basis_updates = t.ops.Basis.updates;
+    refactorisations = t.ops.Basis.factorisations;
+    degenerate_pivots = t.st.s_degen;
+    bland_activations = t.st.s_bland;
+    phase1_seconds = t.st.s_phase1_secs;
+    phase2_seconds = t.st.s_phase2_secs;
+    dual_seconds = t.st.s_dual_secs;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "@[<v>iterations: %d (phase1 %d, phase2 %d, dual %d)@,\
+     pricing scans: %d full, %d partial@,\
+     ftran/btran: %d/%d, basis updates: %d, refactorisations: %d@,\
+     degenerate pivots: %d, Bland activations: %d@,\
+     time: phase1 %.3fms, phase2 %.3fms, dual %.3fms@]"
+    s.iterations s.phase1_iterations s.phase2_iterations s.dual_iterations
+    s.full_pricing_scans s.partial_pricing_scans s.ftran_count s.btran_count
+    s.basis_updates s.refactorisations s.degenerate_pivots s.bland_activations
+    (s.phase1_seconds *. 1e3) (s.phase2_seconds *. 1e3)
+    (s.dual_seconds *. 1e3)

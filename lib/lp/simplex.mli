@@ -22,6 +22,18 @@
 
 type t
 
+type pricing =
+  | Dantzig
+      (** classic most-negative-reduced-cost rule: a full scan of all
+          [n + m] columns on every iteration. Kept as the reference path
+          for cross-checks. *)
+  | Partial
+      (** partial pricing over a candidate list: a short list of columns
+          that priced attractively at the last full scan is repriced
+          (against the current multipliers) each iteration; a full scan
+          runs only when the list goes dry or Bland's rule engages.
+          Identical optima — only the pivot order differs. *)
+
 type params = {
   max_iters : int;  (** 0 means choose automatically from the size *)
   tol_feas : float;  (** absolute primal feasibility tolerance *)
@@ -33,9 +45,37 @@ type params = {
           instead of the explicit dense inverse. Same results; much
           faster and far less memory on large sparse programs (default
           [false]) *)
+  pricing : pricing;  (** entering-variable rule (default [Partial]) *)
+  bland_threshold : int;
+      (** consecutive degenerate pivots tolerated before the anti-cycling
+          escape switches to Bland's rule (default 1000). The switch
+          reverts after the next non-degenerate pivot or basis
+          refactorisation. *)
 }
 
 val default_params : params
+
+type stats = {
+  iterations : int;  (** total simplex pivots over the engine's lifetime *)
+  phase1_iterations : int;
+  phase2_iterations : int;
+  dual_iterations : int;
+  full_pricing_scans : int;
+      (** full-column scans: Dantzig/Bland pricing passes plus dual ratio
+          scans (each inspects all [n + m] columns) *)
+  partial_pricing_scans : int;  (** candidate-list-only pricing passes *)
+  ftran_count : int;  (** forward solves [B^-1 a] on either backend *)
+  btran_count : int;  (** transpose solves [B^-T c] on either backend *)
+  basis_updates : int;  (** rank-1 / eta updates applied *)
+  refactorisations : int;  (** basis factorisations from scratch *)
+  degenerate_pivots : int;  (** pivots with (numerically) zero step *)
+  bland_activations : int;  (** times the anti-cycling escape engaged *)
+  phase1_seconds : float;  (** wall time spent in primal phase I *)
+  phase2_seconds : float;
+  dual_seconds : float;
+}
+(** Cumulative solver counters, preserved across warm restarts ([add_row] +
+    re-[solve]); read them with {!stats} at any point. *)
 
 val of_problem : ?params:params -> Problem.t -> t
 (** Loads a model. The engine takes a snapshot: later changes to the
@@ -69,6 +109,12 @@ val reduced_cost : t -> int -> float
 (** Reduced cost of a structural variable in the current basis. *)
 
 val iterations : t -> int
+
+val stats : t -> stats
+(** Snapshot of the cumulative solver counters. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** Multi-line human-readable rendering of a counters snapshot. *)
 
 val solution : t -> Status.solution
 (** Packages the current state (status as of the last [solve]). *)

@@ -226,6 +226,123 @@ let test_lp_format_reader_errors () =
       ("Minimize\n obj: x\nSubject To\n c: x <=\nEnd", "missing rhs");
     ]
 
+(* Structural equality up to variable order (LP format does not encode
+   declaration order): the same named variables with the same
+   bounds/objective, and the same rows in order with coefficients matched
+   by variable name. Exact float comparison is intended — the writer uses
+   %.17g, which round-trips IEEE doubles bit-exactly. *)
+let assert_same_problem id p q =
+  if Problem.nvars p <> Problem.nvars q then
+    Alcotest.failf "%s: nvars %d vs %d" id (Problem.nvars p) (Problem.nvars q);
+  if Problem.nrows p <> Problem.nrows q then
+    Alcotest.failf "%s: nrows %d vs %d" id (Problem.nrows p) (Problem.nrows q);
+  let index = Hashtbl.create 16 in
+  for j = 0 to Problem.nvars q - 1 do
+    Hashtbl.replace index (Problem.var_name q j) j
+  done;
+  for j = 0 to Problem.nvars p - 1 do
+    let name = Problem.var_name p j in
+    match Hashtbl.find_opt index name with
+    | None -> Alcotest.failf "%s: variable %s lost in round-trip" id name
+    | Some j' ->
+      let chk what a b =
+        if a <> b then
+          Alcotest.failf "%s: %s of %s: %.17g vs %.17g" id what name a b
+      in
+      chk "lower bound" (Problem.var_lo p j) (Problem.var_lo q j');
+      chk "upper bound" (Problem.var_up p j) (Problem.var_up q j');
+      chk "objective" (Problem.obj_coeff p j) (Problem.obj_coeff q j')
+  done;
+  let named prob (r : Problem.row) =
+    List.sort compare
+      (List.map
+         (fun (j, a) -> (Problem.var_name prob j, a))
+         (Sparse.to_assoc r.Problem.coeffs))
+  in
+  for i = 0 to Problem.nrows p - 1 do
+    let rp = Problem.row p i and rq = Problem.row q i in
+    if rp.Problem.rlo <> rq.Problem.rlo || rp.Problem.rup <> rq.Problem.rup then
+      Alcotest.failf "%s: row %d bounds [%g, %g] vs [%g, %g]" id i
+        rp.Problem.rlo rp.Problem.rup rq.Problem.rlo rq.Problem.rup;
+    if named p rp <> named q rq then
+      Alcotest.failf "%s: row %d coefficients differ" id i
+  done
+
+let test_lp_format_structural_roundtrip () =
+  let p = Problem.create () in
+  let x = Problem.add_var ~obj:2.5e-7 ~name:"x" p in
+  (* a free variable outside the objective and every constraint: only its
+     Bounds line mentions it, and it used to be dropped by the reader *)
+  let _y = Problem.add_var ~lo:neg_infinity ~up:infinity ~name:"y_free" p in
+  let z = Problem.add_var ~lo:neg_infinity ~up:3.0 ~name:"z" p in
+  let w = Problem.add_var ~lo:(-4.5) ~up:(-4.5) ~name:"w" p in
+  let _v = Problem.add_var ~lo:1.0e12 ~up:infinity ~name:"v" p in
+  ignore
+    (Problem.add_row ~name:"r1" p ~lo:neg_infinity ~up:1.0e12
+       [ (x, 3.0e-5); (z, -1.0) ]);
+  ignore (Problem.add_row ~name:"r2" p ~lo:(-2.0) ~up:(-2.0) [ (x, 1.0); (w, 1.0) ]);
+  match Lp_format.of_string (Lp_format.to_string p) with
+  | Error msg -> Alcotest.fail msg
+  | Ok q -> assert_same_problem "hand-built" p q
+
+(* like [random_problem] but tuned for the writer: scientific-notation
+   magnitudes, free/fixed/one-sided bounds, a variable referenced only by
+   its Bounds line, and no range rows (the writer splits those in two by
+   design, so they cannot round-trip structurally) *)
+let random_format_problem rng =
+  let nv = 2 + Prng.int rng 6 in
+  let p = Problem.create () in
+  let mag () =
+    [| 1.0; 0.5; 2.5e-7; 3.0e6; 1.0e12; 1.25e-3; 7.0 |].(Prng.int rng 7)
+  in
+  for k = 0 to nv - 1 do
+    let lo, up =
+      match Prng.int rng 5 with
+      | 0 -> (0.0, infinity)
+      | 1 -> (neg_infinity, infinity)
+      | 2 -> (neg_infinity, float_of_int (Prng.int rng 9 - 4))
+      | 3 ->
+        let v = mag () *. float_of_int (Prng.int rng 5 - 2) in
+        (v, v)
+      | _ ->
+        let l = float_of_int (Prng.int rng 9 - 4) in
+        (l, l +. float_of_int (1 + Prng.int rng 6))
+    in
+    let obj =
+      if Prng.bool rng then 0.0 else mag () *. float_of_int (Prng.int rng 5 - 2)
+    in
+    ignore (Problem.add_var ~lo ~up ~obj ~name:(Printf.sprintf "x%d" k) p)
+  done;
+  for _ = 1 to Prng.int rng 6 do
+    let coeffs = ref [] in
+    (* x(nv-1) never enters a row, so with a zero objective it only
+       appears in the Bounds section *)
+    for j = 0 to nv - 2 do
+      if Prng.int rng 3 > 0 then begin
+        let c = mag () *. float_of_int (Prng.int rng 7 - 3) in
+        if c <> 0.0 then coeffs := (j, c) :: !coeffs
+      end
+    done;
+    let base = mag () *. float_of_int (Prng.int rng 9 - 4) in
+    let lo, up =
+      match Prng.int rng 3 with
+      | 0 -> (base, infinity)
+      | 1 -> (neg_infinity, base)
+      | _ -> (base, base)
+    in
+    ignore (Problem.add_row p ~lo ~up !coeffs)
+  done;
+  p
+
+let test_lp_format_random_structural_roundtrip () =
+  let rng = Prng.create 9119 in
+  for id = 1 to 100 do
+    let p = random_format_problem rng in
+    match Lp_format.of_string (Lp_format.to_string p) with
+    | Error msg -> Alcotest.failf "case %d: parse error: %s" id msg
+    | Ok q -> assert_same_problem (Printf.sprintf "case %d" id) p q
+  done
+
 let test_ebf_program_exports () =
   (* the EBF LP of the paper's five-point example survives a write/solve *)
   let inst, tree = Lubt_data.Examples.five_point () in
@@ -239,6 +356,121 @@ let test_ebf_program_exports () =
       (a.Status.status = Status.Optimal && b.Status.status = Status.Optimal);
     check_float "same optimum" a.Status.objective b.Status.objective
 
+
+(* ------------------------------------------------------------------ *)
+(* Four-way engine cross-check on random EBF instances                  *)
+(* ------------------------------------------------------------------ *)
+
+module Simplex = Lubt_lp.Simplex
+module Tableau = Lubt_lp.Tableau
+module Ebf = Lubt_core.Ebf
+module Instance = Lubt_core.Instance
+module Topogen = Lubt_topo.Topogen
+module Point = Lubt_geom.Point
+
+(* Every engine configuration — {dense inverse, sparse LU} x {full
+   Dantzig pricing, partial pricing} — must agree with the independent
+   two-phase tableau oracle, both on the eager formulation (primal
+   phases) and through the lazy row-generation loop (dual-simplex warm
+   restarts after add_row). A fifth of the instances get an upper bound
+   below the radius so the infeasibility verdict is cross-checked too. *)
+let test_ebf_four_way_crosscheck () =
+  let rng = Prng.create 8086 in
+  let engine_params =
+    [
+      ("dense+dantzig",
+       { Simplex.default_params with
+         Simplex.sparse_basis = false; pricing = Simplex.Dantzig });
+      ("dense+partial",
+       { Simplex.default_params with
+         Simplex.sparse_basis = false; pricing = Simplex.Partial });
+      ("sparse+dantzig",
+       { Simplex.default_params with
+         Simplex.sparse_basis = true; pricing = Simplex.Dantzig });
+      ("sparse+partial",
+       { Simplex.default_params with
+         Simplex.sparse_basis = true; pricing = Simplex.Partial });
+    ]
+  in
+  for case = 1 to 50 do
+    let m = 3 + Prng.int rng 8 in
+    let with_source = Prng.bool rng in
+    let coord () = Prng.float rng 100.0 in
+    let sinks = Array.init m (fun _ -> Point.make (coord ()) (coord ())) in
+    let source =
+      if with_source then Some (Point.make (coord ()) (coord ())) else None
+    in
+    let base =
+      Instance.uniform_bounds ?source ~sinks ~lower:0.0 ~upper:infinity ()
+    in
+    let r = Instance.radius base in
+    let l, u =
+      if case mod 5 = 0 then
+        (* upper bound below the radius: provably no LUBT exists *)
+        (0.0, r *. (0.1 +. Prng.float rng 0.8))
+      else
+        let u = r *. (1.0 +. Prng.float rng 1.0) in
+        (Prng.float rng u, u)
+    in
+    let inst = Instance.uniform_bounds ?source ~sinks ~lower:l ~upper:u () in
+    let tree = Topogen.random_binary rng ~num_sinks:m ~source_edge:with_source in
+    let oracle = Tableau.solve (Ebf.formulate inst tree) in
+    List.iter
+      (fun (label, params) ->
+        let eager = Solver.solve ~params (Ebf.formulate inst tree) in
+        if eager.Status.status <> oracle.Status.status then
+          Alcotest.failf "case %d (%s, eager): status %s vs oracle %s" case
+            label
+            (Status.to_string eager.Status.status)
+            (Status.to_string oracle.Status.status);
+        if
+          oracle.Status.status = Status.Optimal
+          && not
+               (Lubt_util.Stats.approx_eq ~eps:1e-6 eager.Status.objective
+                  oracle.Status.objective)
+        then
+          Alcotest.failf "case %d (%s, eager): %.9g vs oracle %.9g" case label
+            eager.Status.objective oracle.Status.objective;
+        let lazy_r =
+          Ebf.solve
+            ~options:{ Ebf.default_options with Ebf.lp_params = params }
+            inst tree
+        in
+        if lazy_r.Ebf.status <> oracle.Status.status then
+          Alcotest.failf "case %d (%s, lazy): status %s vs oracle %s" case
+            label
+            (Status.to_string lazy_r.Ebf.status)
+            (Status.to_string oracle.Status.status);
+        if oracle.Status.status = Status.Optimal then begin
+          if
+            not
+              (Lubt_util.Stats.approx_eq ~eps:1e-6 lazy_r.Ebf.objective
+                 oracle.Status.objective)
+          then
+            Alcotest.failf "case %d (%s, lazy): %.9g vs oracle %.9g" case
+              label lazy_r.Ebf.objective oracle.Status.objective;
+          match Ebf.check_lengths inst tree lazy_r.Ebf.lengths with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "case %d (%s, lazy): %s" case label msg
+        end;
+        (* telemetry sanity on the lazy run *)
+        let st = lazy_r.Ebf.lp_stats in
+        if st.Simplex.iterations <> lazy_r.Ebf.lp_iterations then
+          Alcotest.failf "case %d (%s): stats iterations %d vs result %d" case
+            label st.Simplex.iterations lazy_r.Ebf.lp_iterations;
+        if List.length lazy_r.Ebf.round_stats <> lazy_r.Ebf.rounds then
+          Alcotest.failf "case %d (%s): %d round stats for %d rounds" case
+            label
+            (List.length lazy_r.Ebf.round_stats)
+            lazy_r.Ebf.rounds;
+        if
+          params.Simplex.pricing = Simplex.Dantzig
+          && st.Simplex.partial_pricing_scans <> 0
+        then
+          Alcotest.failf "case %d (%s): Dantzig pricing did partial scans"
+            case label)
+      engine_params
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Sparse LU                                                            *)
@@ -374,7 +606,16 @@ let () =
           Alcotest.test_case "writer sections" `Quick test_lp_format_writer_shape;
           Alcotest.test_case "roundtrip 200 random LPs" `Slow
             test_lp_format_roundtrip;
+          Alcotest.test_case "structural roundtrip" `Quick
+            test_lp_format_structural_roundtrip;
+          Alcotest.test_case "structural roundtrip, 100 random LPs" `Slow
+            test_lp_format_random_structural_roundtrip;
           Alcotest.test_case "reader errors" `Quick test_lp_format_reader_errors;
           Alcotest.test_case "EBF program export" `Quick test_ebf_program_exports;
+        ] );
+      ( "ebf-cross-check",
+        [
+          Alcotest.test_case "four-way engine agreement, 50 instances" `Slow
+            test_ebf_four_way_crosscheck;
         ] );
     ]
