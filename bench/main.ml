@@ -100,6 +100,12 @@ let timing_tests () =
         { Ebf.default_options.Ebf.lp_params with Simplex.pricing = pricing };
     }
   in
+  (* certified run: same workload as "ebf lazy LP" plus a Full
+     a-posteriori certificate, so the delta between the two entries is
+     the certification overhead *)
+  let certified =
+    { Ebf.default_options with Ebf.check = Lubt_lp.Certify.Full }
+  in
   let plain tname test = { tname; test; probe = None } in
   let lp tname test probe = { tname; test; probe = Some probe } in
   [
@@ -127,6 +133,10 @@ let timing_tests () =
       (Test.make ~name:"ebf lazy LP"
          (Staged.stage (fun () -> ignore (Ebf.solve inst topo))))
       (fun () -> Ebf.solve inst topo);
+    lp "ebf lazy LP (certified)"
+      (Test.make ~name:"ebf lazy LP (certified)"
+         (Staged.stage (fun () -> ignore (Ebf.solve ~options:certified inst topo))))
+      (fun () -> Ebf.solve ~options:certified inst topo);
     lp "ebf lazy LP (full pricing)"
       (Test.make ~name:"ebf lazy LP (full pricing)"
          (Staged.stage (fun () ->

@@ -166,6 +166,9 @@ let route_cmd =
 
 let print_solver_stats (ebf : Ebf.result) =
   Format.printf "%a@." Simplex.pp_stats ebf.Ebf.lp_stats;
+  (match ebf.Ebf.certificate with
+  | Some report -> Format.printf "%a@." Lubt_lp.Certify.pp report
+  | None -> ());
   print_endline "lazy-loop rounds:";
   List.iter
     (fun (r : Ebf.round_stat) ->
@@ -178,7 +181,7 @@ let print_solver_stats (ebf : Ebf.result) =
         r.Ebf.solve_pivots)
     ebf.Ebf.round_stats
 
-let solve inst_path topo_path eager stats =
+let solve inst_path topo_path eager stats certify time_limit fault_seed =
   let inst = or_die (Io.read_instance inst_path) in
   let tree =
     match topo_path with
@@ -197,10 +200,27 @@ let solve inst_path topo_path eager stats =
       in
       r.Bst.topology
   in
-  let options = { Ebf.default_options with Ebf.lazy_steiner = not eager } in
+  let lp_params =
+    {
+      Ebf.default_options.Ebf.lp_params with
+      Simplex.fault =
+        (match fault_seed with
+        | Some seed -> Some (Simplex.fault_plan seed)
+        | None -> None);
+    }
+  in
+  let options =
+    {
+      Ebf.default_options with
+      Ebf.lazy_steiner = not eager;
+      check = (if certify then Lubt_lp.Certify.Full else Lubt_lp.Certify.Off);
+      time_limit = (if time_limit <= 0.0 then infinity else time_limit);
+      lp_params;
+    }
+  in
   match Lubt.solve ~options inst tree with
   | Error e ->
-    prerr_endline (Lubt.error_to_string e);
+    prerr_endline ("error: " ^ Lubt.error_to_string e);
     exit 1
   | Ok report ->
     let routed = report.Lubt.routed in
@@ -208,6 +228,19 @@ let solve inst_path topo_path eager stats =
     Printf.printf "LP: %d rows (full formulation: %d), %d simplex iterations, %d rounds\n"
       report.Lubt.ebf.Ebf.lp_rows report.Lubt.ebf.Ebf.full_rows
       report.Lubt.ebf.Ebf.lp_iterations report.Lubt.ebf.Ebf.rounds;
+    (match report.Lubt.ebf.Ebf.certificate with
+    | Some r when r.Lubt_lp.Certify.ok ->
+      Printf.printf "certification: OK (%s level, %d rows)\n"
+        (Lubt_lp.Certify.level_to_string r.Lubt_lp.Certify.level)
+        r.Lubt_lp.Certify.rows_checked
+    | _ -> ());
+    let recov = (report.Lubt.ebf.Ebf.lp_stats).Simplex.recoveries in
+    if Simplex.recovery_attempts recov > 0 then
+      Printf.printf
+        "numerical recoveries: %d (faults injected: %d, validations \
+         rejected: %d)\n"
+        (Simplex.recovery_attempts recov)
+        recov.Simplex.faults_injected recov.Simplex.validations_rejected;
     if stats then print_solver_stats report.Lubt.ebf;
     (match Routed.validate routed with
     | Ok () -> print_endline "validation: OK"
@@ -240,9 +273,39 @@ let solve_cmd =
              refactorisations, phase times) and per-round lazy-loop \
              telemetry after the solve.")
   in
+  let certify =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "Certify the LP solution a posteriori (primal/dual residuals, \
+             complementary slackness, duality gap) and verify every Steiner \
+             and delay constraint geometrically, plus the finished \
+             embedding. A rejected certificate fails with a non-zero exit.")
+  in
+  let time_limit =
+    Arg.(
+      value & opt float 0.0
+      & info [ "time-limit" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget for the whole solve (all lazy rounds); 0 or \
+             negative disables. On expiry the solve fails with a \
+             time-limit diagnostic and a non-zero exit.")
+  in
+  let fault_seed =
+    Arg.(
+      value & opt (some int) None
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:
+            "Inject deterministic numerical faults (singular \
+             refactorisations, perturbed ftrans, zero pivots) seeded by \
+             SEED, to exercise the recovery ladder. Testing only.")
+  in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve the LUBT problem (EBF + embedding)")
-    Term.(const solve $ inst_path $ topo_path $ eager $ stats)
+    Term.(
+      const solve $ inst_path $ topo_path $ eager $ stats $ certify
+      $ time_limit $ fault_seed)
 
 (* ------------------------------------------------------------------ *)
 (* svg                                                                  *)

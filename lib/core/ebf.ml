@@ -3,6 +3,7 @@ module Tree = Lubt_topo.Tree
 module Problem = Lubt_lp.Problem
 module Simplex = Lubt_lp.Simplex
 module Status = Lubt_lp.Status
+module Certify = Lubt_lp.Certify
 
 type options = {
   lazy_steiner : bool;
@@ -10,6 +11,8 @@ type options = {
   batch : int;
   violation_tol : float;
   max_rounds : int;
+  time_limit : float;
+  check : Certify.level;
   lp_params : Simplex.params;
 }
 
@@ -20,6 +23,8 @@ let default_options =
     batch = 64;
     violation_tol = 1e-9;
     max_rounds = 10_000;
+    time_limit = infinity;
+    check = Certify.Off;
     lp_params = { Simplex.default_params with Simplex.sparse_basis = true };
   }
 
@@ -42,6 +47,7 @@ type result = {
   rounds : int;
   round_stats : round_stat list;
   lp_stats : Simplex.stats;
+  certificate : Certify.report option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -121,6 +127,50 @@ let formulate ?weights inst tree =
   prob
 
 (* ------------------------------------------------------------------ *)
+(* Exhaustive verification of a length assignment                      *)
+(* ------------------------------------------------------------------ *)
+
+let check_lengths ?(tol = 1e-6) (inst : Instance.t) tree lengths =
+  check_tree_matches inst tree;
+  let terms = Array.of_list (terminals inst tree) in
+  let t = Array.length terms in
+  let d = Tree.delays tree lengths in
+  let scale = max 1.0 (Instance.diameter inst +. Instance.radius inst) in
+  let eps = tol *. scale in
+  let error = ref None in
+  let fail msg = if !error = None then error := Some msg in
+  for i = 1 to Tree.num_nodes tree - 1 do
+    if lengths.(i) < -.eps then
+      fail (Printf.sprintf "edge %d has negative length %g" i lengths.(i));
+    if Tree.forced_zero tree i && abs_float lengths.(i) > eps then
+      fail (Printf.sprintf "edge %d must be zero but has length %g" i lengths.(i))
+  done;
+  for i = 0 to t - 1 do
+    for j = i + 1 to t - 1 do
+      let a, pa = terms.(i) and b, pb = terms.(j) in
+      let need = Point.dist pa pb in
+      let have = d.(a) +. d.(b) -. (2.0 *. d.(Tree.lca tree a b)) in
+      if have < need -. eps then
+        fail
+          (Printf.sprintf "Steiner constraint (%d,%d): path %g < dist %g" a b
+             have need)
+    done
+  done;
+  Array.iteri
+    (fun k node ->
+      let dl = d.(node) in
+      if dl < inst.Instance.lower.(k) -. eps then
+        fail
+          (Printf.sprintf "sink %d delay %g below lower bound %g" node dl
+             inst.Instance.lower.(k));
+      if dl > inst.Instance.upper.(k) +. eps then
+        fail
+          (Printf.sprintf "sink %d delay %g above upper bound %g" node dl
+             inst.Instance.upper.(k)))
+    (Tree.sinks tree);
+  match !error with None -> Ok () | Some msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
 (* Lazy row generation (Section 4.6 as exact lazy constraints)         *)
 (* ------------------------------------------------------------------ *)
 
@@ -196,6 +246,11 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
       if d > 0.0 then ignore (Problem.add_row prob ~lo:d ~up:infinity coeffs))
     seed_pairs;
   let eng = Simplex.of_problem ~params:options.lp_params prob in
+  (* wall-clock budget shared across all row-generation rounds *)
+  let deadline =
+    if options.time_limit = infinity then infinity
+    else Unix.gettimeofday () +. options.time_limit
+  in
   let lengths_of_primal primal =
     let n = Tree.num_nodes tree in
     let lengths = Array.make n 0.0 in
@@ -209,6 +264,10 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
   let round_stats = ref [] in
   let rec loop rounds =
     let solve_t0 = Unix.gettimeofday () in
+    if deadline < infinity then
+      (* hand the engine whatever budget is left; non-positive remaining
+         time makes the solve return Time_limit immediately *)
+      Simplex.set_time_limit eng (deadline -. solve_t0);
     let pivots0 = Simplex.iterations eng in
     let status = Simplex.solve eng in
     let solve_seconds = Unix.gettimeofday () -. solve_t0 in
@@ -267,7 +326,10 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
                 incr take;
                 Hashtbl.replace added key ();
                 let coeffs, dist = row_of_pair key in
-                Simplex.add_row eng ~lo:dist ~up:infinity coeffs
+                Simplex.add_row eng ~lo:dist ~up:infinity coeffs;
+                (* mirror the row into the model so the materialised LP is
+                   available for a-posteriori certification *)
+                ignore (Problem.add_row prob ~lo:dist ~up:infinity coeffs)
               end)
             sorted;
           record ~rows_added:!take ~violations_found:(List.length vs)
@@ -278,6 +340,35 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
   in
   let status, rounds = loop 1 in
   let lengths = lengths_of_primal (Simplex.primal eng) in
+  (* a-posteriori certification of an optimal claim: the materialised LP is
+     certified against the raw problem data, and the geometric check covers
+     every binom(t,2) Steiner row and both delay bounds per sink — including
+     rows the lazy generator never materialised *)
+  let status, certificate =
+    if options.check = Certify.Off || status <> Status.Optimal then
+      (status, None)
+    else begin
+      let level =
+        (* the tableau fallback carries no duals: certify what it can claim *)
+        if Simplex.used_fallback eng then Certify.Primal else options.check
+      in
+      let report = Certify.check ~level prob (Simplex.solution eng) in
+      let report =
+        if not report.Certify.ok then report
+        else
+          match check_lengths inst tree lengths with
+          | Ok () -> report
+          | Error msg ->
+            {
+              report with
+              Certify.ok = false;
+              failure = Some ("geometric check: " ^ msg);
+            }
+      in
+      if report.Certify.ok then (Status.Optimal, Some report)
+      else (Status.Numerical_failure, Some report)
+    end
+  in
   {
     status;
     lengths;
@@ -288,48 +379,5 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
     rounds;
     round_stats = List.rev !round_stats;
     lp_stats = Simplex.stats eng;
+    certificate;
   }
-
-(* ------------------------------------------------------------------ *)
-(* Exhaustive verification of a length assignment                      *)
-(* ------------------------------------------------------------------ *)
-
-let check_lengths ?(tol = 1e-6) (inst : Instance.t) tree lengths =
-  check_tree_matches inst tree;
-  let terms = Array.of_list (terminals inst tree) in
-  let t = Array.length terms in
-  let d = Tree.delays tree lengths in
-  let scale = max 1.0 (Instance.diameter inst +. Instance.radius inst) in
-  let eps = tol *. scale in
-  let error = ref None in
-  let fail msg = if !error = None then error := Some msg in
-  for i = 1 to Tree.num_nodes tree - 1 do
-    if lengths.(i) < -.eps then
-      fail (Printf.sprintf "edge %d has negative length %g" i lengths.(i));
-    if Tree.forced_zero tree i && abs_float lengths.(i) > eps then
-      fail (Printf.sprintf "edge %d must be zero but has length %g" i lengths.(i))
-  done;
-  for i = 0 to t - 1 do
-    for j = i + 1 to t - 1 do
-      let a, pa = terms.(i) and b, pb = terms.(j) in
-      let need = Point.dist pa pb in
-      let have = d.(a) +. d.(b) -. (2.0 *. d.(Tree.lca tree a b)) in
-      if have < need -. eps then
-        fail
-          (Printf.sprintf "Steiner constraint (%d,%d): path %g < dist %g" a b
-             have need)
-    done
-  done;
-  Array.iteri
-    (fun k node ->
-      let dl = d.(node) in
-      if dl < inst.Instance.lower.(k) -. eps then
-        fail
-          (Printf.sprintf "sink %d delay %g below lower bound %g" node dl
-             inst.Instance.lower.(k));
-      if dl > inst.Instance.upper.(k) +. eps then
-        fail
-          (Printf.sprintf "sink %d delay %g above upper bound %g" node dl
-             inst.Instance.upper.(k)))
-    (Tree.sinks tree);
-  match !error with None -> Ok () | Some msg -> Error msg

@@ -26,6 +26,19 @@ type options = {
   batch : int;  (** violated rows added per round (default 64) *)
   violation_tol : float;  (** relative violation tolerance (default 1e-9) *)
   max_rounds : int;
+  time_limit : float;
+      (** wall-clock budget in seconds over ALL row-generation rounds
+          (default [infinity]). The remaining budget is handed to the LP
+          engine before every (re-)solve; on expiry the result carries
+          status {!Lubt_lp.Status.Time_limit} and the best lengths reached
+          so far. *)
+  check : Lubt_lp.Certify.level;
+      (** a-posteriori certification of an optimal claim (default [Off]):
+          the materialised LP is certified by {!Lubt_lp.Certify.check} and
+          the geometric check covers every [binom(m,2)] Steiner constraint
+          and both delay bounds per sink — including rows the lazy
+          generator never materialised. A rejected certificate degrades
+          the status to [Numerical_failure]. *)
   lp_params : Lubt_lp.Simplex.params;
 }
 
@@ -52,6 +65,9 @@ type result = {
   rounds : int;  (** row-generation rounds (1 when eager) *)
   round_stats : round_stat list;  (** per-round telemetry, in round order *)
   lp_stats : Lubt_lp.Simplex.stats;  (** cumulative solver counters *)
+  certificate : Lubt_lp.Certify.report option;
+      (** certification outcome; [None] when [options.check = Off] or the
+          solve did not claim optimality *)
 }
 
 val formulate : ?weights:float array -> Instance.t -> Lubt_topo.Tree.t -> Lubt_lp.Problem.t

@@ -96,3 +96,50 @@ let place ?(policy = Center) ?(eps = 1e-9) (inst : Instance.t) tree lengths =
     (match !err with
     | Some msg -> Error msg
     | None -> Ok { positions; feasible_regions = fr })
+
+(* Independent a-posteriori check of a finished embedding: recomputed from
+   the instance, tree and length assignment only, so a bug in the
+   feasible-region machinery above cannot certify its own output. *)
+let verify ?(tol = 1e-6) (inst : Instance.t) tree lengths (emb : t) =
+  let n = Tree.num_nodes tree in
+  let scale = max 1.0 (Instance.diameter inst +. Instance.radius inst) in
+  let eps = tol *. scale in
+  let err = ref None in
+  let fail msg = if !err = None then err := Some msg in
+  if Array.length emb.positions <> n then
+    fail
+      (Printf.sprintf "embedding has %d positions for %d nodes"
+         (Array.length emb.positions) n);
+  if !err = None then begin
+    (* terminals sit exactly at their fixed locations *)
+    Array.iteri
+      (fun k node ->
+        let want = inst.Instance.sinks.(k) and got = emb.positions.(node) in
+        if Point.dist want got > eps then
+          fail
+            (Printf.sprintf "sink node %d placed %g away from its terminal"
+               node (Point.dist want got)))
+      (Tree.sinks tree);
+    (match inst.Instance.source with
+    | Some src ->
+      if Point.dist src emb.positions.(Tree.root) > eps then
+        fail
+          (Printf.sprintf "source placed %g away from its fixed location"
+             (Point.dist src emb.positions.(Tree.root)))
+    | None -> ());
+    (* every edge is realisable: parent-child distance within its length *)
+    for v = 0 to n - 1 do
+      if v <> Tree.root then begin
+        let d = Point.dist emb.positions.(Tree.parent tree v) emb.positions.(v) in
+        if d > lengths.(v) +. eps then
+          fail
+            (Printf.sprintf
+               "edge %d spans distance %g, exceeding its length %g" v d
+               lengths.(v));
+        if Tree.forced_zero tree v && d > eps then
+          fail
+            (Printf.sprintf "forced-zero edge %d spans distance %g" v d)
+      end
+    done
+  end;
+  match !err with None -> Ok () | Some msg -> Error msg

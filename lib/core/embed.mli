@@ -33,3 +33,17 @@ val place :
     Fails (with a message) if some feasible region is empty, i.e. the edge
     lengths violate a Steiner constraint beyond the numerical tolerance
     [eps] (relative; default 1e-9). *)
+
+val verify :
+  ?tol:float ->
+  Instance.t ->
+  Lubt_topo.Tree.t ->
+  float array ->
+  t ->
+  (unit, string) result
+(** [verify inst tree lengths emb] independently re-checks a finished
+    embedding: every terminal (and the source, when fixed) sits at its
+    given location, every parent-child distance is within the edge's
+    assigned length, and forced-zero edges have zero span. Recomputed from
+    raw data only — shares no state with {!place}. [tol] is relative to
+    the instance scale (default 1e-6). *)

@@ -2,33 +2,69 @@ type report = { routed : Routed.t; ebf : Ebf.result }
 
 type error =
   | No_solution
-  | Solver_failure of Lubt_lp.Status.t
+  | Solver_failure of {
+      status : Lubt_lp.Status.t;
+      objective : float;
+      iterations : int;
+      certificate : Lubt_lp.Certify.report option;
+    }
   | Embedding_failure of string
 
 let error_to_string = function
   | No_solution -> "no LUBT exists for this topology and these bounds"
-  | Solver_failure st ->
-    Printf.sprintf "LP solver failed: %s" (Lubt_lp.Status.to_string st)
+  | Solver_failure { status; objective; iterations; certificate } ->
+    let cert =
+      match certificate with
+      | Some r when not r.Lubt_lp.Certify.ok -> (
+        match r.Lubt_lp.Certify.failure with
+        | Some msg -> Printf.sprintf "; certification: %s" msg
+        | None -> "; certification rejected the solution")
+      | _ -> ""
+    in
+    Printf.sprintf
+      "LP solver failed: %s (objective %.9g after %d iterations)%s"
+      (Lubt_lp.Status.to_string status)
+      objective iterations cert
   | Embedding_failure msg -> Printf.sprintf "embedding failed: %s" msg
 
 let solve ?options ?weights ?policy inst tree =
   let ebf = Ebf.solve ?options ?weights inst tree in
+  let check =
+    match options with
+    | Some o -> o.Ebf.check <> Lubt_lp.Certify.Off
+    | None -> false
+  in
   match ebf.Ebf.status with
   | Lubt_lp.Status.Infeasible -> Error No_solution
   | Lubt_lp.Status.Optimal -> (
     match Embed.place ?policy inst tree ebf.Ebf.lengths with
     | Error msg -> Error (Embedding_failure msg)
-    | Ok embedding ->
-      let routed =
-        {
-          Routed.instance = inst;
-          tree;
-          lengths = ebf.Ebf.lengths;
-          positions = embedding.Embed.positions;
-        }
+    | Ok embedding -> (
+      let verified =
+        if check then Embed.verify inst tree ebf.Ebf.lengths embedding
+        else Ok ()
       in
-      Ok { routed; ebf })
-  | other -> Error (Solver_failure other)
+      match verified with
+      | Error msg -> Error (Embedding_failure ("verification: " ^ msg))
+      | Ok () ->
+        let routed =
+          {
+            Routed.instance = inst;
+            tree;
+            lengths = ebf.Ebf.lengths;
+            positions = embedding.Embed.positions;
+          }
+        in
+        Ok { routed; ebf }))
+  | other ->
+    Error
+      (Solver_failure
+         {
+           status = other;
+           objective = ebf.Ebf.objective;
+           iterations = ebf.Ebf.lp_iterations;
+           certificate = ebf.Ebf.certificate;
+         })
 
 let solve_exn ?options ?weights ?policy inst tree =
   match solve ?options ?weights ?policy inst tree with

@@ -11,7 +11,14 @@ type report = {
 
 type error =
   | No_solution  (** the LP is infeasible: no LUBT exists (Theorem 4.2) *)
-  | Solver_failure of Lubt_lp.Status.t
+  | Solver_failure of {
+      status : Lubt_lp.Status.t;
+      objective : float;  (** objective reached when the solve stopped *)
+      iterations : int;  (** simplex pivots spent *)
+      certificate : Lubt_lp.Certify.report option;
+          (** the rejected certificate, when certification caused the
+              failure *)
+    }
   | Embedding_failure of string
 
 val error_to_string : error -> string
@@ -24,7 +31,9 @@ val solve :
   Lubt_topo.Tree.t ->
   (report, error) result
 (** Solves the LUBT problem for the given topology: EBF linear program for
-    the edge lengths, then DME-style placement of the Steiner points. *)
+    the edge lengths, then DME-style placement of the Steiner points.
+    When [options.check] is not [Off], the finished embedding is also
+    re-verified with {!Embed.verify}. *)
 
 val solve_exn :
   ?options:Ebf.options ->

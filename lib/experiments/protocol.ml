@@ -109,6 +109,17 @@ let json_escape s =
 let json_float f =
   if Float.is_finite f then Printf.sprintf "%.17g" f else "null"
 
+let recoveries_json (r : Simplex.recoveries) =
+  Printf.sprintf
+    "{\"refactor_retries\": %d, \"backend_switches\": %d, \
+     \"tolerance_escalations\": %d, \"perturbed_resolves\": %d, \
+     \"tableau_fallbacks\": %d, \"faults_injected\": %d, \
+     \"validations_rejected\": %d}"
+    r.Simplex.refactor_retries r.Simplex.backend_switches
+    r.Simplex.tolerance_escalations r.Simplex.perturbed_resolves
+    r.Simplex.tableau_fallbacks r.Simplex.faults_injected
+    r.Simplex.validations_rejected
+
 let solver_stats_json (s : Simplex.stats) =
   Printf.sprintf
     "{\"iterations\": %d, \"phase1_iterations\": %d, \
@@ -117,7 +128,7 @@ let solver_stats_json (s : Simplex.stats) =
      \"ftran_count\": %d, \"btran_count\": %d, \"basis_updates\": %d, \
      \"refactorisations\": %d, \"degenerate_pivots\": %d, \
      \"bland_activations\": %d, \"phase1_ms\": %s, \"phase2_ms\": %s, \
-     \"dual_ms\": %s}"
+     \"dual_ms\": %s, \"recoveries\": %s}"
     s.Simplex.iterations s.Simplex.phase1_iterations
     s.Simplex.phase2_iterations s.Simplex.dual_iterations
     s.Simplex.full_pricing_scans s.Simplex.partial_pricing_scans
@@ -127,6 +138,7 @@ let solver_stats_json (s : Simplex.stats) =
     (json_float (s.Simplex.phase1_seconds *. 1e3))
     (json_float (s.Simplex.phase2_seconds *. 1e3))
     (json_float (s.Simplex.dual_seconds *. 1e3))
+    (recoveries_json s.Simplex.recoveries)
 
 let round_stat_json (r : Ebf.round_stat) =
   Printf.sprintf

@@ -11,6 +11,8 @@ type counters = {
 
 let fresh_counters () = { ftrans = 0; btrans = 0; updates = 0; factorisations = 0 }
 
+exception Zero_pivot of { row : int; magnitude : float }
+
 type eta = { r : int; w : float array }
 
 type t = {
@@ -20,10 +22,10 @@ type t = {
   ops : counters;
 }
 
-let create ?counters cols =
+let create ?counters ?pivot_tol cols =
   let ops = match counters with Some c -> c | None -> fresh_counters () in
   ops.factorisations <- ops.factorisations + 1;
-  { lu = Lu.factor cols; etas = []; count = 0; ops }
+  { lu = Lu.factor ?pivot_tol cols; etas = []; count = 0; ops }
 
 let dim t = Lu.dim t.lu
 
@@ -69,8 +71,9 @@ let btran_unit t r =
   c.(r) <- 1.0;
   btran t c
 
-let update t r w =
-  if abs_float w.(r) < 1e-12 then failwith "Basis.update: zero pivot";
+let update ?(tol = 1e-12) t r w =
+  if abs_float w.(r) < tol then
+    raise (Zero_pivot { row = r; magnitude = abs_float w.(r) });
   t.ops.updates <- t.ops.updates + 1;
   t.etas <- { r; w = Array.copy w } :: t.etas;
   t.count <- t.count + 1

@@ -24,11 +24,17 @@ type counters = {
 val fresh_counters : unit -> counters
 (** A zeroed counters record. *)
 
+exception Zero_pivot of { row : int; magnitude : float }
+(** Raised by {!update} when the pivot entry is numerically zero. Typed
+    (rather than a bare [Failure]) so the simplex recovery ladder can
+    catch it and escalate instead of killing the solve. *)
+
 type t
 
-val create : ?counters:counters -> Sparse.t array -> t
+val create : ?counters:counters -> ?pivot_tol:float -> Sparse.t array -> t
 (** Factorises the basis given by its columns, counting the factorisation
     (and all later ftran/btran/update traffic) in [counters] when given.
+    [pivot_tol] is forwarded to {!Lu.factor}.
     @raise Lu.Singular when the basis is singular. *)
 
 val dim : t -> int
@@ -44,7 +50,10 @@ val btran : t -> float array -> float array
 val btran_unit : t -> int -> float array
 (** [btran_unit t r] is row [r] of [B^-1]. *)
 
-val update : t -> int -> float array -> unit
+val update : ?tol:float -> t -> int -> float array -> unit
 (** [update t r w] records a pivot: the basic variable at position [r] is
     replaced; [w] must be the ftran of the entering column (it is copied).
-    @raise Failure if [w.(r)] is (numerically) zero. *)
+    [tol] is the smallest acceptable pivot magnitude (default [1e-12];
+    the simplex engine passes its current — possibly escalated — pivot
+    tolerance).
+    @raise Zero_pivot if [w.(r)] is (numerically) zero. *)

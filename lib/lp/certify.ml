@@ -1,0 +1,218 @@
+(* A-posteriori certification of a claimed LP solution against the raw
+   problem data. Nothing here touches solver state: every quantity is
+   recomputed from the Problem.t columns/bounds, so a corrupted basis
+   inverse (or a hand-corrupted solution vector) cannot certify itself. *)
+
+type level = Off | Primal | Full
+
+let level_to_string = function
+  | Off -> "off"
+  | Primal -> "primal"
+  | Full -> "full"
+
+type report = {
+  level : level;
+  rows_checked : int;
+  primal_residual : float;
+  dual_residual : float;
+  complementarity : float;
+  duality_gap : float;
+  objective_error : float;
+  ok : bool;
+  failure : string option;
+}
+
+let trivial level =
+  {
+    level;
+    rows_checked = 0;
+    primal_residual = 0.0;
+    dual_residual = 0.0;
+    complementarity = 0.0;
+    duality_gap = 0.0;
+    objective_error = 0.0;
+    ok = true;
+    failure = None;
+  }
+
+(* All comparisons are relative: EBF bounds are chip-scale (1e4..1e6). *)
+let rel v scale = v /. (1.0 +. abs_float scale)
+
+let check ?(tol = 1e-6) ?(level = Full) prob (sol : Status.solution) =
+  if level = Off then trivial Off
+  else begin
+    let n = Problem.nvars prob and m = Problem.nrows prob in
+    let x = sol.Status.primal and y = sol.Status.dual in
+    let fail = ref None in
+    let note msg = if !fail = None then fail := Some msg in
+    if Array.length x <> n then
+      note
+        (Printf.sprintf "primal vector has %d entries for %d variables"
+           (Array.length x) n);
+    if level = Full && Array.length y <> m then
+      note
+        (Printf.sprintf "dual vector has %d entries for %d rows"
+           (Array.length y) m);
+    if !fail <> None then
+      { (trivial level) with ok = false; failure = !fail }
+    else begin
+      (* --- primal feasibility ------------------------------------- *)
+      let primal_residual = ref 0.0 in
+      let bump_primal what idx v scale =
+        let r = rel v scale in
+        if r > !primal_residual then begin
+          primal_residual := r;
+          if r > tol then
+            note (Printf.sprintf "%s %d violated by %.3g (relative)" what idx r)
+        end
+      in
+      for j = 0 to n - 1 do
+        let lo = Problem.var_lo prob j and up = Problem.var_up prob j in
+        if x.(j) < lo then bump_primal "lower bound of variable" j (lo -. x.(j)) lo;
+        if x.(j) > up then bump_primal "upper bound of variable" j (x.(j) -. up) up
+      done;
+      let activity = Array.make m 0.0 in
+      for i = 0 to m - 1 do
+        let row = Problem.row prob i in
+        let acc = ref 0.0 in
+        Sparse.iter (fun j a -> acc := !acc +. (a *. x.(j))) row.Problem.coeffs;
+        activity.(i) <- !acc;
+        if !acc < row.Problem.rlo then
+          bump_primal "lower bound of row" i (row.Problem.rlo -. !acc) row.Problem.rlo;
+        if !acc > row.Problem.rup then
+          bump_primal "upper bound of row" i (!acc -. row.Problem.rup) row.Problem.rup;
+        (* the packaged row activities must describe the same point *)
+        if Array.length sol.Status.row_activity = m then
+          bump_primal "reported activity of row" i
+            (abs_float (sol.Status.row_activity.(i) -. !acc))
+            !acc
+      done;
+      (* --- objective agreement ------------------------------------ *)
+      let obj = Problem.objective_value prob x in
+      let objective_error = rel (abs_float (sol.Status.objective -. obj)) obj in
+      if objective_error > tol then
+        note
+          (Printf.sprintf
+             "reported objective %.9g differs from recomputed %.9g"
+             sol.Status.objective obj);
+      (* --- dual feasibility, complementarity, weak duality -------- *)
+      let dual_residual = ref 0.0 in
+      let complementarity = ref 0.0 in
+      let duality_gap = ref 0.0 in
+      if level = Full then begin
+        (* reduced costs from raw data: d_j = c_j - sum_i y_i a_ij *)
+        let d = Array.init n (fun j -> Problem.obj_coeff prob j) in
+        for i = 0 to m - 1 do
+          let yi = y.(i) in
+          if yi <> 0.0 then
+            Sparse.iter
+              (fun j a -> d.(j) <- d.(j) -. (yi *. a))
+              (Problem.row prob i).Problem.coeffs
+        done;
+        let bump_dual what idx v scale =
+          let r = rel v scale in
+          if r > !dual_residual then begin
+            dual_residual := r;
+            if r > tol then
+              note
+                (Printf.sprintf "dual sign of %s %d violated by %.3g (relative)"
+                   what idx r)
+          end
+        in
+        let bump_compl what idx v scale =
+          let r = rel v scale in
+          if r > !complementarity then begin
+            complementarity := r;
+            if r > 100.0 *. tol then
+              note
+                (Printf.sprintf
+                   "complementary slackness of %s %d violated by %.3g (relative)"
+                   what idx r)
+          end
+        in
+        (* A positive multiplier prices an active lower bound, a negative
+           one an active upper bound; a multiplier pushing against an
+           infinite bound is dual-infeasible outright. *)
+        let act_tol = 100.0 *. tol in
+        for j = 0 to n - 1 do
+          let lo = Problem.var_lo prob j and up = Problem.var_up prob j in
+          let c = Problem.obj_coeff prob j in
+          if d.(j) > 0.0 && rel d.(j) c > act_tol then begin
+            if lo = neg_infinity then bump_dual "variable" j d.(j) c
+            else bump_compl "variable" j ((x.(j) -. lo) *. d.(j)) (abs_float lo +. abs_float c)
+          end
+          else if d.(j) < 0.0 && rel (-.d.(j)) c > act_tol then begin
+            if up = infinity then bump_dual "variable" j (-.d.(j)) c
+            else bump_compl "variable" j ((up -. x.(j)) *. -.d.(j)) (abs_float up +. abs_float c)
+          end
+        done;
+        for i = 0 to m - 1 do
+          let row = Problem.row prob i in
+          if y.(i) > 0.0 && rel y.(i) 0.0 > act_tol then begin
+            if row.Problem.rlo = neg_infinity then bump_dual "row" i y.(i) 0.0
+            else
+              bump_compl "row" i
+                ((activity.(i) -. row.Problem.rlo) *. y.(i))
+                (abs_float row.Problem.rlo)
+          end
+          else if y.(i) < 0.0 && rel (-.y.(i)) 0.0 > act_tol then begin
+            if row.Problem.rup = infinity then bump_dual "row" i (-.y.(i)) 0.0
+            else
+              bump_compl "row" i
+                ((row.Problem.rup -. activity.(i)) *. -.y.(i))
+                (abs_float row.Problem.rup)
+          end
+        done;
+        (* weak-duality gap: the dual objective from (y, d), with inactive
+           multipliers contributing nothing *)
+        let dualobj = ref 0.0 in
+        for i = 0 to m - 1 do
+          let row = Problem.row prob i in
+          if y.(i) > 0.0 && row.Problem.rlo > neg_infinity then
+            dualobj := !dualobj +. (y.(i) *. row.Problem.rlo)
+          else if y.(i) < 0.0 && row.Problem.rup < infinity then
+            dualobj := !dualobj +. (y.(i) *. row.Problem.rup)
+        done;
+        for j = 0 to n - 1 do
+          let lo = Problem.var_lo prob j and up = Problem.var_up prob j in
+          if d.(j) > 0.0 && lo > neg_infinity then
+            dualobj := !dualobj +. (d.(j) *. lo)
+          else if d.(j) < 0.0 && up < infinity then
+            dualobj := !dualobj +. (d.(j) *. up)
+        done;
+        duality_gap := rel (abs_float (obj -. !dualobj)) obj;
+        if !duality_gap > 100.0 *. tol then
+          note
+            (Printf.sprintf
+               "duality gap: primal %.9g vs dual %.9g (relative gap %.3g)"
+               obj !dualobj !duality_gap)
+      end;
+      let ok = !fail = None in
+      {
+        level;
+        rows_checked = m;
+        primal_residual = !primal_residual;
+        dual_residual = !dual_residual;
+        complementarity = !complementarity;
+        duality_gap = !duality_gap;
+        objective_error;
+        ok;
+        failure = !fail;
+      }
+    end
+  end
+
+let pp fmt r =
+  Format.fprintf fmt
+    "@[<v>certification (%s): %s@,\
+     rows checked: %d@,\
+     primal residual: %.3g, objective error: %.3g@,\
+     dual residual: %.3g, complementarity: %.3g, duality gap: %.3g"
+    (level_to_string r.level)
+    (if r.ok then "OK" else "REJECTED")
+    r.rows_checked r.primal_residual r.objective_error r.dual_residual
+    r.complementarity r.duality_gap;
+  (match r.failure with
+  | Some msg -> Format.fprintf fmt "@,first failure: %s" msg
+  | None -> ());
+  Format.fprintf fmt "@]"

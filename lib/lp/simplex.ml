@@ -2,8 +2,38 @@ type vstat = Basic of int | At_lower | At_upper | Free_zero
 
 type pricing = Dantzig | Partial
 
+type fault_kind = Fault_singular_refactor | Fault_perturb_ftran | Fault_zero_pivot
+
+type fault = {
+  fault_seed : int;
+  fault_kinds : fault_kind list;
+  fault_rate : float;
+  max_faults : int;
+}
+
+let fault_plan ?(kinds = [ Fault_singular_refactor; Fault_perturb_ftran; Fault_zero_pivot ])
+    ?(rate = 0.25) ?(max_faults = 3) seed =
+  { fault_seed = seed; fault_kinds = kinds; fault_rate = rate; max_faults }
+
+type recovery_stage =
+  | Refactor_retry
+  | Switch_backend
+  | Tighten_pivot_tol
+  | Perturb_and_resolve
+  | Tableau_fallback
+
+let default_recovery =
+  [
+    Refactor_retry;
+    Switch_backend;
+    Tighten_pivot_tol;
+    Perturb_and_resolve;
+    Tableau_fallback;
+  ]
+
 type params = {
   max_iters : int;
+  time_limit : float;
   tol_feas : float;
   tol_dual : float;
   tol_pivot : float;
@@ -11,11 +41,14 @@ type params = {
   sparse_basis : bool;
   pricing : pricing;
   bland_threshold : int;
+  recovery : recovery_stage list;
+  fault : fault option;
 }
 
 let default_params =
   {
     max_iters = 0;
+    time_limit = infinity;
     tol_feas = 1e-7;
     tol_dual = 1e-9;
     tol_pivot = 1e-9;
@@ -23,7 +56,34 @@ let default_params =
     sparse_basis = false;
     pricing = Partial;
     bland_threshold = 1000;
+    recovery = default_recovery;
+    fault = None;
   }
+
+type recoveries = {
+  refactor_retries : int;
+  backend_switches : int;
+  tolerance_escalations : int;
+  perturbed_resolves : int;
+  tableau_fallbacks : int;
+  faults_injected : int;
+  validations_rejected : int;
+}
+
+let no_recoveries =
+  {
+    refactor_retries = 0;
+    backend_switches = 0;
+    tolerance_escalations = 0;
+    perturbed_resolves = 0;
+    tableau_fallbacks = 0;
+    faults_injected = 0;
+    validations_rejected = 0;
+  }
+
+let recovery_attempts r =
+  r.refactor_retries + r.backend_switches + r.tolerance_escalations
+  + r.perturbed_resolves + r.tableau_fallbacks
 
 type stats = {
   iterations : int;
@@ -41,6 +101,7 @@ type stats = {
   phase1_seconds : float;
   phase2_seconds : float;
   dual_seconds : float;
+  recoveries : recoveries;
 }
 
 (* Internal mutable mirror of the counters that are not already tracked
@@ -57,6 +118,13 @@ type istats = {
   mutable s_phase1_secs : float;
   mutable s_phase2_secs : float;
   mutable s_dual_secs : float;
+  mutable s_rec_refactor : int;
+  mutable s_rec_switch : int;
+  mutable s_rec_tol : int;
+  mutable s_rec_perturb : int;
+  mutable s_rec_tableau : int;
+  mutable s_injected : int;
+  mutable s_rejected : int;
 }
 
 let fresh_istats () =
@@ -71,6 +139,13 @@ let fresh_istats () =
     s_phase1_secs = 0.0;
     s_phase2_secs = 0.0;
     s_dual_secs = 0.0;
+    s_rec_refactor = 0;
+    s_rec_switch = 0;
+    s_rec_tol = 0;
+    s_rec_perturb = 0;
+    s_rec_tableau = 0;
+    s_injected = 0;
+    s_rejected = 0;
   }
 
 type t = {
@@ -93,6 +168,17 @@ type t = {
   mutable since_refactor : int;
   mutable degen_streak : int;
   mutable bland : bool;
+  (* resilience state: the recovery ladder may move the engine off the
+     configured backend/tolerances mid-solve, so the live values are
+     mutable copies of the corresponding params fields *)
+  mutable cur_sparse : bool;
+  mutable cur_tol_pivot : float;
+  mutable time_budget : float;  (* seconds per solve; infinity = none *)
+  mutable deadline : float;  (* absolute, set at solve entry *)
+  mutable solving : bool;  (* fault hooks only fire inside solve *)
+  mutable faults_left : int;
+  frng : Lubt_util.Prng.t option;  (* fault-injection stream *)
+  mutable fallback : Status.solution option;  (* Tableau_fallback result *)
   st : istats;
   ops : Basis.counters;  (* shared with the sparse backend *)
   (* partial-pricing candidate list: nonbasic columns that priced
@@ -150,7 +236,30 @@ let dual_tol t j = t.p.tol_dual *. (1.0 +. abs_float t.obj.(j))
 (* Linear algebra on the explicit basis inverse                        *)
 (* ------------------------------------------------------------------ *)
 
-let sparse_mode t = t.p.sparse_basis
+let sparse_mode t = t.cur_sparse
+
+let out_of_time t = t.deadline < infinity && Unix.gettimeofday () > t.deadline
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic fault injection                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Whether a configured fault of [kind] fires at this call site. Fires only
+   while a solve is running (never during [of_problem] or [add_row]) and at
+   most [max_faults] times per engine, so recovery retries eventually see a
+   clean run. The stream is seeded, so a given (problem, seed) pair fails in
+   exactly the same way every time. *)
+let fault_fires t kind =
+  match (t.p.fault, t.frng) with
+  | Some f, Some rng
+    when t.solving && t.faults_left > 0 && List.mem kind f.fault_kinds ->
+    if Lubt_util.Prng.float rng 1.0 < f.fault_rate then begin
+      t.faults_left <- t.faults_left - 1;
+      t.st.s_injected <- t.st.s_injected + 1;
+      true
+    end
+    else false
+  | _ -> false
 
 let dense_col t q =
   let b = Array.make t.m 0.0 in
@@ -184,6 +293,15 @@ let ftran t q =
       w.(r) <- -.t.binv.(r).(i)
     done
   end
+  end;
+  if t.m > 0 && fault_fires t Fault_perturb_ftran then begin
+    match t.frng with
+    | Some rng ->
+      (* large relative error in one component: either harmless (the
+         component is never pivoted on) or caught by post-solve validation *)
+      let r = Lubt_util.Prng.int rng t.m in
+      t.w.(r) <- t.w.(r) +. (0.01 *. (1.0 +. abs_float t.w.(r)))
+    | None -> ()
   end
 
 (* y <- (B^-1)^T cb, skipping zero cost rows (phase I has very few). *)
@@ -276,14 +394,20 @@ let basis_columns t =
       col_iter t t.basic.(k) (fun i a -> entries := (i, a) :: !entries);
       Sparse.of_assoc !entries)
 
+(* LU pivot threshold scaled with the (possibly escalated) simplex pivot
+   tolerance, never looser than the Lu.factor default. *)
+let lu_pivot_tol t = max 1e-11 (t.cur_tol_pivot *. 1e-2)
+
 let refactor t =
+  if fault_fires t Fault_singular_refactor then
+    raise (Numerical "fault injection: forced singular refactorisation");
   (* a fresh factorisation is exact, so the anti-cycling escape restarts:
      a Bland run triggered by numerical degeneracy must not outlive the
      basis representation that caused it *)
   t.degen_streak <- 0;
   t.bland <- false;
   if sparse_mode t then begin
-    (match Basis.create ~counters:t.ops (basis_columns t) with
+    (match Basis.create ~counters:t.ops ~pivot_tol:(lu_pivot_tol t) (basis_columns t) with
     | sb ->
       t.sbasis <- Some sb;
       t.needs_factor <- false
@@ -297,7 +421,7 @@ let refactor t =
   let m = t.m in
   let cols = basis_columns t in
   let lu =
-    match Lu.factor cols with
+    match Lu.factor ~pivot_tol:(lu_pivot_tol t) cols with
     | lu -> lu
     | exception Lu.Singular j ->
       raise (Numerical (Printf.sprintf "refactor: singular basis (column %d)" j))
@@ -452,17 +576,19 @@ let price t ~cost =
 (* Rank-1 update of B^-1 after variable q (with ftran result in t.w)
    replaces the basic variable of row r. *)
 let update_binv t r =
+  if fault_fires t Fault_zero_pivot then
+    raise (Basis.Zero_pivot { row = r; magnitude = 0.0 });
   if sparse_mode t then begin
-    if abs_float t.w.(r) < t.p.tol_pivot then raise (Numerical "tiny pivot");
     match t.sbasis with
     | None -> invalid_arg "update_binv: basis not factorised"
-    | Some sb -> Basis.update sb r (Array.sub t.w 0 t.m)
+    | Some sb -> Basis.update ~tol:t.cur_tol_pivot sb r (Array.sub t.w 0 t.m)
   end
   else begin
-  t.ops.Basis.updates <- t.ops.Basis.updates + 1;
   let m = t.m and w = t.w in
   let alpha = w.(r) in
-  if abs_float alpha < t.p.tol_pivot then raise (Numerical "tiny pivot");
+  if abs_float alpha < t.cur_tol_pivot then
+    raise (Basis.Zero_pivot { row = r; magnitude = abs_float alpha });
+  t.ops.Basis.updates <- t.ops.Basis.updates + 1;
   let br = t.binv.(r) in
   let d = 1.0 /. alpha in
   for i = 0 to m - 1 do
@@ -499,12 +625,15 @@ let apply_primal_pivot t ~q ~sigma ~step ~blocking =
       | At_upper -> At_lower
       | Basic _ | Free_zero -> invalid_arg "flip of non-bounded variable")
   | Block { row = r; to_upper } ->
+    (* update the basis representation first: it raises on a bad pivot
+       before mutating anything, keeping vstat/basic/xb consistent for the
+       recovery ladder *)
+    update_binv t r;
     for r' = 0 to t.m - 1 do
       if r' <> r then t.xb.(r') <- t.xb.(r') -. (sigma *. step *. w.(r'))
     done;
     let leaving = t.basic.(r) in
     t.vstat.(leaving) <- (if to_upper then At_upper else At_lower);
-    update_binv t r;
     t.basic.(r) <- q;
     t.vstat.(q) <- Basic r;
     t.xb.(r) <- q_new;
@@ -513,7 +642,7 @@ let apply_primal_pivot t ~q ~sigma ~step ~blocking =
     if t.p.pricing = Partial then cand_offer t leaving 0.0);
   t.iters <- t.iters + 1;
   t.since_refactor <- t.since_refactor + 1;
-  if step <= t.p.tol_pivot then begin
+  if step <= t.cur_tol_pivot then begin
     t.degen_streak <- t.degen_streak + 1;
     t.st.s_degen <- t.st.s_degen + 1
   end
@@ -542,7 +671,7 @@ let ratio_phase2 t ~q ~sigma =
    end);
   for r = 0 to t.m - 1 do
     let delta = -.(sigma *. w.(r)) in
-    if abs_float delta > t.p.tol_pivot then begin
+    if abs_float delta > t.cur_tol_pivot then begin
       let b = t.basic.(r) in
       let x = t.xb.(r) in
       let bound, to_upper =
@@ -552,8 +681,8 @@ let ratio_phase2 t ~q ~sigma =
         let lim = max 0.0 ((bound -. x) /. delta) in
         let mag = abs_float w.(r) in
         if
-          lim < !best_step -. t.p.tol_pivot
-          || (lim <= !best_step +. t.p.tol_pivot && mag > !best_mag)
+          lim < !best_step -. t.cur_tol_pivot
+          || (lim <= !best_step +. t.cur_tol_pivot && mag > !best_mag)
         then begin
           best_step := lim;
           best_block := Block { row = r; to_upper };
@@ -579,8 +708,8 @@ let ratio_phase1 t ~q ~sigma =
   let offer lim r to_upper mag =
     let lim = max 0.0 lim in
     if
-      lim < !best_step -. t.p.tol_pivot
-      || (lim <= !best_step +. t.p.tol_pivot && mag > !best_mag)
+      lim < !best_step -. t.cur_tol_pivot
+      || (lim <= !best_step +. t.cur_tol_pivot && mag > !best_mag)
     then begin
       best_step := lim;
       best_block := Block { row = r; to_upper };
@@ -589,7 +718,7 @@ let ratio_phase1 t ~q ~sigma =
   in
   for r = 0 to t.m - 1 do
     let delta = -.(sigma *. w.(r)) in
-    if abs_float delta > t.p.tol_pivot then begin
+    if abs_float delta > t.cur_tol_pivot then begin
       let b = t.basic.(r) in
       let x = t.xb.(r) in
       let mag = abs_float w.(r) in
@@ -622,6 +751,7 @@ let effective_max_iters t =
 let primal_phase2 t =
   let rec loop () =
     if t.iters > effective_max_iters t then Status.Iteration_limit
+    else if out_of_time t then Status.Time_limit
     else begin
       maybe_refactor t;
       fill_cb_phase2 t;
@@ -643,6 +773,7 @@ let primal_phase2 t =
 let primal_phase1 t =
   let rec loop () =
     if t.iters > effective_max_iters t then Status.Iteration_limit
+    else if out_of_time t then Status.Time_limit
     else begin
       maybe_refactor t;
       let inf = primal_infeasibility t in
@@ -688,6 +819,7 @@ let most_violated_row t =
 let dual_simplex t =
   let rec loop () =
     if t.iters > effective_max_iters t then Status.Iteration_limit
+    else if out_of_time t then Status.Time_limit
     else begin
       maybe_refactor t;
       match most_violated_row t with
@@ -725,35 +857,36 @@ let dual_simplex t =
           | _ when is_fixed t j -> ()
           | At_lower ->
             let alpha = s *. col_dot t j t.rho in
-            if alpha > t.p.tol_pivot then begin
+            if alpha > t.cur_tol_pivot then begin
               let d = max 0.0 (t.obj.(j) -. col_dot t j t.y) in
               consider j (d /. alpha) alpha
             end
           | At_upper ->
             let alpha = s *. col_dot t j t.rho in
-            if alpha < -.t.p.tol_pivot then begin
+            if alpha < -.t.cur_tol_pivot then begin
               let d = min 0.0 (t.obj.(j) -. col_dot t j t.y) in
               consider j (d /. alpha) alpha
             end
           | Free_zero ->
             let alpha = s *. col_dot t j t.rho in
-            if abs_float alpha > t.p.tol_pivot then consider j 0.0 alpha
+            if abs_float alpha > t.cur_tol_pivot then consider j 0.0 alpha
         done;
         (match !best with
         | None -> Status.Infeasible
         | Some (q, _, _) ->
           ftran t q;
           let alpha_rq = t.w.(r) in
-          if abs_float alpha_rq < t.p.tol_pivot then
+          if abs_float alpha_rq < t.cur_tol_pivot then
             raise (Numerical "dual simplex: tiny pivot");
           let target = if above then t.up.(b) else t.lo.(b) in
           let dq = (t.xb.(r) -. target) /. alpha_rq in
           let q_new = value t q +. dq in
+          (* basis update first: raises before any state mutation *)
+          update_binv t r;
           for r' = 0 to t.m - 1 do
             if r' <> r then t.xb.(r') <- t.xb.(r') -. (dq *. t.w.(r'))
           done;
           t.vstat.(b) <- (if above then At_upper else At_lower);
-          update_binv t r;
           t.basic.(r) <- q;
           t.vstat.(q) <- Basic r;
           t.xb.(r) <- q_new;
@@ -800,7 +933,7 @@ let grow_arrays t needed_cap =
     Array.blit t.vstat 0 vs 0 (t.n + t.m);
     t.vstat <- vs;
     let nbinv =
-      if t.p.sparse_basis then [||]
+      if t.cur_sparse then [||]
       else
         Array.init ncap (fun r ->
             let row = Array.make ncap 0.0 in
@@ -874,6 +1007,18 @@ let of_problem ?(params = default_params) prob =
       since_refactor = 0;
       degen_streak = 0;
       bland = false;
+      cur_sparse = params.sparse_basis;
+      cur_tol_pivot = params.tol_pivot;
+      time_budget = params.time_limit;
+      deadline = infinity;
+      solving = false;
+      faults_left =
+        (match params.fault with Some f -> f.max_faults | None -> 0);
+      frng =
+        (match params.fault with
+        | Some f -> Some (Lubt_util.Prng.create f.fault_seed)
+        | None -> None);
+      fallback = None;
       st = fresh_istats ();
       ops = Basis.fresh_counters ();
       cand = Array.make cand_cap 0;
@@ -909,7 +1054,7 @@ let add_row t ~lo ~up coeffs =
      [[B^-1, 0], [C B^-1, -1]], where C holds the new row's coefficients on
      the current basic (necessarily structural) variables. In sparse mode
      the factorisation is simply rebuilt at the next solve. *)
-  if t.p.sparse_basis then t.needs_factor <- true
+  if t.cur_sparse then t.needs_factor <- true
   else begin
   let new_row = t.binv.(r_new) in
   Array.fill new_row 0 t.cap 0.0;
@@ -933,6 +1078,7 @@ let add_row t ~lo ~up coeffs =
   t.vstat.(aux) <- Basic r_new;
   t.xb.(r_new) <- activity;
   t.m <- t.m + 1;
+  t.fallback <- None;  (* any fallback solution predates this row *)
   t.last_status <- Status.Iteration_limit
 
 (* ------------------------------------------------------------------ *)
@@ -987,54 +1133,249 @@ let run_dual t =
   t.st.s_dual_iters <- t.st.s_dual_iters + (t.iters - it0);
   r
 
-let solve t =
-  (* a stale factorisation (rows added since the last solve) must be
-     rebuilt before anything consults the basis *)
-  if sparse_mode t && (t.needs_factor || t.sbasis = None) then refactor t;
-  let status =
-    try
-      if dual_feasible t then run_dual t
-      else begin
-        let inf = primal_infeasibility t in
-        if inf <= t.p.tol_feas *. float_of_int (1 + t.m) then run_phase2 t
-        else
-          match run_phase1 t with
-          | Status.Optimal -> run_phase2 t
-          | other -> other
+(* Algorithm selection for one clean run from the current basis. *)
+let drive t =
+  if dual_feasible t then run_dual t
+  else begin
+    let inf = primal_infeasibility t in
+    if inf <= t.p.tol_feas *. float_of_int (1 + t.m) then run_phase2 t
+    else
+      match run_phase1 t with
+      | Status.Optimal -> run_phase2 t
+      | other -> other
+  end
+
+(* A solve that ends Optimal must also look optimal when checked only
+   against the original column data — never through the basis inverse,
+   which is exactly the object a numerical fault corrupts. Checks the
+   equality system [A | -I] x = 0 and the bound feasibility of the basic
+   values; a failure re-enters the recovery ladder. *)
+let validate_solution t =
+  let m = t.m in
+  if m > 0 then begin
+    let s = Array.make m 0.0 in
+    let scale = ref 1.0 in
+    for j = 0 to t.n + m - 1 do
+      let v = value t j in
+      if v <> 0.0 then begin
+        if abs_float v > !scale then scale := abs_float v;
+        col_iter t j (fun i a -> s.(i) <- s.(i) +. (a *. v))
       end
-    with Numerical _ -> (
-      (* one recovery attempt: refactorise and retry once *)
-      try
+    done;
+    let residual = ref 0.0 in
+    for i = 0 to m - 1 do
+      if abs_float s.(i) > !residual then residual := abs_float s.(i)
+    done;
+    let residual = !residual /. !scale in
+    let infeas = ref 0.0 in
+    for r = 0 to m - 1 do
+      let b = t.basic.(r) in
+      let x = t.xb.(r) in
+      let v =
+        if x < t.lo.(b) then (t.lo.(b) -. x) /. (1.0 +. abs_float t.lo.(b))
+        else if x > t.up.(b) then (x -. t.up.(b)) /. (1.0 +. abs_float t.up.(b))
+        else 0.0
+      in
+      if v > !infeas then infeas := v
+    done;
+    let tol = 1e3 *. t.p.tol_feas in
+    if residual > tol || !infeas > tol then begin
+      t.st.s_rejected <- t.st.s_rejected + 1;
+      raise
+        (Numerical
+           (Printf.sprintf
+              "post-solve validation: equality residual %.3g, bound violation %.3g"
+              residual !infeas))
+    end
+  end
+
+(* Reconstructs a standalone Problem.t equal to the engine's current model
+   (including rows appended with add_row), for the independent fallback
+   solver and for diagnostics. *)
+let to_problem t =
+  let prob = Problem.create () in
+  for j = 0 to t.n - 1 do
+    ignore (Problem.add_var ~lo:t.lo.(j) ~up:t.up.(j) ~obj:t.obj.(j) prob)
+  done;
+  let rows = Array.make (max 1 t.m) [] in
+  for j = t.n - 1 downto 0 do
+    Sparse.iter (fun i a -> rows.(i) <- (j, a) :: rows.(i)) t.cols.(j)
+  done;
+  for i = 0 to t.m - 1 do
+    ignore (Problem.add_row prob ~lo:t.lo.(t.n + i) ~up:t.up.(t.n + i) rows.(i))
+  done;
+  prob
+
+(* The exception classes the recovery ladder is allowed to absorb. Anything
+   else (Invalid_argument, Out_of_memory, ...) is a caller or engine bug and
+   propagates. *)
+let recoverable = function
+  | Numerical msg -> Some msg
+  | Lu.Singular j -> Some (Printf.sprintf "singular factorisation (column %d)" j)
+  | Basis.Zero_pivot { row; magnitude } ->
+    Some (Printf.sprintf "zero pivot at row %d (|pivot| = %g)" row magnitude)
+  | _ -> None
+
+type stage_outcome = Retry | Final of Status.t
+
+let apply_stage t stage =
+  match stage with
+  | Refactor_retry ->
+    t.st.s_rec_refactor <- t.st.s_rec_refactor + 1;
+    refactor t;
+    Retry
+  | Switch_backend ->
+    t.st.s_rec_switch <- t.st.s_rec_switch + 1;
+    if t.cur_sparse then begin
+      (* sparse LU + eta file -> explicit dense inverse *)
+      t.cur_sparse <- false;
+      t.sbasis <- None;
+      t.binv <- Array.init t.cap (fun _ -> Array.make t.cap 0.0)
+    end
+    else begin
+      (* dense inverse -> sparse LU *)
+      t.cur_sparse <- true;
+      t.binv <- [||];
+      t.sbasis <- None;
+      t.needs_factor <- true
+    end;
+    refactor t;
+    Retry
+  | Tighten_pivot_tol ->
+    t.st.s_rec_tol <- t.st.s_rec_tol + 1;
+    t.cur_tol_pivot <- min 1e-5 (t.cur_tol_pivot *. 100.0);
+    refactor t;
+    Retry
+  | Perturb_and_resolve ->
+    t.st.s_rec_perturb <- t.st.s_rec_perturb + 1;
+    let total = t.n + t.m in
+    let saved_lo = Array.sub t.lo 0 total in
+    let saved_up = Array.sub t.up 0 total in
+    (* outward relative perturbation of the finite bounds of non-fixed
+       variables: relaxes the problem slightly and breaks the degenerate
+       vertex that defeated the pivot tolerances; seeded, so deterministic *)
+    let rng = Lubt_util.Prng.create (0x9e37 + t.st.s_rec_perturb) in
+    for j = 0 to total - 1 do
+      if t.up.(j) > t.lo.(j) then begin
+        if t.lo.(j) > neg_infinity then
+          t.lo.(j) <-
+            t.lo.(j)
+            -. (1e-7 *. (1.0 +. abs_float t.lo.(j)) *. Lubt_util.Prng.float rng 1.0);
+        if t.up.(j) < infinity then
+          t.up.(j) <-
+            t.up.(j)
+            +. (1e-7 *. (1.0 +. abs_float t.up.(j)) *. Lubt_util.Prng.float rng 1.0)
+      end
+    done;
+    let outcome =
+      match
         refactor t;
-        if dual_feasible t then run_dual t
-        else
-          match run_phase1 t with
-          | Status.Optimal -> run_phase2 t
-          | other -> other
-      with Numerical _ -> Status.Numerical_failure)
+        ignore (drive t)
+      with
+      | () -> None
+      | exception e -> Some e
+    in
+    Array.blit saved_lo 0 t.lo 0 total;
+    Array.blit saved_up 0 t.up 0 total;
+    (match outcome with
+    | Some e when recoverable e = None -> raise e
+    | _ -> ());
+    (* clean re-solve on the exact bounds happens at the next attempt; here
+       only the basis bookkeeping is refreshed for the restored bounds *)
+    refactor t;
+    Retry
+  | Tableau_fallback ->
+    t.st.s_rec_tableau <- t.st.s_rec_tableau + 1;
+    let sol = Tableau.solve (to_problem t) in
+    let sol = { sol with Status.iterations = t.iters } in
+    t.fallback <- Some sol;
+    Final sol.Status.status
+
+let solve t =
+  t.fallback <- None;
+  t.solving <- true;
+  t.deadline <-
+    (if t.time_budget = infinity then infinity
+     else Unix.gettimeofday () +. t.time_budget);
+  let finish status =
+    t.solving <- false;
+    t.last_status <- status;
+    status
   in
-  t.last_status <- status;
-  status
+  let run () =
+    (* a stale factorisation (rows added since the last solve) must be
+       rebuilt before anything consults the basis *)
+    if sparse_mode t && (t.needs_factor || t.sbasis = None) then refactor t;
+    let s = drive t in
+    if s = Status.Optimal then validate_solution t;
+    s
+  in
+  let guard f =
+    match f () with
+    | v -> Ok v
+    | exception e -> (
+      match recoverable e with
+      | Some reason -> Error reason
+      | None ->
+        t.solving <- false;
+        raise e)
+  in
+  (* The ladder: each numerical failure consumes the next stage, then the
+     whole solve is retried. Stages that themselves fail numerically are
+     skipped. An empty (or exhausted) ladder is a hard failure. *)
+  let rec attempt stages =
+    match guard run with
+    | Ok s -> s
+    | Error _ -> escalate stages
+  and escalate = function
+    | [] -> Status.Numerical_failure
+    | stage :: rest -> (
+      match guard (fun () -> apply_stage t stage) with
+      | Ok Retry -> attempt rest
+      | Ok (Final s) -> s
+      | Error _ -> escalate rest)
+  in
+  finish (attempt t.p.recovery)
+
+let set_time_limit t seconds = t.time_budget <- seconds
+
+let used_fallback t = t.fallback <> None
 
 (* ------------------------------------------------------------------ *)
 (* Extraction                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let primal t = Array.init t.n (fun j -> value t j)
+(* When the Tableau_fallback stage produced the answer, the engine's own
+   basis is untrustworthy: every extractor reads the stored independent
+   solution instead. *)
 
-let row_activity t = Array.init t.m (fun i -> value t (t.n + i))
+let primal t =
+  match t.fallback with
+  | Some s -> Array.copy s.Status.primal
+  | None -> Array.init t.n (fun j -> value t j)
+
+let row_activity t =
+  match t.fallback with
+  | Some s -> Array.copy s.Status.row_activity
+  | None -> Array.init t.m (fun i -> value t (t.n + i))
 
 let objective t =
-  let acc = ref 0.0 in
-  for j = 0 to t.n - 1 do
-    if t.obj.(j) <> 0.0 then acc := !acc +. (t.obj.(j) *. value t j)
-  done;
-  !acc
+  match t.fallback with
+  | Some s -> s.Status.objective
+  | None ->
+    let acc = ref 0.0 in
+    for j = 0 to t.n - 1 do
+      if t.obj.(j) <> 0.0 then acc := !acc +. (t.obj.(j) *. value t j)
+    done;
+    !acc
 
 let dual t =
-  fill_cb_phase2 t;
-  compute_y t t.cb;
-  Array.sub t.y 0 t.m
+  match t.fallback with
+  | Some s -> Array.copy s.Status.dual
+  | None ->
+    fill_cb_phase2 t;
+    compute_y t t.cb;
+    Array.sub t.y 0 t.m
 
 let reduced_cost t j =
   assert (j >= 0 && j < t.n);
@@ -1043,14 +1384,17 @@ let reduced_cost t j =
   t.obj.(j) -. col_dot t j t.y
 
 let solution t =
-  {
-    Status.status = t.last_status;
-    objective = objective t;
-    primal = primal t;
-    row_activity = row_activity t;
-    dual = dual t;
-    iterations = t.iters;
-  }
+  match t.fallback with
+  | Some s -> { s with Status.status = t.last_status; iterations = t.iters }
+  | None ->
+    {
+      Status.status = t.last_status;
+      objective = objective t;
+      primal = primal t;
+      row_activity = row_activity t;
+      dual = dual t;
+      iterations = t.iters;
+    }
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry                                                           *)
@@ -1073,6 +1417,16 @@ let stats t =
     phase1_seconds = t.st.s_phase1_secs;
     phase2_seconds = t.st.s_phase2_secs;
     dual_seconds = t.st.s_dual_secs;
+    recoveries =
+      {
+        refactor_retries = t.st.s_rec_refactor;
+        backend_switches = t.st.s_rec_switch;
+        tolerance_escalations = t.st.s_rec_tol;
+        perturbed_resolves = t.st.s_rec_perturb;
+        tableau_fallbacks = t.st.s_rec_tableau;
+        faults_injected = t.st.s_injected;
+        validations_rejected = t.st.s_rejected;
+      };
   }
 
 let pp_stats fmt s =
@@ -1081,9 +1435,19 @@ let pp_stats fmt s =
      pricing scans: %d full, %d partial@,\
      ftran/btran: %d/%d, basis updates: %d, refactorisations: %d@,\
      degenerate pivots: %d, Bland activations: %d@,\
-     time: phase1 %.3fms, phase2 %.3fms, dual %.3fms@]"
+     time: phase1 %.3fms, phase2 %.3fms, dual %.3fms"
     s.iterations s.phase1_iterations s.phase2_iterations s.dual_iterations
     s.full_pricing_scans s.partial_pricing_scans s.ftran_count s.btran_count
     s.basis_updates s.refactorisations s.degenerate_pivots s.bland_activations
     (s.phase1_seconds *. 1e3) (s.phase2_seconds *. 1e3)
-    (s.dual_seconds *. 1e3)
+    (s.dual_seconds *. 1e3);
+  let r = s.recoveries in
+  if recovery_attempts r > 0 || r.faults_injected > 0 || r.validations_rejected > 0
+  then
+    Format.fprintf fmt
+      "@,recoveries: %d refactor, %d backend switch, %d tolerance, %d perturb, \
+       %d tableau; faults injected: %d, validations rejected: %d"
+      r.refactor_retries r.backend_switches r.tolerance_escalations
+      r.perturbed_resolves r.tableau_fallbacks r.faults_injected
+      r.validations_rejected;
+  Format.fprintf fmt "@]"

@@ -34,8 +34,62 @@ type pricing =
           runs only when the list goes dry or Bland's rule engages.
           Identical optima — only the pivot order differs. *)
 
+(** Where a deterministic fault is injected (testing only). *)
+type fault_kind =
+  | Fault_singular_refactor
+      (** a basis refactorisation raises as if the basis were singular *)
+  | Fault_perturb_ftran
+      (** one component of an ftran result gets a large relative error,
+          corrupting subsequent pivots until validation catches it *)
+  | Fault_zero_pivot
+      (** a basis update raises {!Basis.Zero_pivot} as if the pivot
+          entry were numerically zero *)
+
+type fault = {
+  fault_seed : int;  (** seed of the private splitmix64 fault stream *)
+  fault_kinds : fault_kind list;  (** which sites may fire *)
+  fault_rate : float;  (** firing probability per eligible call site *)
+  max_faults : int;
+      (** lifetime cap per engine, so recovery retries eventually run
+          clean *)
+}
+
+val fault_plan :
+  ?kinds:fault_kind list -> ?rate:float -> ?max_faults:int -> int -> fault
+(** [fault_plan seed] is a fault configuration with all kinds enabled,
+    [rate = 0.25] and [max_faults = 3]. Faults fire only during [solve],
+    never while loading or adding rows, and identically for identical
+    (problem, seed) pairs. *)
+
+(** One rung of the numerical-recovery ladder. *)
+type recovery_stage =
+  | Refactor_retry  (** rebuild the basis factorisation and retry *)
+  | Switch_backend
+      (** swap sparse LU + eta file <-> explicit dense inverse (either
+          direction) and retry *)
+  | Tighten_pivot_tol
+      (** escalate the pivot tolerance by 100x (capped at 1e-5), making
+          the ratio tests refuse the near-zero pivots that broke the
+          factorisation *)
+  | Perturb_and_resolve
+      (** relax all finite bounds outward by a seeded relative ~1e-7
+          noise, drive to optimality on the perturbed problem to escape
+          the degenerate vertex, then restore the exact bounds and
+          re-solve cleanly *)
+  | Tableau_fallback
+      (** last resort: hand the reconstructed model to the independent
+          dense {!Tableau} oracle and serve its solution (dual values are
+          zeros; see {!used_fallback}) *)
+
+val default_recovery : recovery_stage list
+(** All five stages in the order above. *)
+
 type params = {
   max_iters : int;  (** 0 means choose automatically from the size *)
+  time_limit : float;
+      (** wall-clock budget in seconds per [solve] call; [infinity]
+          (the default) disables it. On expiry [solve] returns
+          {!Status.Time_limit} with the best basis reached so far. *)
   tol_feas : float;  (** absolute primal feasibility tolerance *)
   tol_dual : float;  (** reduced-cost optimality tolerance *)
   tol_pivot : float;  (** smallest acceptable pivot magnitude *)
@@ -51,9 +105,34 @@ type params = {
           escape switches to Bland's rule (default 1000). The switch
           reverts after the next non-degenerate pivot or basis
           refactorisation. *)
+  recovery : recovery_stage list;
+      (** the numerical-recovery ladder, consumed left to right: each
+          numerical failure (singular factorisation, zero pivot,
+          post-solve validation reject) applies the next stage and
+          retries the solve; an exhausted (or empty) ladder yields
+          {!Status.Numerical_failure}. Default {!default_recovery}. *)
+  fault : fault option;  (** deterministic fault injection (default [None]) *)
 }
 
 val default_params : params
+
+type recoveries = {
+  refactor_retries : int;
+  backend_switches : int;
+  tolerance_escalations : int;
+  perturbed_resolves : int;
+  tableau_fallbacks : int;
+  faults_injected : int;  (** faults actually fired (testing) *)
+  validations_rejected : int;
+      (** optimal bases rejected by the binv-free post-solve check *)
+}
+(** Recovery-ladder telemetry; all zero on a numerically clean solve. *)
+
+val no_recoveries : recoveries
+
+val recovery_attempts : recoveries -> int
+(** Total ladder stages applied (sum of the five stage counters;
+    excludes [faults_injected] and [validations_rejected]). *)
 
 type stats = {
   iterations : int;  (** total simplex pivots over the engine's lifetime *)
@@ -73,6 +152,7 @@ type stats = {
   phase1_seconds : float;  (** wall time spent in primal phase I *)
   phase2_seconds : float;
   dual_seconds : float;
+  recoveries : recoveries;  (** numerical-recovery telemetry *)
 }
 (** Cumulative solver counters, preserved across warm restarts ([add_row] +
     re-[solve]); read them with {!stats} at any point. *)
@@ -83,7 +163,28 @@ val of_problem : ?params:params -> Problem.t -> t
 
 val solve : t -> Status.t
 (** Runs the appropriate algorithm(s) from the current basis and returns the
-    final status. Idempotent once optimal. *)
+    final status. Idempotent once optimal.
+
+    Numerical failures (singular refactorisation, zero pivots, a rejected
+    post-solve validation) do not escape: they walk the
+    {!params}[.recovery] ladder, and only an exhausted ladder returns
+    {!Status.Numerical_failure}. Every optimal claim is validated against
+    the original column data before being returned. *)
+
+val set_time_limit : t -> float -> unit
+(** Overrides the wall-clock budget (seconds) for subsequent [solve] calls;
+    [infinity] disables, a non-positive value makes the next solve return
+    {!Status.Time_limit} immediately. Used by callers that spread one
+    budget over several warm restarts. *)
+
+val used_fallback : t -> bool
+(** Whether the last [solve] was answered by the {!Tableau_fallback} stage.
+    If so, {!dual} returns zeros (the oracle does not produce multipliers)
+    and callers should not demand dual certificates. *)
+
+val to_problem : t -> Problem.t
+(** Reconstructs a standalone model equal to the engine's current one,
+    including rows appended with [add_row] (diagnostics / oracles). *)
 
 val add_row : t -> lo:float -> up:float -> (int * float) list -> unit
 (** Appends a constraint row over structural variables. The engine stays

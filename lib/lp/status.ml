@@ -3,6 +3,7 @@ type t =
   | Infeasible
   | Unbounded
   | Iteration_limit
+  | Time_limit
   | Numerical_failure
 
 type solution = {
@@ -19,6 +20,7 @@ let to_string = function
   | Infeasible -> "infeasible"
   | Unbounded -> "unbounded"
   | Iteration_limit -> "iteration-limit"
+  | Time_limit -> "time-limit"
   | Numerical_failure -> "numerical-failure"
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)

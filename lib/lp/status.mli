@@ -5,6 +5,9 @@ type t =
   | Infeasible
   | Unbounded
   | Iteration_limit
+  | Time_limit
+      (** the wall-clock budget expired; the packaged solution is the best
+          basis reached so far, not a proven optimum *)
   | Numerical_failure
 
 type solution = {

@@ -311,6 +311,12 @@ let test_brbc_single_sink () =
   let r = Brbc.route ~source:(pt 0.0 0.0) [| pt 3.0 4.0 |] in
   Alcotest.(check (float 1e-9)) "single sink cost" 7.0 r.Brbc.cost
 
+(* Wire cost is NOT monotone in epsilon for this heuristic (a looser cap
+   changes which MST edges trigger detours, occasionally for the worse),
+   so the property checked here is the one the algorithm actually
+   guarantees: on the same input, every epsilon honours its own radius
+   cap — and in particular the tight run's paths also fit under the
+   loose run's cap. *)
 let prop_brbc_monotone_epsilon =
   QCheck.Test.make ~name:"smaller epsilon never lengthens max path bound"
     ~count:30
@@ -321,8 +327,9 @@ let prop_brbc_monotone_epsilon =
       let source = pt 40.0 40.0 in
       let tight = Brbc.route ~epsilon:0.2 ~source sinks in
       let loose = Brbc.route ~epsilon:2.0 ~source sinks in
-      (* tighter radius costs at least as much wire *)
-      tight.Brbc.cost >= loose.Brbc.cost -. 1e-6)
+      tight.Brbc.max_path <= (1.2 *. tight.Brbc.radius) +. 1e-6
+      && loose.Brbc.max_path <= (3.0 *. loose.Brbc.radius) +. 1e-6
+      && tight.Brbc.max_path <= (3.0 *. loose.Brbc.radius) +. 1e-6)
 
 let () =
   Alcotest.run "bst-extra"

@@ -215,15 +215,28 @@ let test_lp_format_roundtrip () =
   done
 
 let test_lp_format_reader_errors () =
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
   List.iter
-    (fun (text, why) ->
+    (fun (text, why, where) ->
       match Lp_format.of_string text with
-      | Error _ -> ()
+      | Error msg ->
+        if not (contains msg where) then
+          Alcotest.failf "%s: error %S does not locate %S" why msg where
       | Ok _ -> Alcotest.failf "expected parse failure: %s" why)
     [
-      ("x + y <= 3", "content before section");
-      ("Minimize\n obj: x\nSubject To\n c: x ? 3\nEnd", "bad operator");
-      ("Minimize\n obj: x\nSubject To\n c: x <=\nEnd", "missing rhs");
+      ("x + y <= 3", "content before section", "line 1");
+      ("Minimize\n obj: x\nSubject To\n c: x ? 3\nEnd", "bad operator", "line 4");
+      ("Minimize\n obj: x\nSubject To\n c: x <=\nEnd", "missing rhs", "line 4");
+      ( "Minimize\n obj: x\nSubject To\n c: x >= 1\nBounds\n 3 <= x <= 2\nEnd",
+        "crossed bounds",
+        "line 6" );
+      ( "Minimize\n obj: x\nSubject To\n c: x @ 3 >= 1\nEnd",
+        "bad token",
+        "line 4" );
     ]
 
 (* Structural equality up to variable order (LP format does not encode
