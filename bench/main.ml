@@ -79,10 +79,13 @@ type timed_bench = {
   probe : (unit -> Ebf.result) option;
 }
 
-let timing_tests () =
+let timing_tests ?(seed = 0) () =
   let open Bechamel in
   let tiny = Benchmarks.Tiny in
   let spec = Benchmarks.find tiny "prim1s" in
+  (* [--seed N] offsets the benchmark's sink-field seed: same sizes, a
+     different deterministic instance (CI smoke-tests two seeds) *)
+  let spec = { spec with Benchmarks.seed = spec.Benchmarks.seed + seed } in
   let sinks = Benchmarks.sinks spec in
   let source = Benchmarks.source spec in
   let baseline = Protocol.run_baseline spec ~skew_rel:0.5 in
@@ -98,6 +101,37 @@ let timing_tests () =
       Ebf.default_options with
       Ebf.lp_params =
         { Ebf.default_options.Ebf.lp_params with Simplex.pricing = pricing };
+    }
+  in
+  (* the fast-path configuration the PR 3 acceptance compares against the
+     frozen PR 2 trajectory: devex pricing + long-step ratio test +
+     cross-round warm starts *)
+  let fast_path =
+    {
+      Ebf.default_options with
+      Ebf.lp_params =
+        {
+          Ebf.default_options.Ebf.lp_params with
+          Simplex.pricing = Simplex.Devex;
+          bound_flips = true;
+          warm_start = true;
+        };
+    }
+  in
+  (* the PR 2 engine configuration (partial pricing, classic ratio test,
+     refactorise between rounds), for an apples-to-apples iteration count
+     on the current code *)
+  let pr2_baseline =
+    {
+      Ebf.default_options with
+      Ebf.warm_start = false;
+      Ebf.lp_params =
+        {
+          Ebf.default_options.Ebf.lp_params with
+          Simplex.pricing = Simplex.Partial;
+          bound_flips = false;
+          warm_start = false;
+        };
     }
   in
   (* certified run: same workload as "ebf lazy LP" plus a Full
@@ -142,6 +176,16 @@ let timing_tests () =
          (Staged.stage (fun () ->
               ignore (Ebf.solve ~options:(with_pricing Simplex.Dantzig) inst topo))))
       (fun () -> Ebf.solve ~options:(with_pricing Simplex.Dantzig) inst topo);
+    lp "ebf lazy LP (pr2 baseline)"
+      (Test.make ~name:"ebf lazy LP (pr2 baseline)"
+         (Staged.stage (fun () ->
+              ignore (Ebf.solve ~options:pr2_baseline inst topo))))
+      (fun () -> Ebf.solve ~options:pr2_baseline inst topo);
+    lp "ebf lazy LP (devex+flips+warm)"
+      (Test.make ~name:"ebf lazy LP (devex+flips+warm)"
+         (Staged.stage (fun () ->
+              ignore (Ebf.solve ~options:fast_path inst topo))))
+      (fun () -> Ebf.solve ~options:fast_path inst topo);
     lp "ebf eager LP"
       (Test.make ~name:"ebf eager LP"
          (Staged.stage (fun () ->
@@ -163,7 +207,7 @@ let timing_tests () =
              fun () -> ignore (Embed.place inst topo lengths))));
   ]
 
-let run_timing json_out =
+let run_timing ?(seed = 0) json_out =
   let open Bechamel in
   let cfg =
     Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~stabilize:false ()
@@ -204,7 +248,7 @@ let run_timing json_out =
           solver;
           ebf_result;
         })
-      (timing_tests ())
+      (timing_tests ~seed ())
   in
   match json_out with
   | None -> ()
@@ -226,6 +270,7 @@ let known_commands =
 let usage_and_exit () =
   Printf.eprintf
     "usage: main.exe [COMMAND...] [--tiny|--scaled|--full] [--json FILE]\n\
+     [--seed N]\n\
      commands: %s (all of them when none given)\n"
     (String.concat "|" known_commands);
   exit 1
@@ -234,6 +279,7 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let size = ref Benchmarks.Scaled in
   let json_out = ref None in
+  let seed = ref 0 in
   let commands = ref [] in
   let rec parse = function
     | [] -> ()
@@ -252,6 +298,17 @@ let () =
     | "--json" :: file :: rest ->
       json_out := Some file;
       parse rest
+    | [ "--seed" ] ->
+      Printf.eprintf "--seed requires an integer argument\n";
+      usage_and_exit ()
+    | "--seed" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some v ->
+        seed := v;
+        parse rest
+      | None ->
+        Printf.eprintf "--seed: not an integer: %S\n" n;
+        usage_and_exit ())
     | a :: _ when String.length a > 0 && a.[0] = '-' ->
       Printf.eprintf "unknown flag %S\n" a;
       usage_and_exit ()
@@ -272,7 +329,7 @@ let () =
     | "tradeoff" | "figure8" -> run_tradeoff size
     | "ablation" -> run_ablation size
     | "extensions" -> run_extensions size
-    | "timing" -> run_timing !json_out
+    | "timing" -> run_timing ~seed:!seed !json_out
     | _ -> assert false
   in
   match List.rev !commands with
@@ -284,5 +341,5 @@ let () =
     run_tradeoff size;
     run_ablation size;
     run_extensions size;
-    run_timing !json_out
+    run_timing ~seed:!seed !json_out
   | cmds -> List.iter run cmds

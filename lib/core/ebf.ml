@@ -13,6 +13,7 @@ type options = {
   max_rounds : int;
   time_limit : float;
   check : Certify.level;
+  warm_start : bool;
   lp_params : Simplex.params;
 }
 
@@ -25,6 +26,7 @@ let default_options =
     max_rounds = 10_000;
     time_limit = infinity;
     check = Certify.Off;
+    warm_start = true;
     lp_params = { Simplex.default_params with Simplex.sparse_basis = true };
   }
 
@@ -32,6 +34,7 @@ type round_stat = {
   round : int;
   rows_added : int;
   violations_found : int;
+  warm_rows : int;
   scan_seconds : float;
   solve_seconds : float;
   solve_pivots : int;
@@ -245,7 +248,15 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
       let coeffs, d = row_of_pair key in
       if d > 0.0 then ignore (Problem.add_row prob ~lo:d ~up:infinity coeffs))
     seed_pairs;
-  let eng = Simplex.of_problem ~params:options.lp_params prob in
+  (* the EBF-level warm_start switch gates (never enables) the engine's
+     own warm_start parameter, so either layer can turn the reuse off *)
+  let lp_params =
+    {
+      options.lp_params with
+      Simplex.warm_start = options.lp_params.Simplex.warm_start && options.warm_start;
+    }
+  in
+  let eng = Simplex.of_problem ~params:lp_params prob in
   (* wall-clock budget shared across all row-generation rounds *)
   let deadline =
     if options.time_limit = infinity then infinity
@@ -272,12 +283,13 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
     let status = Simplex.solve eng in
     let solve_seconds = Unix.gettimeofday () -. solve_t0 in
     let solve_pivots = Simplex.iterations eng - pivots0 in
-    let record ~rows_added ~violations_found ~scan_seconds =
+    let record ?(warm_rows = 0) ~rows_added ~violations_found ~scan_seconds () =
       round_stats :=
         {
           round = rounds;
           rows_added;
           violations_found;
+          warm_rows;
           scan_seconds;
           solve_seconds;
           solve_pivots;
@@ -285,7 +297,7 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
         :: !round_stats
     in
     if status <> Status.Optimal then begin
-      record ~rows_added:0 ~violations_found:0 ~scan_seconds:0.0;
+      record ~rows_added:0 ~violations_found:0 ~scan_seconds:0.0 ();
       (status, rounds)
     end
     else begin
@@ -310,16 +322,17 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
       let scan_seconds = Unix.gettimeofday () -. scan_t0 in
       match !violations with
       | [] ->
-        record ~rows_added:0 ~violations_found:0 ~scan_seconds;
+        record ~rows_added:0 ~violations_found:0 ~scan_seconds ();
         (Status.Optimal, rounds)
       | vs ->
         if rounds >= options.max_rounds then begin
-          record ~rows_added:0 ~violations_found:(List.length vs) ~scan_seconds;
+          record ~rows_added:0 ~violations_found:(List.length vs) ~scan_seconds ();
           (Status.Iteration_limit, rounds)
         end
         else begin
           let sorted = List.sort (fun (a, _) (b, _) -> compare b a) vs in
           let take = ref 0 in
+          let ext0 = (Simplex.stats eng).Simplex.basis_extensions in
           List.iter
             (fun (_, key) ->
               if !take < options.batch then begin
@@ -332,8 +345,13 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
                 ignore (Problem.add_row prob ~lo:dist ~up:infinity coeffs)
               end)
             sorted;
-          record ~rows_added:!take ~violations_found:(List.length vs)
-            ~scan_seconds;
+          (* rows the engine absorbed into the live factorisation rather
+             than deferring to a refactorisation *)
+          let warm_rows =
+            (Simplex.stats eng).Simplex.basis_extensions - ext0
+          in
+          record ~warm_rows ~rows_added:!take ~violations_found:(List.length vs)
+            ~scan_seconds ();
           loop (rounds + 1)
         end
     end

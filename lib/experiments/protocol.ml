@@ -124,17 +124,22 @@ let solver_stats_json (s : Simplex.stats) =
   Printf.sprintf
     "{\"iterations\": %d, \"phase1_iterations\": %d, \
      \"phase2_iterations\": %d, \"dual_iterations\": %d, \
-     \"full_pricing_scans\": %d, \"partial_pricing_scans\": %d, \
-     \"ftran_count\": %d, \"btran_count\": %d, \"basis_updates\": %d, \
-     \"refactorisations\": %d, \"degenerate_pivots\": %d, \
-     \"bland_activations\": %d, \"phase1_ms\": %s, \"phase2_ms\": %s, \
-     \"dual_ms\": %s, \"recoveries\": %s}"
+     \"bound_flips\": %d, \"full_pricing_scans\": %d, \
+     \"partial_pricing_scans\": %d, \"ftran_count\": %d, \
+     \"btran_count\": %d, \"hyper_sparse_ftrans\": %d, \
+     \"hyper_sparse_btrans\": %d, \"basis_updates\": %d, \
+     \"basis_extensions\": %d, \"refactorisations\": %d, \
+     \"degenerate_pivots\": %d, \"bland_activations\": %d, \
+     \"phase1_ms\": %s, \"phase2_ms\": %s, \"dual_ms\": %s, \
+     \"recoveries\": %s}"
     s.Simplex.iterations s.Simplex.phase1_iterations
     s.Simplex.phase2_iterations s.Simplex.dual_iterations
-    s.Simplex.full_pricing_scans s.Simplex.partial_pricing_scans
-    s.Simplex.ftran_count s.Simplex.btran_count s.Simplex.basis_updates
-    s.Simplex.refactorisations s.Simplex.degenerate_pivots
-    s.Simplex.bland_activations
+    s.Simplex.bound_flips s.Simplex.full_pricing_scans
+    s.Simplex.partial_pricing_scans s.Simplex.ftran_count
+    s.Simplex.btran_count s.Simplex.hyper_sparse_ftrans
+    s.Simplex.hyper_sparse_btrans s.Simplex.basis_updates
+    s.Simplex.basis_extensions s.Simplex.refactorisations
+    s.Simplex.degenerate_pivots s.Simplex.bland_activations
     (json_float (s.Simplex.phase1_seconds *. 1e3))
     (json_float (s.Simplex.phase2_seconds *. 1e3))
     (json_float (s.Simplex.dual_seconds *. 1e3))
@@ -143,8 +148,9 @@ let solver_stats_json (s : Simplex.stats) =
 let round_stat_json (r : Ebf.round_stat) =
   Printf.sprintf
     "{\"round\": %d, \"rows_added\": %d, \"violations_found\": %d, \
-     \"scan_ms\": %s, \"solve_ms\": %s, \"solve_pivots\": %d}"
-    r.Ebf.round r.Ebf.rows_added r.Ebf.violations_found
+     \"warm_rows\": %d, \"scan_ms\": %s, \"solve_ms\": %s, \
+     \"solve_pivots\": %d}"
+    r.Ebf.round r.Ebf.rows_added r.Ebf.violations_found r.Ebf.warm_rows
     (json_float (r.Ebf.scan_seconds *. 1e3))
     (json_float (r.Ebf.solve_seconds *. 1e3))
     r.Ebf.solve_pivots
@@ -176,7 +182,7 @@ let bench_entry_json e =
 
 let bench_json ~size entries =
   Printf.sprintf
-    "{\n  \"schema\": \"lubt-bench/1\",\n  \"size\": \"%s\",\n  \
+    "{\n  \"schema\": \"lubt-bench/2\",\n  \"size\": \"%s\",\n  \
      \"benchmarks\": [\n    %s\n  ]\n}\n"
     (json_escape size)
     (String.concat ",\n    " (List.map bench_entry_json entries))

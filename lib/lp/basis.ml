@@ -1,70 +1,189 @@
-(* B^-1 = E_k ... E_1 (LU)^-1 with each eta E from a pivot (r, w):
-   E is the identity except for column r, where E[r][r] = 1/w_r and
-   E[i][r] = -w_i / w_r. *)
+(* B^-1 = G_k ... G_1 (diag(LU, I))^-1 where each G is either an eta
+   transformation from a pivot (r, w) — identity except for column r,
+   with E[r][r] = 1/w_r and E[i][r] = -w_i / w_r — or a border extension
+   from an appended row: for B' = [[B, 0]; [bc^T, -1]] the inverse is
+   [[B^-1, 0]; [bc^T B^-1, -1]], i.e. G computes v_bd <- bc . v - v_bd
+   after the inner operators have been applied to the head. *)
 
 type counters = {
   mutable ftrans : int;
   mutable btrans : int;
   mutable updates : int;
   mutable factorisations : int;
+  mutable hyper_ftrans : int;
+  mutable hyper_btrans : int;
+  mutable extensions : int;
 }
 
-let fresh_counters () = { ftrans = 0; btrans = 0; updates = 0; factorisations = 0 }
+let fresh_counters () =
+  {
+    ftrans = 0;
+    btrans = 0;
+    updates = 0;
+    factorisations = 0;
+    hyper_ftrans = 0;
+    hyper_btrans = 0;
+    extensions = 0;
+  }
 
 exception Zero_pivot of { row : int; magnitude : float }
 
-type eta = { r : int; w : float array }
+type op =
+  | Eta of { r : int; wr : float; nz_idx : int array; nz_val : float array }
+      (* off-pivot nonzeros of the pivot column (index <> r) *)
+  | Border of { bd : int; bc : Sparse.t }
+      (* appended row [bd]; [bc] is the new row over basis positions < bd *)
 
 type t = {
   mutable lu : Lu.t;
-  mutable etas : eta list;  (* newest first *)
-  mutable count : int;
+  mutable trail : op list;  (* newest first *)
+  mutable count : int;  (* etas in the trail *)
+  mutable extra : int;  (* borders in the trail *)
+  mutable tnnz : int;  (* nonzeros stored across the trail *)
   ops : counters;
 }
 
 let create ?counters ?pivot_tol cols =
   let ops = match counters with Some c -> c | None -> fresh_counters () in
   ops.factorisations <- ops.factorisations + 1;
-  { lu = Lu.factor ?pivot_tol cols; etas = []; count = 0; ops }
+  {
+    lu = Lu.factor ?pivot_tol cols;
+    trail = [];
+    count = 0;
+    extra = 0;
+    tnnz = 0;
+    ops;
+  }
 
-let dim t = Lu.dim t.lu
+let dim t = Lu.dim t.lu + t.extra
 
 let eta_count t = t.count
 
-(* (E v): v_r' = v_r / w_r; v_i' = v_i - w_i * v_r'. *)
-let apply_eta e v =
-  let vr = v.(e.r) /. e.w.(e.r) in
-  if v.(e.r) <> 0.0 then begin
-    let w = e.w in
-    for i = 0 to Array.length v - 1 do
-      if i <> e.r then v.(i) <- v.(i) -. (w.(i) *. vr)
-    done
-  end;
-  v.(e.r) <- vr
+let trail_nnz t = t.tnnz
 
-(* (E^T c): only component r changes:
-   c_r' = (c_r - (w . c - w_r c_r)) / w_r. *)
-let apply_eta_transpose e c =
-  let w = e.w in
-  let s = ref 0.0 in
-  for i = 0 to Array.length c - 1 do
-    s := !s +. (w.(i) *. c.(i))
+let lu_nnz t = Lu.nnz t.lu
+
+(* A right-hand side whose LU-prefix has [k] nonzeros takes the
+   hyper-sparse triangular kernels below this density; unit vectors
+   (k <= 1) always qualify so the hyper path is exercised even on tiny
+   bases. *)
+let density_cutover = 0.2
+
+let hyper_ok n k = k <= 1 || float_of_int k <= density_cutover *. float_of_int n
+
+(* (G v), oldest operator already applied to v. *)
+let apply_forward v op =
+  match op with
+  | Eta e ->
+      let vr = v.(e.r) /. e.wr in
+      if v.(e.r) <> 0.0 then
+        for i = 0 to Array.length e.nz_idx - 1 do
+          let j = e.nz_idx.(i) in
+          v.(j) <- v.(j) -. (e.nz_val.(i) *. vr)
+        done;
+      v.(e.r) <- vr
+  | Border b -> v.(b.bd) <- Sparse.dot_dense b.bc v -. v.(b.bd)
+
+(* (G^T c): eta adjoints touch only component r; border adjoints negate
+   the border component and scatter it into the head. *)
+let apply_adjoint v op =
+  match op with
+  | Eta e ->
+      let s = ref 0.0 in
+      for i = 0 to Array.length e.nz_idx - 1 do
+        s := !s +. (e.nz_val.(i) *. v.(e.nz_idx.(i)))
+      done;
+      v.(e.r) <- (v.(e.r) -. !s) /. e.wr
+  | Border b ->
+      let vd = v.(b.bd) in
+      v.(b.bd) <- -.vd;
+      if vd <> 0.0 then Sparse.add_scaled_into v vd b.bc
+
+(* Extend an LU-dimension solution to full dimension, filling the border
+   tail from [tail_of]. *)
+let widen t sol tail_of =
+  let n = Lu.dim t.lu in
+  let d = n + t.extra in
+  if d = n then sol
+  else begin
+    let full = Array.make d 0.0 in
+    Array.blit sol 0 full 0 n;
+    for i = n to d - 1 do
+      full.(i) <- tail_of i
+    done;
+    full
+  end
+
+let lu_prefix_nnz t b =
+  let n = Lu.dim t.lu in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    if b.(i) <> 0.0 then incr k
   done;
-  c.(e.r) <- (c.(e.r) -. (!s -. (w.(e.r) *. c.(e.r)))) /. w.(e.r)
+  !k
+
+let gather_prefix t b =
+  let n = Lu.dim t.lu in
+  let pairs = ref [] in
+  for i = n - 1 downto 0 do
+    if b.(i) <> 0.0 then pairs := (i, b.(i)) :: !pairs
+  done;
+  Sparse.of_assoc !pairs
+
+let lu_ftran t b =
+  let n = Lu.dim t.lu in
+  let k = lu_prefix_nnz t b in
+  if hyper_ok n k then begin
+    t.ops.hyper_ftrans <- t.ops.hyper_ftrans + 1;
+    Lu.solve_sparse t.lu (gather_prefix t b)
+  end
+  else Lu.solve t.lu (if t.extra = 0 then b else Array.sub b 0 n)
 
 let ftran t b =
   t.ops.ftrans <- t.ops.ftrans + 1;
-  let v = Lu.solve t.lu b in
-  (* oldest eta first *)
-  List.iter (fun e -> apply_eta e v) (List.rev t.etas);
+  let v = widen t (lu_ftran t b) (fun i -> b.(i)) in
+  List.iter (apply_forward v) (List.rev t.trail);
+  v
+
+let ftran_sparse t sp =
+  t.ops.ftrans <- t.ops.ftrans + 1;
+  let n = Lu.dim t.lu in
+  let head = ref [] and tail = ref [] in
+  Sparse.iter
+    (fun i v -> if i < n then head := (i, v) :: !head else tail := (i, v) :: !tail)
+    sp;
+  let k = List.length !head in
+  let sol =
+    if hyper_ok n k then begin
+      t.ops.hyper_ftrans <- t.ops.hyper_ftrans + 1;
+      Lu.solve_sparse t.lu (Sparse.of_assoc !head)
+    end
+    else begin
+      let b = Array.make n 0.0 in
+      List.iter (fun (i, x) -> b.(i) <- x) !head;
+      Lu.solve t.lu b
+    end
+  in
+  let v = widen t sol (fun _ -> 0.0) in
+  List.iter (fun (i, x) -> v.(i) <- x) !tail;
+  List.iter (apply_forward v) (List.rev t.trail);
   v
 
 let btran t c =
   t.ops.btrans <- t.ops.btrans + 1;
   let v = Array.copy c in
   (* adjoints newest first *)
-  List.iter (fun e -> apply_eta_transpose e v) t.etas;
-  Lu.solve_transpose t.lu v
+  List.iter (apply_adjoint v) t.trail;
+  let n = Lu.dim t.lu in
+  let k = lu_prefix_nnz t v in
+  let sol =
+    if hyper_ok n k then begin
+      t.ops.hyper_btrans <- t.ops.hyper_btrans + 1;
+      Lu.solve_transpose_sparse t.lu (gather_prefix t v)
+    end
+    else Lu.solve_transpose t.lu (if t.extra = 0 then v else Array.sub v 0 n)
+  in
+  widen t sol (fun i -> v.(i))
 
 let btran_unit t r =
   let c = Array.make (dim t) 0.0 in
@@ -75,5 +194,26 @@ let update ?(tol = 1e-12) t r w =
   if abs_float w.(r) < tol then
     raise (Zero_pivot { row = r; magnitude = abs_float w.(r) });
   t.ops.updates <- t.ops.updates + 1;
-  t.etas <- { r; w = Array.copy w } :: t.etas;
-  t.count <- t.count + 1
+  let nz = ref 0 in
+  Array.iteri (fun i x -> if i <> r && x <> 0.0 then incr nz) w;
+  let nz_idx = Array.make !nz 0 and nz_val = Array.make !nz 0.0 in
+  let p = ref 0 in
+  Array.iteri
+    (fun i x ->
+      if i <> r && x <> 0.0 then begin
+        nz_idx.(!p) <- i;
+        nz_val.(!p) <- x;
+        incr p
+      end)
+    w;
+  t.trail <- Eta { r; wr = w.(r); nz_idx; nz_val } :: t.trail;
+  t.count <- t.count + 1;
+  t.tnnz <- t.tnnz + !nz + 1
+
+let append_row t bc =
+  if Sparse.max_index bc >= dim t then
+    invalid_arg "Basis.append_row: row index out of range";
+  t.ops.extensions <- t.ops.extensions + 1;
+  t.trail <- Border { bd = dim t; bc } :: t.trail;
+  t.extra <- t.extra + 1;
+  t.tnnz <- t.tnnz + Sparse.nnz bc + 1

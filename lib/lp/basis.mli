@@ -1,10 +1,14 @@
 (** Product-form-update basis representation for the revised simplex:
-    a sparse LU factorisation of the basis matrix plus a file of eta
-    transformations, one per pivot since the last refactorisation.
+    a sparse LU factorisation of the basis matrix plus a trail of update
+    operators — one sparse eta per pivot since the last refactorisation,
+    and one border extension per row appended without refactorising.
 
-    Replaces the explicit dense inverse: ftran/btran cost O(nnz + m x
-    etas) instead of O(m^2), and refactorisation costs a sparse LU
-    instead of O(m^3). The simplex engine can run on either backend
+    Replaces the explicit dense inverse: ftran/btran cost O(nnz + trail)
+    instead of O(m^2), and refactorisation costs a sparse LU instead of
+    O(m^3). Right-hand sides whose density (over the LU prefix) falls
+    below a cutover take the hyper-sparse Gilbert-Peierls kernels in
+    {!Lu} instead of the dense triangular solves; the counters record how
+    often that happens. The simplex engine can run on either backend
     ({!Simplex.params}[.sparse_basis]); results agree to numerical
     tolerance. *)
 
@@ -13,6 +17,13 @@ type counters = {
   mutable btrans : int;
   mutable updates : int;
   mutable factorisations : int;
+  mutable hyper_ftrans : int;
+      (** ftrans whose LU-prefix right-hand side was sparse enough for
+          {!Lu.solve_sparse}. *)
+  mutable hyper_btrans : int;
+      (** btrans that took {!Lu.solve_transpose_sparse}. *)
+  mutable extensions : int;
+      (** rows appended via {!append_row} (warm-started basis growth). *)
 }
 (** Cumulative operation counters. A counters record outlives individual
     basis factorisations: pass the same record to successive {!create}
@@ -38,22 +49,50 @@ val create : ?counters:counters -> ?pivot_tol:float -> Sparse.t array -> t
     @raise Lu.Singular when the basis is singular. *)
 
 val dim : t -> int
+(** Current dimension: LU dimension plus appended rows. *)
 
 val eta_count : t -> int
 
+val trail_nnz : t -> int
+(** Nonzeros stored across the eta/border trail. Applying the trail to a
+    vector costs O([trail_nnz]); once it rivals {!lu_nnz} a fresh
+    factorisation is cheaper than dragging the trail along, which is the
+    classic product-form-inverse refactorisation criterion. *)
+
+val lu_nnz : t -> int
+(** Nonzeros of the underlying LU factors. *)
+
 val ftran : t -> float array -> float array
-(** [ftran t b] is [B^-1 b]; [b] is unchanged. *)
+(** [ftran t b] is [B^-1 b]; [b] is unchanged. Dispatches to the
+    hyper-sparse kernel when [b]'s LU prefix is sparse enough. *)
+
+val ftran_sparse : t -> Sparse.t -> float array
+(** [ftran_sparse t b] is [B^-1 b] for a right-hand side given by its
+    nonzeros; the result is dense. Same dispatch rule as {!ftran}, but
+    avoids densifying the input first. *)
 
 val btran : t -> float array -> float array
-(** [btran t c] is [B^-T c]. *)
+(** [btran t c] is [B^-T c]. The sparsity decision happens after the
+    adjoint trail has been applied (the trail can fill in or cancel
+    entries). *)
 
 val btran_unit : t -> int -> float array
 (** [btran_unit t r] is row [r] of [B^-1]. *)
 
 val update : ?tol:float -> t -> int -> float array -> unit
 (** [update t r w] records a pivot: the basic variable at position [r] is
-    replaced; [w] must be the ftran of the entering column (it is copied).
-    [tol] is the smallest acceptable pivot magnitude (default [1e-12];
-    the simplex engine passes its current — possibly escalated — pivot
-    tolerance).
+    replaced; [w] must be the ftran of the entering column (its nonzeros
+    are copied into a sparse eta). [tol] is the smallest acceptable pivot
+    magnitude (default [1e-12]; the simplex engine passes its current —
+    possibly escalated — pivot tolerance).
     @raise Zero_pivot if [w.(r)] is (numerically) zero. *)
+
+val append_row : t -> Sparse.t -> unit
+(** [append_row t bc] grows the represented basis by one row and one
+    column without refactorising: the new basis is
+    [[B, 0]; [bc^T, -1]], i.e. the appended row has entries [bc] over the
+    existing basis positions and the new diagonal belongs to an auxiliary
+    variable with coefficient [-1] (the [A | -I] computational form).
+    This is exactly the shape {!Simplex.add_row} produces, so EBF lazy
+    row generation can keep a factorised basis alive across rounds.
+    @raise Invalid_argument if [bc] has entries at or beyond {!dim}. *)

@@ -34,3 +34,17 @@ val solve_transpose : t -> float array -> float array
 val inverse_column : t -> int -> float array
 (** [inverse_column t j] is the [j]-th column of [A^-1] (a unit-vector
     solve). *)
+
+val solve_sparse : t -> Sparse.t -> float array
+(** Hyper-sparse variant of {!solve}: the right-hand side is given by its
+    nonzeros (indexed by rows) and only the symbolic reach of those
+    nonzeros through [L] and [U] is visited (Gilbert-Peierls). The dense
+    result equals [solve t (densified b)] exactly — entries outside the
+    reach are exact zeros, not truncations. Pays off when the reach is a
+    small fraction of the dimension, as with unit right-hand sides on the
+    path-structured EBF bases. *)
+
+val solve_transpose_sparse : t -> Sparse.t -> float array
+(** Hyper-sparse variant of {!solve_transpose}; the right-hand side is
+    indexed by columns. Uses the reverse adjacency of [L]/[U] built at
+    factor time for the symbolic phase. *)

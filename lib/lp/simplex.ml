@@ -1,6 +1,6 @@
 type vstat = Basic of int | At_lower | At_upper | Free_zero
 
-type pricing = Dantzig | Partial
+type pricing = Dantzig | Partial | Devex
 
 type fault_kind = Fault_singular_refactor | Fault_perturb_ftran | Fault_zero_pivot
 
@@ -40,6 +40,8 @@ type params = {
   refactor_every : int;
   sparse_basis : bool;
   pricing : pricing;
+  bound_flips : bool;
+  warm_start : bool;
   bland_threshold : int;
   recovery : recovery_stage list;
   fault : fault option;
@@ -52,9 +54,11 @@ let default_params =
     tol_feas = 1e-7;
     tol_dual = 1e-9;
     tol_pivot = 1e-9;
-    refactor_every = 1000;
+    refactor_every = 100;
     sparse_basis = false;
     pricing = Partial;
+    bound_flips = true;
+    warm_start = true;
     bland_threshold = 1000;
     recovery = default_recovery;
     fault = None;
@@ -90,11 +94,15 @@ type stats = {
   phase1_iterations : int;
   phase2_iterations : int;
   dual_iterations : int;
+  bound_flips : int;
   full_pricing_scans : int;
   partial_pricing_scans : int;
   ftran_count : int;
   btran_count : int;
+  hyper_sparse_ftrans : int;
+  hyper_sparse_btrans : int;
   basis_updates : int;
+  basis_extensions : int;
   refactorisations : int;
   degenerate_pivots : int;
   bland_activations : int;
@@ -111,6 +119,7 @@ type istats = {
   mutable s_phase1_iters : int;
   mutable s_phase2_iters : int;
   mutable s_dual_iters : int;
+  mutable s_flips : int;
   mutable s_full_scans : int;
   mutable s_partial_scans : int;
   mutable s_degen : int;
@@ -132,6 +141,7 @@ let fresh_istats () =
     s_phase1_iters = 0;
     s_phase2_iters = 0;
     s_dual_iters = 0;
+    s_flips = 0;
     s_full_scans = 0;
     s_partial_scans = 0;
     s_degen = 0;
@@ -164,6 +174,10 @@ type t = {
   mutable last_status : Status.t;
   mutable sbasis : Basis.t option;  (* product-form backend, sparse mode *)
   mutable needs_factor : bool;
+  (* warm-started rows were appended since the last solve: the incremental
+     xb values must be refreshed from scratch before the next dual run, the
+     same hygiene a cold start gets from [refactor]'s [recompute_xb] *)
+  mutable xb_stale : bool;
   mutable iters : int;
   mutable since_refactor : int;
   mutable degen_streak : int;
@@ -186,6 +200,8 @@ type t = {
   cand : int array;
   cand_score : float array;
   mutable ncand : int;
+  (* devex reference weights, length n+cap; reset to 1 on refactorisation *)
+  mutable dvx : float array;
   (* scratch vectors, length cap *)
   mutable w : float array;
   mutable y : float array;
@@ -261,18 +277,18 @@ let fault_fires t kind =
     else false
   | _ -> false
 
-let dense_col t q =
-  let b = Array.make t.m 0.0 in
-  col_iter t q (fun i a -> b.(i) <- b.(i) +. a);
-  b
-
 (* w <- B^-1 A_j *)
 let ftran t q =
   if sparse_mode t then begin
     match t.sbasis with
     | None -> invalid_arg "ftran: basis not factorised"
     | Some sb ->
-      let w = Basis.ftran sb (dense_col t q) in
+      (* hand the column over sparse: single-entry auxiliary columns and
+         short structural columns take the hyper-sparse kernels *)
+      let rhs =
+        if q < t.n then t.cols.(q) else Sparse.singleton (q - t.n) (-1.0)
+      in
+      let w = Basis.ftran_sparse sb rhs in
       Array.blit w 0 t.w 0 t.m
   end
   else begin
@@ -406,6 +422,10 @@ let refactor t =
      basis representation that caused it *)
   t.degen_streak <- 0;
   t.bland <- false;
+  t.xb_stale <- false;
+  (* devex weights reference the basis representation they were accumulated
+     against; a fresh factorisation restarts the reference framework *)
+  Array.fill t.dvx 0 (Array.length t.dvx) 1.0;
   if sparse_mode t then begin
     (match Basis.create ~counters:t.ops ~pivot_tol:(lu_pivot_tol t) (basis_columns t) with
     | sb ->
@@ -439,6 +459,17 @@ let refactor t =
   t.since_refactor <- 0;
   recompute_xb t
   end
+
+(* Classic product-form refactorisation criterion: once the eta/border
+   trail stores as many nonzeros as the LU factors themselves, applying it
+   costs more than a fresh solve would, so dragging it further is pure
+   loss (and compounding rounding). *)
+let trail_heavy t =
+  sparse_mode t
+  &&
+  match t.sbasis with
+  | Some sb -> Basis.trail_nnz sb > Basis.lu_nnz sb
+  | None -> false
 
 let maybe_refactor t =
   if
@@ -499,7 +530,17 @@ let cand_offer t j score =
     end
   end
 
-(* Full Dantzig scan over all n+m columns. Refills the candidate list as a
+(* Pricing score of an attractive column with reduced cost [d]: Dantzig and
+   partial use |d|; devex uses the reference-framework measure d^2 / w_j,
+   which approximates the steepest-edge criterion at eta-update cost. *)
+let score_of t j d =
+  match t.p.pricing with
+  | Devex ->
+    let w = t.dvx.(j) in
+    d *. d /. (if w >= 1.0 then w else 1.0)
+  | Dantzig | Partial -> abs_float d
+
+(* Full scan over all n+m columns. Refills the candidate list as a
    side effect (except in Bland mode, where the first eligible index wins
    and candidate quality is irrelevant). *)
 let price_full t ~cost =
@@ -522,7 +563,7 @@ let price_full t ~cost =
       match attractiveness t ~cost j with
       | None -> ()
       | Some (d, sigma) ->
-        let score = abs_float d in
+        let score = score_of t j d in
         (match !best with
         | Some (_, _, s) when s >= score -> ()
         | _ -> best := Some (j, sigma, score));
@@ -547,7 +588,7 @@ let price_partial t ~cost =
       t.cand.(!k) <- t.cand.(t.ncand);
       t.cand_score.(!k) <- t.cand_score.(t.ncand)
     | Some (d, sigma) ->
-      let score = abs_float d in
+      let score = score_of t j d in
       t.cand_score.(!k) <- score;
       (match !best with
       | Some (_, _, s) when s >= score -> ()
@@ -561,7 +602,7 @@ let price_partial t ~cost =
 let price t ~cost =
   match t.p.pricing with
   | Dantzig -> price_full t ~cost
-  | Partial ->
+  | Partial | Devex ->
     if t.bland then price_full t ~cost
     else begin
       match price_partial t ~cost with
@@ -607,6 +648,45 @@ let update_binv t r =
   done
   end
 
+(* Devex reference-framework weight update after a pivot in row [r] with
+   entering column [q]; [t.rho] must hold the PRE-pivot row [r] of B^-1 and
+   [t.w] the ftran of [q]. Weights are maintained lazily: only the entering
+   column, the leaving variable and the current candidate list are touched
+   (the full devex recurrence needs alpha_j for every nonbasic j, which
+   would cost a dense pass; stale weights elsewhere only make the score an
+   underestimate, and {!refactor} resets the framework anyway). *)
+let devex_update_with_rho t ~q ~r =
+  let alpha_q = t.w.(r) in
+  if abs_float alpha_q > t.cur_tol_pivot then begin
+    let wq = max t.dvx.(q) 1.0 in
+    let ratio2 = wq /. (alpha_q *. alpha_q) in
+    for k = 0 to t.ncand - 1 do
+      let j = t.cand.(k) in
+      if j <> q then begin
+        match t.vstat.(j) with
+        | Basic _ -> ()
+        | At_lower | At_upper | Free_zero ->
+          let aj = col_dot t j t.rho in
+          if aj <> 0.0 then begin
+            let w' = aj *. aj *. ratio2 in
+            if w' > t.dvx.(j) then t.dvx.(j) <- w'
+          end
+      end
+    done;
+    let leaving = t.basic.(r) in
+    t.dvx.(leaving) <- max ratio2 1.0
+  end
+
+(* Primal pivots have no rho at hand; fetch the pre-pivot row of B^-1. *)
+let devex_update_primal t ~q ~r =
+  (if sparse_mode t then begin
+     match t.sbasis with
+     | None -> invalid_arg "devex: basis not factorised"
+     | Some sb -> Array.blit (Basis.btran_unit sb r) 0 t.rho 0 t.m
+   end
+   else Array.blit t.binv.(r) 0 t.rho 0 t.m);
+  devex_update_with_rho t ~q ~r
+
 type blocking = Flip | Block of { row : int; to_upper : bool }
 
 (* Applies a primal step: entering q moves by sigma*step, the blocking
@@ -625,6 +705,9 @@ let apply_primal_pivot t ~q ~sigma ~step ~blocking =
       | At_upper -> At_lower
       | Basic _ | Free_zero -> invalid_arg "flip of non-bounded variable")
   | Block { row = r; to_upper } ->
+    (* devex needs the pre-pivot basis; weights are heuristic state, so
+       mutating them before a possible Zero_pivot raise is harmless *)
+    if t.p.pricing = Devex then devex_update_primal t ~q ~r;
     (* update the basis representation first: it raises on a bad pivot
        before mutating anything, keeping vstat/basic/xb consistent for the
        recovery ladder *)
@@ -639,7 +722,7 @@ let apply_primal_pivot t ~q ~sigma ~step ~blocking =
     t.xb.(r) <- q_new;
     (* the just-ejected variable tends to price attractively again soon:
        seed it into the candidate list *)
-    if t.p.pricing = Partial then cand_offer t leaving 0.0);
+    if t.p.pricing <> Dantzig then cand_offer t leaving 0.0);
   t.iters <- t.iters + 1;
   t.since_refactor <- t.since_refactor + 1;
   if step <= t.cur_tol_pivot then begin
@@ -839,16 +922,12 @@ let dual_simplex t =
          end);
         fill_cb_phase2 t;
         compute_y t t.cb;
-        (* entering candidate: minimum dual ratio |d_j| / |alpha_j| among
-           the columns whose pivot sign restores primal feasibility *)
+        (* entering candidates: columns whose pivot sign restores primal
+           feasibility, with their dual ratio |d_j| / |alpha_j| *)
         t.st.s_full_scans <- t.st.s_full_scans + 1;
-        let best = ref None in
+        let cands = ref [] in
         let consider j ratio alpha =
-          let mag = abs_float alpha in
-          match !best with
-          | Some (_, br, bm) when br < ratio -. 1e-12 || (br <= ratio +. 1e-12 && bm >= mag)
-            -> ()
-          | _ -> best := Some (j, ratio, mag)
+          cands := (j, ratio, abs_float alpha) :: !cands
         in
         let total = t.n + t.m in
         for j = 0 to total - 1 do
@@ -871,16 +950,107 @@ let dual_simplex t =
             let alpha = s *. col_dot t j t.rho in
             if abs_float alpha > t.cur_tol_pivot then consider j 0.0 alpha
         done;
-        (match !best with
-        | None -> Status.Infeasible
-        | Some (q, _, _) ->
+        let target = if above then t.up.(b) else t.lo.(b) in
+        (* Entering choice: minimum dual ratio, ties (within 1e-12) to the
+           largest pivot, then to the scan order. *)
+        let pick cs =
+          let best = ref None in
+          List.iter
+            (fun (j, ratio, mag) ->
+              match !best with
+              | Some (_, br, bm)
+                when br < ratio -. 1e-9 || (br <= ratio +. 1e-9 && bm >= mag)
+                -> ()
+              | _ -> best := Some (j, ratio, mag))
+            cs;
+          !best
+        in
+        (* Bound flips (long-step rule): walk the breakpoints in dual-ratio
+           order by repeated extraction with the same rule; a boxed
+           candidate whose full flip cannot absorb the remaining primal
+           violation is flipped to its opposite bound (no basis change —
+           its reduced cost has crossed zero, so it is dual feasible at
+           the new bound) and the walk continues with the violation it
+           paid off; the first candidate that would overshoot enters.
+           With no flippable candidates this degenerates to a single
+           extraction — identical to the flip-free rule. Flips are
+           planned first and applied only once an entering column exists,
+           so an infeasible exit mutates nothing. *)
+        let entering, flips =
+          if not t.p.bound_flips then
+            ((match pick !cands with Some (j, _, _) -> j | None -> -1), [])
+          else begin
+            let tol = feas_tol t target in
+            let rec walk cs delta flips =
+              match pick cs with
+              | None -> (-1, flips)
+              | Some (j, _, mag) ->
+                let range = t.up.(j) -. t.lo.(j) in
+                let gain =
+                  if range < infinity then range *. mag else infinity
+                in
+                if gain < delta -. tol then
+                  walk
+                    (List.filter (fun (j', _, _) -> j' <> j) cs)
+                    (delta -. gain) (j :: flips)
+                else (j, flips)
+            in
+            walk !cands (abs_float (t.xb.(r) -. target)) []
+          end
+        in
+        if entering < 0 then Status.Infeasible
+        else begin
+          let q = entering in
+          (* apply the planned flips as one accumulated basic-value update:
+             xb -= B^-1 (sum_j A_j dx_j) *)
+          (match flips with
+          | [] -> ()
+          | fs ->
+            let acc = Array.make t.m 0.0 in
+            List.iter
+              (fun j ->
+                let dx =
+                  match t.vstat.(j) with
+                  | At_lower ->
+                    t.vstat.(j) <- At_upper;
+                    t.up.(j) -. t.lo.(j)
+                  | At_upper ->
+                    t.vstat.(j) <- At_lower;
+                    t.lo.(j) -. t.up.(j)
+                  | Basic _ | Free_zero ->
+                    invalid_arg "dual flip of unbounded variable"
+                in
+                col_iter t j (fun i a -> acc.(i) <- acc.(i) +. (a *. dx));
+                t.st.s_flips <- t.st.s_flips + 1)
+              fs;
+            if sparse_mode t then begin
+              match t.sbasis with
+              | None -> invalid_arg "dual: basis not factorised"
+              | Some sb ->
+                let wf = Basis.ftran sb acc in
+                for r' = 0 to t.m - 1 do
+                  t.xb.(r') <- t.xb.(r') -. wf.(r')
+                done
+            end
+            else begin
+              t.ops.Basis.ftrans <- t.ops.Basis.ftrans + 1;
+              for r' = 0 to t.m - 1 do
+                let br = t.binv.(r') in
+                let sum = ref 0.0 in
+                for i = 0 to t.m - 1 do
+                  sum := !sum +. (br.(i) *. acc.(i))
+                done;
+                t.xb.(r') <- t.xb.(r') -. !sum
+              done
+            end);
           ftran t q;
           let alpha_rq = t.w.(r) in
           if abs_float alpha_rq < t.cur_tol_pivot then
             raise (Numerical "dual simplex: tiny pivot");
-          let target = if above then t.up.(b) else t.lo.(b) in
           let dq = (t.xb.(r) -. target) /. alpha_rq in
           let q_new = value t q +. dq in
+          (* devex sees the pre-pivot rho computed for the row selection *)
+          if t.p.pricing = Devex then devex_update_with_rho t ~q ~r;
           (* basis update first: raises before any state mutation *)
           update_binv t r;
           for r' = 0 to t.m - 1 do
@@ -890,10 +1060,11 @@ let dual_simplex t =
           t.basic.(r) <- q;
           t.vstat.(q) <- Basic r;
           t.xb.(r) <- q_new;
-          if t.p.pricing = Partial then cand_offer t b 0.0;
+          if t.p.pricing <> Dantzig then cand_offer t b 0.0;
           t.iters <- t.iters + 1;
           t.since_refactor <- t.since_refactor + 1;
-          loop ())
+          loop ()
+        end
     end
   in
   loop ()
@@ -932,6 +1103,10 @@ let grow_arrays t needed_cap =
     let vs = Array.make (t.n + ncap) Free_zero in
     Array.blit t.vstat 0 vs 0 (t.n + t.m);
     t.vstat <- vs;
+    (* fresh devex slots start at the reference weight, not 0 *)
+    let dv = Array.make (t.n + ncap) 1.0 in
+    Array.blit t.dvx 0 dv 0 (t.n + t.m);
+    t.dvx <- dv;
     let nbinv =
       if t.cur_sparse then [||]
       else
@@ -1003,6 +1178,7 @@ let of_problem ?(params = default_params) prob =
       last_status = Status.Iteration_limit;
       sbasis = None;
       needs_factor = true;
+      xb_stale = false;
       iters = 0;
       since_refactor = 0;
       degen_streak = 0;
@@ -1024,6 +1200,7 @@ let of_problem ?(params = default_params) prob =
       cand = Array.make cand_cap 0;
       cand_score = Array.make cand_cap 0.0;
       ncand = 0;
+      dvx = Array.make (n + cap) 1.0;
       w = Array.make cap 0.0;
       y = Array.make cap 0.0;
       rho = Array.make cap 0.0;
@@ -1052,9 +1229,25 @@ let add_row t ~lo ~up coeffs =
     sp;
   (* extend B^-1: the new basis matrix is [[B, 0], [C, -1]] whose inverse is
      [[B^-1, 0], [C B^-1, -1]], where C holds the new row's coefficients on
-     the current basic (necessarily structural) variables. In sparse mode
-     the factorisation is simply rebuilt at the next solve. *)
-  if t.cur_sparse then t.needs_factor <- true
+     the current basic (necessarily structural) variables. In sparse mode a
+     warm start appends the same border to the live factorisation — the
+     next solve then re-enters the dual simplex without refactorising —
+     and otherwise the factorisation is rebuilt at the next solve. *)
+  if t.cur_sparse then begin
+    match t.sbasis with
+    | Some sb when t.p.warm_start && not t.needs_factor ->
+      let border = ref [] in
+      Sparse.iter
+        (fun j v ->
+          match t.vstat.(j) with
+          | Basic k -> border := (k, v) :: !border
+          | At_lower | At_upper | Free_zero -> ())
+        sp;
+      Basis.append_row sb (Sparse.of_assoc !border);
+      t.since_refactor <- t.since_refactor + 1;
+      t.xb_stale <- true
+    | _ -> t.needs_factor <- true
+  end
   else begin
   let new_row = t.binv.(r_new) in
   Array.fill new_row 0 t.cap 0.0;
@@ -1306,6 +1499,22 @@ let solve t =
     (* a stale factorisation (rows added since the last solve) must be
        rebuilt before anything consults the basis *)
     if sparse_mode t && (t.needs_factor || t.sbasis = None) then refactor t;
+    (* warm-started row growth skipped that rebuild; give the solve the
+       same starting hygiene a refactorisation provides — exact basic
+       values and a fresh anti-cycling / devex reference state. The live
+       factorisation is kept unless its trail has grown heavier than the
+       LU itself, in which case rebuilding now is cheaper than dragging
+       the trail through the whole re-solve. *)
+    if t.xb_stale then begin
+      t.xb_stale <- false;
+      if trail_heavy t then refactor t
+      else begin
+        t.degen_streak <- 0;
+        t.bland <- false;
+        Array.fill t.dvx 0 (Array.length t.dvx) 1.0;
+        recompute_xb t
+      end
+    end;
     let s = drive t in
     if s = Status.Optimal then validate_solution t;
     s
@@ -1406,11 +1615,15 @@ let stats t =
     phase1_iterations = t.st.s_phase1_iters;
     phase2_iterations = t.st.s_phase2_iters;
     dual_iterations = t.st.s_dual_iters;
+    bound_flips = t.st.s_flips;
     full_pricing_scans = t.st.s_full_scans;
     partial_pricing_scans = t.st.s_partial_scans;
     ftran_count = t.ops.Basis.ftrans;
     btran_count = t.ops.Basis.btrans;
+    hyper_sparse_ftrans = t.ops.Basis.hyper_ftrans;
+    hyper_sparse_btrans = t.ops.Basis.hyper_btrans;
     basis_updates = t.ops.Basis.updates;
+    basis_extensions = t.ops.Basis.extensions;
     refactorisations = t.ops.Basis.factorisations;
     degenerate_pivots = t.st.s_degen;
     bland_activations = t.st.s_bland;
@@ -1431,15 +1644,17 @@ let stats t =
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "@[<v>iterations: %d (phase1 %d, phase2 %d, dual %d)@,\
+    "@[<v>iterations: %d (phase1 %d, phase2 %d, dual %d), bound flips: %d@,\
      pricing scans: %d full, %d partial@,\
-     ftran/btran: %d/%d, basis updates: %d, refactorisations: %d@,\
+     ftran/btran: %d/%d (hyper-sparse %d/%d), basis updates: %d, \
+     extensions: %d, refactorisations: %d@,\
      degenerate pivots: %d, Bland activations: %d@,\
      time: phase1 %.3fms, phase2 %.3fms, dual %.3fms"
     s.iterations s.phase1_iterations s.phase2_iterations s.dual_iterations
-    s.full_pricing_scans s.partial_pricing_scans s.ftran_count s.btran_count
-    s.basis_updates s.refactorisations s.degenerate_pivots s.bland_activations
-    (s.phase1_seconds *. 1e3) (s.phase2_seconds *. 1e3)
+    s.bound_flips s.full_pricing_scans s.partial_pricing_scans s.ftran_count
+    s.btran_count s.hyper_sparse_ftrans s.hyper_sparse_btrans s.basis_updates
+    s.basis_extensions s.refactorisations s.degenerate_pivots
+    s.bland_activations (s.phase1_seconds *. 1e3) (s.phase2_seconds *. 1e3)
     (s.dual_seconds *. 1e3);
   let r = s.recoveries in
   if recovery_attempts r > 0 || r.faults_injected > 0 || r.validations_rejected > 0

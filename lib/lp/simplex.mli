@@ -33,6 +33,14 @@ type pricing =
           (against the current multipliers) each iteration; a full scan
           runs only when the list goes dry or Bland's rule engages.
           Identical optima — only the pivot order differs. *)
+  | Devex
+      (** devex reference-framework pricing (Harris): candidates are
+          scored by [d_j^2 / w_j], where the weights [w_j] approximate
+          the steepest-edge norms and are updated from the pivot column
+          at eta-update cost. Uses the same candidate-list control flow
+          as [Partial]; the weights reset to the reference framework on
+          every refactorisation. Typically the fewest iterations on the
+          path-structured EBF programs. *)
 
 (** Where a deterministic fault is injected (testing only). *)
 type fault_kind =
@@ -100,6 +108,17 @@ type params = {
           faster and far less memory on large sparse programs (default
           [false]) *)
   pricing : pricing;  (** entering-variable rule (default [Partial]) *)
+  bound_flips : bool;
+      (** bound-flipping (long-step) dual ratio test: boxed nonbasic
+          columns whose breakpoint cannot absorb the remaining primal
+          violation flip to their opposite bound without a basis change,
+          letting one dual pivot pass many breakpoints (default [true]).
+          The dominant move for box-constrained edge-length variables. *)
+  warm_start : bool;
+      (** keep the factorised sparse basis alive across {!add_row} calls
+          by appending a border row to the live factorisation instead of
+          marking it for refactorisation (default [true]; sparse backend
+          only — the dense inverse always extends in place). *)
   bland_threshold : int;
       (** consecutive degenerate pivots tolerated before the anti-cycling
           escape switches to Bland's rule (default 1000). The switch
@@ -139,13 +158,23 @@ type stats = {
   phase1_iterations : int;
   phase2_iterations : int;
   dual_iterations : int;
+  bound_flips : int;
+      (** nonbasic bound flips performed by the long-step dual ratio
+          test (not counted as iterations — no basis change) *)
   full_pricing_scans : int;
       (** full-column scans: Dantzig/Bland pricing passes plus dual ratio
           scans (each inspects all [n + m] columns) *)
   partial_pricing_scans : int;  (** candidate-list-only pricing passes *)
   ftran_count : int;  (** forward solves [B^-1 a] on either backend *)
   btran_count : int;  (** transpose solves [B^-T c] on either backend *)
+  hyper_sparse_ftrans : int;
+      (** ftrans that took the hyper-sparse reach-based kernel (sparse
+          backend only) *)
+  hyper_sparse_btrans : int;  (** btrans on the hyper-sparse kernel *)
   basis_updates : int;  (** rank-1 / eta updates applied *)
+  basis_extensions : int;
+      (** rows appended to a live factorisation by warm-started
+          {!add_row} (sparse backend with [warm_start]) *)
   refactorisations : int;  (** basis factorisations from scratch *)
   degenerate_pivots : int;  (** pivots with (numerically) zero step *)
   bland_activations : int;  (** times the anti-cycling escape engaged *)
@@ -189,7 +218,10 @@ val to_problem : t -> Problem.t
 val add_row : t -> lo:float -> up:float -> (int * float) list -> unit
 (** Appends a constraint row over structural variables. The engine stays
     dual feasible; call [solve] to re-optimise (it will run the dual
-    simplex). *)
+    simplex). On the sparse backend with {!params}[.warm_start] the live
+    factorisation is extended by a border row (counted in
+    [basis_extensions]) so the re-solve skips the refactorisation;
+    otherwise the basis is refactorised at the next [solve]. *)
 
 val nrows : t -> int
 

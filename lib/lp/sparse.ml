@@ -37,6 +37,25 @@ let of_arrays idx value =
   check t;
   t
 
+let singleton i v =
+  assert (i >= 0);
+  if v = 0.0 then empty else { idx = [| i |]; value = [| v |] }
+
+let of_dense dense =
+  let k = ref 0 in
+  Array.iter (fun v -> if v <> 0.0 then incr k) dense;
+  let idx = Array.make !k 0 and value = Array.make !k 0.0 in
+  let pos = ref 0 in
+  Array.iteri
+    (fun i v ->
+      if v <> 0.0 then begin
+        idx.(!pos) <- i;
+        value.(!pos) <- v;
+        incr pos
+      end)
+    dense;
+  { idx; value }
+
 let nnz t = Array.length t.idx
 
 let iter f t =

@@ -13,6 +13,13 @@ val of_arrays : int array -> float array -> t
 (** Unsafe fast path: indices must already be strictly increasing and values
     nonzero (checked by assertions). Arrays are not copied. *)
 
+val singleton : int -> float -> t
+(** [singleton i v] is the vector with the single entry [v] at index [i]
+    ({!empty} when [v] is zero). *)
+
+val of_dense : float array -> t
+(** Gathers the nonzeros of a dense vector. *)
+
 val nnz : t -> int
 
 val iter : (int -> float -> unit) -> t -> unit

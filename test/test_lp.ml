@@ -177,43 +177,9 @@ let test_many_incremental_rows () =
 (* Randomised cross-check against the tableau oracle                   *)
 (* ------------------------------------------------------------------ *)
 
-let random_problem rng =
-  let nv = 1 + Prng.int rng 6 in
-  let nr = Prng.int rng 8 in
-  let p = Problem.create () in
-  for _ = 1 to nv do
-    let kind = Prng.int rng 4 in
-    let lo, up =
-      match kind with
-      | 0 -> (0.0, infinity)
-      | 1 -> (float_of_int (Prng.int rng 5 - 2), infinity)
-      | 2 ->
-        let l = float_of_int (Prng.int rng 5 - 2) in
-        (l, l +. float_of_int (Prng.int rng 6))
-      | _ -> (neg_infinity, infinity)
-    in
-    let obj = float_of_int (Prng.int rng 9 - 4) in
-    ignore (Problem.add_var ~lo ~up ~obj p)
-  done;
-  for _ = 1 to nr do
-    let coeffs = ref [] in
-    for j = 0 to nv - 1 do
-      if Prng.int rng 3 > 0 then begin
-        let c = float_of_int (Prng.int rng 7 - 3) in
-        if c <> 0.0 then coeffs := (j, c) :: !coeffs
-      end
-    done;
-    let base = float_of_int (Prng.int rng 21 - 10) in
-    let lo, up =
-      match Prng.int rng 4 with
-      | 0 -> (base, infinity)
-      | 1 -> (neg_infinity, base)
-      | 2 -> (base, base +. float_of_int (Prng.int rng 8))
-      | _ -> (base, base)
-    in
-    ignore (Problem.add_row p ~lo ~up !coeffs)
-  done;
-  p
+(* shared generator (see lp_gen.ml); the draw sequence matches the
+   original local copy, so seeded case streams are unchanged *)
+let random_problem rng = Lp_gen.random_problem rng
 
 let same_outcome id p =
   let a = Solver.solve p in

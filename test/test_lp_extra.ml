@@ -104,48 +104,10 @@ let test_all_variables_fixed () =
   let sol2 = Presolve.solve q in
   Alcotest.(check bool) "infeasible" true (sol2.Status.status = Status.Infeasible)
 
-(* randomised: presolve+solve agrees with direct solve *)
-let random_problem rng =
-  let nv = 1 + Prng.int rng 6 in
-  let nr = Prng.int rng 8 in
-  let p = Problem.create () in
-  for _ = 1 to nv do
-    let kind = Prng.int rng 5 in
-    let lo, up =
-      match kind with
-      | 0 -> (0.0, infinity)
-      | 1 -> (float_of_int (Prng.int rng 5 - 2), infinity)
-      | 2 ->
-        let l = float_of_int (Prng.int rng 5 - 2) in
-        (l, l +. float_of_int (Prng.int rng 6))
-      | 3 ->
-        (* fixed variable: exercises substitution *)
-        let v = float_of_int (Prng.int rng 7 - 3) in
-        (v, v)
-      | _ -> (neg_infinity, infinity)
-    in
-    let obj = float_of_int (Prng.int rng 9 - 4) in
-    ignore (Problem.add_var ~lo ~up ~obj p)
-  done;
-  for _ = 1 to nr do
-    let coeffs = ref [] in
-    for j = 0 to nv - 1 do
-      if Prng.int rng 3 > 0 then begin
-        let c = float_of_int (Prng.int rng 7 - 3) in
-        if c <> 0.0 then coeffs := (j, c) :: !coeffs
-      end
-    done;
-    let base = float_of_int (Prng.int rng 21 - 10) in
-    let lo, up =
-      match Prng.int rng 4 with
-      | 0 -> (base, infinity)
-      | 1 -> (neg_infinity, base)
-      | 2 -> (base, base +. float_of_int (Prng.int rng 8))
-      | _ -> (base, base)
-    in
-    ignore (Problem.add_row p ~lo ~up !coeffs)
-  done;
-  p
+(* randomised: presolve+solve agrees with direct solve.  Shared
+   generator (lp_gen.ml); [fixed_vars] adds the fixed-variable kind that
+   exercises substitution, with the original draw sequence. *)
+let random_problem rng = Lp_gen.random_problem ~fixed_vars:true rng
 
 let test_presolve_random_agreement () =
   let rng = Prng.create 606 in
@@ -192,7 +154,8 @@ let test_lp_format_writer_shape () =
     (fun needle ->
       Alcotest.(check bool) (Printf.sprintf "contains %S" needle) true
         (contains s needle))
-    [ "Minimize"; "Subject To"; "Bounds"; "End"; "y free"; "r1_l:"; "r2_u:" ]
+    (* one-sided r1 keeps its name; range row r2 splits into _l/_u *)
+    [ "Minimize"; "Subject To"; "Bounds"; "End"; "y free"; "r1:"; "r2_l:"; "r2_u:" ]
 
 let test_lp_format_roundtrip () =
   let rng = Prng.create 7007 in
@@ -298,54 +261,12 @@ let test_lp_format_structural_roundtrip () =
   | Error msg -> Alcotest.fail msg
   | Ok q -> assert_same_problem "hand-built" p q
 
-(* like [random_problem] but tuned for the writer: scientific-notation
-   magnitudes, free/fixed/one-sided bounds, a variable referenced only by
-   its Bounds line, and no range rows (the writer splits those in two by
-   design, so they cannot round-trip structurally) *)
-let random_format_problem rng =
-  let nv = 2 + Prng.int rng 6 in
-  let p = Problem.create () in
-  let mag () =
-    [| 1.0; 0.5; 2.5e-7; 3.0e6; 1.0e12; 1.25e-3; 7.0 |].(Prng.int rng 7)
-  in
-  for k = 0 to nv - 1 do
-    let lo, up =
-      match Prng.int rng 5 with
-      | 0 -> (0.0, infinity)
-      | 1 -> (neg_infinity, infinity)
-      | 2 -> (neg_infinity, float_of_int (Prng.int rng 9 - 4))
-      | 3 ->
-        let v = mag () *. float_of_int (Prng.int rng 5 - 2) in
-        (v, v)
-      | _ ->
-        let l = float_of_int (Prng.int rng 9 - 4) in
-        (l, l +. float_of_int (1 + Prng.int rng 6))
-    in
-    let obj =
-      if Prng.bool rng then 0.0 else mag () *. float_of_int (Prng.int rng 5 - 2)
-    in
-    ignore (Problem.add_var ~lo ~up ~obj ~name:(Printf.sprintf "x%d" k) p)
-  done;
-  for _ = 1 to Prng.int rng 6 do
-    let coeffs = ref [] in
-    (* x(nv-1) never enters a row, so with a zero objective it only
-       appears in the Bounds section *)
-    for j = 0 to nv - 2 do
-      if Prng.int rng 3 > 0 then begin
-        let c = mag () *. float_of_int (Prng.int rng 7 - 3) in
-        if c <> 0.0 then coeffs := (j, c) :: !coeffs
-      end
-    done;
-    let base = mag () *. float_of_int (Prng.int rng 9 - 4) in
-    let lo, up =
-      match Prng.int rng 3 with
-      | 0 -> (base, infinity)
-      | 1 -> (neg_infinity, base)
-      | _ -> (base, base)
-    in
-    ignore (Problem.add_row p ~lo ~up !coeffs)
-  done;
-  p
+(* like [random_problem] but tuned for the writer (shared generator,
+   see lp_gen.ml): scientific-notation magnitudes, free/fixed/one-sided
+   bounds, a variable referenced only by its Bounds line, and no range
+   rows (the writer splits those in two by design, so they cannot
+   round-trip structurally) *)
+let random_format_problem rng = Lp_gen.random_format_problem rng
 
 let test_lp_format_random_structural_roundtrip () =
   let rng = Prng.create 9119 in
@@ -406,27 +327,9 @@ let test_ebf_four_way_crosscheck () =
     ]
   in
   for case = 1 to 50 do
-    let m = 3 + Prng.int rng 8 in
-    let with_source = Prng.bool rng in
-    let coord () = Prng.float rng 100.0 in
-    let sinks = Array.init m (fun _ -> Point.make (coord ()) (coord ())) in
-    let source =
-      if with_source then Some (Point.make (coord ()) (coord ())) else None
-    in
-    let base =
-      Instance.uniform_bounds ?source ~sinks ~lower:0.0 ~upper:infinity ()
-    in
-    let r = Instance.radius base in
-    let l, u =
-      if case mod 5 = 0 then
-        (* upper bound below the radius: provably no LUBT exists *)
-        (0.0, r *. (0.1 +. Prng.float rng 0.8))
-      else
-        let u = r *. (1.0 +. Prng.float rng 1.0) in
-        (Prng.float rng u, u)
-    in
-    let inst = Instance.uniform_bounds ?source ~sinks ~lower:l ~upper:u () in
-    let tree = Topogen.random_binary rng ~num_sinks:m ~source_edge:with_source in
+    (* every fifth case gets an upper bound below the radius: provably
+       no LUBT exists, so the infeasibility verdict is cross-checked *)
+    let inst, tree = Lp_gen.random_ebf ~infeasible:(case mod 5 = 0) rng in
     let oracle = Tableau.solve (Ebf.formulate inst tree) in
     List.iter
       (fun (label, params) ->

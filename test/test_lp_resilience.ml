@@ -96,25 +96,9 @@ let test_certify_rejects_dimension_mismatch () =
   Alcotest.(check bool) "short primal rejected" true (not r.Certify.ok)
 
 (* seeded corruption sweep: every optimal solve certifies, and pushing a
-   variable past a finite bound is always caught *)
-let random_bounded_problem rng =
-  let nv = 2 + Prng.int rng 5 in
-  let p = Problem.create () in
-  for _ = 1 to nv do
-    let up = if Prng.bool rng then infinity else float_of_int (3 + Prng.int rng 8) in
-    ignore (Problem.add_var ~lo:0.0 ~up ~obj:(1.0 +. Prng.float rng 4.0) p)
-  done;
-  for _ = 1 to 1 + Prng.int rng 4 do
-    let coeffs = ref [] in
-    for j = 0 to nv - 1 do
-      if Prng.int rng 3 > 0 then
-        coeffs := (j, 1.0 +. Prng.float rng 3.0) :: !coeffs
-    done;
-    if !coeffs <> [] then
-      ignore
-        (Problem.add_row p ~lo:(1.0 +. Prng.float rng 9.0) ~up:infinity !coeffs)
-  done;
-  p
+   variable past a finite bound is always caught.  The guaranteed-
+   feasible covering-LP generator is shared (lp_gen.ml). *)
+let random_bounded_problem rng = Lp_gen.random_bounded_problem rng
 
 let test_certify_corruption_sweep () =
   let rng = Prng.create 515 in
