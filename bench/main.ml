@@ -6,12 +6,17 @@
      dune exec bench/main.exe                    # everything, scaled size
      dune exec bench/main.exe -- table1          # one artifact: table1,
                                                  #   table2, table3, tradeoff,
-                                                 #   ablation, extensions, timing
+                                                 #   ablation, extensions,
+                                                 #   sweep, timing
      dune exec bench/main.exe -- table1 --full   # paper-sized sink sets
      dune exec bench/main.exe -- table1 --tiny   # smoke-run sizes
+     dune exec bench/main.exe -- table1 --jobs 4 # domain-parallel sweeps
+     dune exec bench/main.exe -- sweep --jobs 4  # reference-corpus batch run
      dune exec bench/main.exe -- timing --json BENCH_lp.json
                                                  # machine-readable timings
-                                                 #   plus solver counters
+                                                 #   plus solver counters and
+                                                 #   the jobs=1/2/4/8 corpus
+                                                 #   scaling curve
 
    Unknown flags and commands are rejected (exit 1): a typo must never
    silently fall back to the default sweep. *)
@@ -19,6 +24,7 @@
 module Benchmarks = Lubt_data.Benchmarks
 module Tables = Lubt_experiments.Tables
 module Protocol = Lubt_experiments.Protocol
+module Batch = Lubt_experiments.Batch
 module Instance = Lubt_core.Instance
 module Ebf = Lubt_core.Ebf
 module Zeroskew = Lubt_core.Zeroskew
@@ -30,25 +36,90 @@ module Bst = Lubt_bst.Bst_dme
 (* Table regeneration                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let run_table1 size =
-  let rows, secs = Protocol.time (fun () -> Tables.table1 ~size ()) in
+let run_table1 ~jobs size =
+  let rows, secs = Protocol.time (fun () -> Tables.table1 ~jobs ~size ()) in
   Tables.print_table1 rows;
-  Printf.printf "(generated in %.1fs)\n%!" secs
+  Printf.printf "(generated in %.1fs, jobs=%d)\n%!" secs jobs
 
-let run_table2 size =
-  let rows, secs = Protocol.time (fun () -> Tables.table2 ~size ()) in
+let run_table2 ~jobs size =
+  let rows, secs = Protocol.time (fun () -> Tables.table2 ~jobs ~size ()) in
   Tables.print_table2 rows;
-  Printf.printf "(generated in %.1fs)\n%!" secs
+  Printf.printf "(generated in %.1fs, jobs=%d)\n%!" secs jobs
 
-let run_table3 size =
-  let rows, secs = Protocol.time (fun () -> Tables.table3 ~size ()) in
+let run_table3 ~jobs size =
+  let rows, secs = Protocol.time (fun () -> Tables.table3 ~jobs ~size ()) in
   Tables.print_table3 rows;
-  Printf.printf "(generated in %.1fs)\n%!" secs
+  Printf.printf "(generated in %.1fs, jobs=%d)\n%!" secs jobs
 
-let run_tradeoff size =
-  let rows, secs = Protocol.time (fun () -> Tables.tradeoff ~size ()) in
+let run_tradeoff ~jobs size =
+  let rows, secs = Protocol.time (fun () -> Tables.tradeoff ~jobs ~size ()) in
   Tables.print_tradeoff rows;
-  Printf.printf "(generated in %.1fs)\n%!" secs
+  Printf.printf "(generated in %.1fs, jobs=%d)\n%!" secs jobs
+
+(* ------------------------------------------------------------------ *)
+(* Reference-corpus batch sweep (the domain-scaling workload)           *)
+(* ------------------------------------------------------------------ *)
+
+let corpus_for size seed = Batch.corpus ~size ~per_bench:5 ~seed ()
+
+let run_sweep ~jobs ~seed size =
+  let specs = corpus_for size seed in
+  let s = Batch.run ~jobs specs in
+  Printf.printf "=== corpus sweep: %d instances, jobs=%d ===\n"
+    (List.length s.Batch.outcomes) s.Batch.jobs;
+  List.iter
+    (fun (o : Batch.outcome) ->
+      Printf.printf "%-14s %-9s obj %18.6f  rows %4d  iters %4d  %6.1f ms%s\n"
+        o.Batch.spec.Batch.id o.Batch.status o.Batch.objective o.Batch.lp_rows
+        o.Batch.lp_iterations
+        (o.Batch.wall_s *. 1e3)
+        (match o.Batch.error with Some e -> "  ERROR: " ^ e | None -> ""))
+    s.Batch.outcomes;
+  Printf.printf "wall %.3fs, %d failures, %d simplex iterations total\n%!"
+    s.Batch.wall_s s.Batch.failures s.Batch.merged.Simplex.iterations;
+  if s.Batch.failures > 0 then exit 1
+
+(* The jobs=1/2/4/8 scaling curve recorded in BENCH_lp.json. Also
+   cross-checks that every jobs count reproduces the jobs=1 objectives
+   bit-for-bit (the determinism contract of the batch engine). *)
+let scaling_sweep ~seed size =
+  let specs = corpus_for size seed in
+  let reference = ref [] in
+  List.map
+    (fun jobs ->
+      let s = Batch.run ~jobs specs in
+      if s.Batch.failures > 0 then begin
+        Printf.eprintf "scaling sweep: %d failures at jobs=%d\n" s.Batch.failures
+          jobs;
+        exit 1
+      end;
+      let objectives =
+        List.map (fun (o : Batch.outcome) -> o.Batch.objective) s.Batch.outcomes
+      in
+      (match !reference with
+      | [] -> reference := objectives
+      | ref_objs ->
+        if objectives <> ref_objs then begin
+          Printf.eprintf
+            "scaling sweep: objectives at jobs=%d differ from jobs=1\n" jobs;
+          exit 1
+        end);
+      Printf.printf "corpus sweep jobs=%d: %.3fs wall\n%!" jobs s.Batch.wall_s;
+      s)
+    [ 1; 2; 4; 8 ]
+  |> fun runs ->
+  let wall1 =
+    match runs with s :: _ -> s.Batch.wall_s | [] -> assert false
+  in
+  List.map
+    (fun (s : Batch.summary) ->
+      {
+        Protocol.sc_jobs = s.Batch.jobs;
+        sc_wall_s = s.Batch.wall_s;
+        sc_speedup = wall1 /. s.Batch.wall_s;
+        sc_instances = List.length s.Batch.outcomes;
+      })
+    runs
 
 let run_ablation size =
   Tables.print_ablation (Tables.ablation ~size ());
@@ -207,7 +278,7 @@ let timing_tests ?(seed = 0) () =
              fun () -> ignore (Embed.place inst topo lengths))));
   ]
 
-let run_timing ?(seed = 0) json_out =
+let run_timing ?(seed = 0) ?(jobs = 1) json_out =
   let open Bechamel in
   let cfg =
     Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~stabilize:false ()
@@ -253,11 +324,14 @@ let run_timing ?(seed = 0) json_out =
   match json_out with
   | None -> ()
   | Some path ->
+    (* the JSON run also records the domain-scaling curve of the
+       reference corpus (and cross-checks its determinism) *)
+    let scaling = scaling_sweep ~seed Benchmarks.Tiny in
     let oc = open_out path in
-    output_string oc (Protocol.bench_json ~size:"tiny" entries);
+    output_string oc (Protocol.bench_json ~jobs ~scaling ~size:"tiny" entries);
     close_out oc;
-    Printf.printf "wrote %s (%d benchmark records)\n%!" path
-      (List.length entries)
+    Printf.printf "wrote %s (%d benchmark records, %d scaling points)\n%!"
+      path (List.length entries) (List.length scaling)
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                          *)
@@ -265,12 +339,12 @@ let run_timing ?(seed = 0) json_out =
 
 let known_commands =
   [ "table1"; "table2"; "table3"; "tradeoff"; "figure8"; "ablation";
-    "extensions"; "timing" ]
+    "extensions"; "sweep"; "timing" ]
 
 let usage_and_exit () =
   Printf.eprintf
     "usage: main.exe [COMMAND...] [--tiny|--scaled|--full] [--json FILE]\n\
-     [--seed N]\n\
+     [--seed N] [--jobs N]\n\
      commands: %s (all of them when none given)\n"
     (String.concat "|" known_commands);
   exit 1
@@ -280,6 +354,7 @@ let () =
   let size = ref Benchmarks.Scaled in
   let json_out = ref None in
   let seed = ref 0 in
+  let jobs = ref 1 in
   let commands = ref [] in
   let rec parse = function
     | [] -> ()
@@ -309,6 +384,20 @@ let () =
       | None ->
         Printf.eprintf "--seed: not an integer: %S\n" n;
         usage_and_exit ())
+    | [ "--jobs" ] ->
+      Printf.eprintf "--jobs requires an integer argument\n";
+      usage_and_exit ()
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some v when v >= 1 ->
+        jobs := v;
+        parse rest
+      | Some _ ->
+        Printf.eprintf "--jobs: must be >= 1\n";
+        usage_and_exit ()
+      | None ->
+        Printf.eprintf "--jobs: not an integer: %S\n" n;
+        usage_and_exit ())
     | a :: _ when String.length a > 0 && a.[0] = '-' ->
       Printf.eprintf "unknown flag %S\n" a;
       usage_and_exit ()
@@ -322,24 +411,26 @@ let () =
   in
   parse args;
   let size = !size in
+  let jobs = !jobs in
   let run = function
-    | "table1" -> run_table1 size
-    | "table2" -> run_table2 size
-    | "table3" -> run_table3 size
-    | "tradeoff" | "figure8" -> run_tradeoff size
+    | "table1" -> run_table1 ~jobs size
+    | "table2" -> run_table2 ~jobs size
+    | "table3" -> run_table3 ~jobs size
+    | "tradeoff" | "figure8" -> run_tradeoff ~jobs size
     | "ablation" -> run_ablation size
     | "extensions" -> run_extensions size
-    | "timing" -> run_timing ~seed:!seed !json_out
+    | "sweep" -> run_sweep ~jobs ~seed:!seed size
+    | "timing" -> run_timing ~seed:!seed ~jobs !json_out
     | _ -> assert false
   in
   match List.rev !commands with
   | [] ->
     (* full sweep: every table and figure, then the ablations and timings *)
-    run_table1 size;
-    run_table2 size;
-    run_table3 size;
-    run_tradeoff size;
+    run_table1 ~jobs size;
+    run_table2 ~jobs size;
+    run_table3 ~jobs size;
+    run_tradeoff ~jobs size;
     run_ablation size;
     run_extensions size;
-    run_timing ~seed:!seed !json_out
+    run_timing ~seed:!seed ~jobs !json_out
   | cmds -> List.iter run cmds

@@ -4,8 +4,15 @@
      gen        write a synthetic benchmark instance to a file
      route      run the bounded-skew baseline router on an instance
      solve      solve the LUBT LP (+ embedding) for an instance & topology
+     batch      domain-parallel sweep over a seeded instance corpus,
+                JSON-lines output
      table1/2/3, tradeoff, ablation
-                regenerate the paper's tables and figure *)
+                regenerate the paper's tables and figure
+
+   Output discipline: stdout carries the solution (or JSON) only; all
+   diagnostic telemetry — solver counters, certification reports,
+   recovery notes, per-round lazy-loop stats, progress — goes to stderr,
+   so stdout can always be piped into a JSON parser or the next tool. *)
 
 open Cmdliner
 
@@ -20,6 +27,9 @@ module Simplex = Lubt_lp.Simplex
 module Benchmarks = Lubt_data.Benchmarks
 module Io = Lubt_data.Io
 module Tables = Lubt_experiments.Tables
+module Protocol = Lubt_experiments.Protocol
+module Batch = Lubt_experiments.Batch
+module Pool = Lubt_util.Pool
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                     *)
@@ -164,15 +174,16 @@ let route_cmd =
 (* solve (LUBT)                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* diagnostic telemetry goes to stderr: stdout stays machine-parseable *)
 let print_solver_stats (ebf : Ebf.result) =
-  Format.printf "%a@." Simplex.pp_stats ebf.Ebf.lp_stats;
+  Format.eprintf "%a@." Simplex.pp_stats ebf.Ebf.lp_stats;
   (match ebf.Ebf.certificate with
-  | Some report -> Format.printf "%a@." Lubt_lp.Certify.pp report
+  | Some report -> Format.eprintf "%a@." Lubt_lp.Certify.pp report
   | None -> ());
-  print_endline "lazy-loop rounds:";
+  prerr_endline "lazy-loop rounds:";
   List.iter
     (fun (r : Ebf.round_stat) ->
-      Printf.printf
+      Printf.eprintf
         "  round %d: %d violations, %d rows added, scan %.3f ms, solve %.3f \
          ms (%d pivots)\n"
         r.Ebf.round r.Ebf.violations_found r.Ebf.rows_added
@@ -181,8 +192,24 @@ let print_solver_stats (ebf : Ebf.result) =
         r.Ebf.solve_pivots)
     ebf.Ebf.round_stats
 
+(* the machine-readable solve report of [solve --json]: one JSON object
+   on stdout, reusing the bench schema's solver/ebf building blocks *)
+let solve_report_json (report : Lubt.report) ~validated =
+  let routed = report.Lubt.routed in
+  let ebf = report.Lubt.ebf in
+  Printf.sprintf
+    "{\"cost\": %s, \"validated\": %b, \"certified\": %b, \"ebf\": %s, \
+     \"solver\": %s}"
+    (Protocol.json_float (Routed.cost routed))
+    validated
+    (match ebf.Ebf.certificate with
+    | Some r -> r.Lubt_lp.Certify.ok
+    | None -> false)
+    (Protocol.ebf_result_json ebf)
+    (Protocol.solver_stats_json ebf.Ebf.lp_stats)
+
 let solve inst_path topo_path eager stats certify time_limit fault_seed
-    pricing no_warm_start =
+    pricing no_warm_start json =
   let inst = or_die (Io.read_instance inst_path) in
   let tree =
     match topo_path with
@@ -228,30 +255,38 @@ let solve inst_path topo_path eager stats certify time_limit fault_seed
     exit 1
   | Ok report ->
     let routed = report.Lubt.routed in
-    Format.printf "%a@." Routed.pp_summary routed;
-    Printf.printf "LP: %d rows (full formulation: %d), %d simplex iterations, %d rounds\n"
+    (* diagnostics to stderr first, solution to stdout last *)
+    Printf.eprintf
+      "LP: %d rows (full formulation: %d), %d simplex iterations, %d rounds\n"
       report.Lubt.ebf.Ebf.lp_rows report.Lubt.ebf.Ebf.full_rows
       report.Lubt.ebf.Ebf.lp_iterations report.Lubt.ebf.Ebf.rounds;
     (match report.Lubt.ebf.Ebf.certificate with
     | Some r when r.Lubt_lp.Certify.ok ->
-      Printf.printf "certification: OK (%s level, %d rows)\n"
+      Printf.eprintf "certification: OK (%s level, %d rows)\n"
         (Lubt_lp.Certify.level_to_string r.Lubt_lp.Certify.level)
         r.Lubt_lp.Certify.rows_checked
     | _ -> ());
     let recov = (report.Lubt.ebf.Ebf.lp_stats).Simplex.recoveries in
     if Simplex.recovery_attempts recov > 0 then
-      Printf.printf
+      Printf.eprintf
         "numerical recoveries: %d (faults injected: %d, validations \
          rejected: %d)\n"
         (Simplex.recovery_attempts recov)
         recov.Simplex.faults_injected recov.Simplex.validations_rejected;
     if stats then print_solver_stats report.Lubt.ebf;
-    (match Routed.validate routed with
-    | Ok () -> print_endline "validation: OK"
-    | Error es ->
-      print_endline "validation FAILED:";
-      List.iter (fun e -> print_endline ("  " ^ e)) es;
-      exit 1)
+    let validated, verrors =
+      match Routed.validate routed with
+      | Ok () -> (true, [])
+      | Error es -> (false, es)
+    in
+    if not validated then begin
+      prerr_endline "validation FAILED:";
+      List.iter (fun e -> prerr_endline ("  " ^ e)) verrors
+    end
+    else Printf.eprintf "validation: OK\n";
+    if json then print_endline (solve_report_json report ~validated)
+    else Format.printf "%a@." Routed.pp_summary routed;
+    if not validated then exit 1
 
 let solve_cmd =
   let inst_path =
@@ -333,11 +368,112 @@ let solve_cmd =
              instead of extending the live factorisation in place \
              (disables cross-round warm starts).")
   in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the solve report as a single JSON object on stdout \
+             (cost, validation/certification verdicts, EBF and solver \
+             telemetry). All diagnostics go to stderr either way, so \
+             stdout is machine-parseable.")
+  in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve the LUBT problem (EBF + embedding)")
     Term.(
       const solve $ inst_path $ topo_path $ eager $ stats $ certify
-      $ time_limit $ fault_seed $ pricing $ no_warm_start)
+      $ time_limit $ fault_seed $ pricing $ no_warm_start $ json)
+
+(* ------------------------------------------------------------------ *)
+(* batch                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let batch size jobs seed per_bench skew no_certify out =
+  let specs = Batch.corpus ~size ~per_bench ~skew_rel:skew ~seed () in
+  Printf.eprintf "batch: %d instances, %d jobs (machine reports %d cores)\n%!"
+    (List.length specs) jobs (Pool.default_jobs ());
+  let s = Batch.run ~jobs ~certify:(not no_certify) specs in
+  let oc = match out with Some path -> open_out path | None -> stdout in
+  List.iter
+    (fun o -> output_string oc (Batch.outcome_json o ^ "\n"))
+    s.Batch.outcomes;
+  output_string oc (Batch.summary_json s ^ "\n");
+  if out <> None then close_out oc;
+  Printf.eprintf "batch: wall %.3fs, %d failures\n%!" s.Batch.wall_s
+    s.Batch.failures;
+  List.iter
+    (fun (o : Batch.outcome) ->
+      match o.Batch.error with
+      | Some e -> Printf.eprintf "  %s: %s\n" o.Batch.spec.Batch.id e
+      | None -> ())
+    s.Batch.outcomes;
+  if s.Batch.failures > 0 then exit 1
+
+let batch_cmd =
+  let jobs =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the sweep. 1 (the default) runs the exact \
+             sequential path; results and their order are identical at any \
+             value — only the wall-clock changes. 0 means the machine's \
+             recommended domain count.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Base sink-field seed: variant $(i,k) of each benchmark uses \
+             seed N+k, so the corpus is reproducible.")
+  in
+  let per_bench =
+    Arg.(
+      value & opt int 5
+      & info [ "per-bench" ] ~docv:"K"
+          ~doc:"Seeded sink-field variants per benchmark (default 5).")
+  in
+  let skew =
+    Arg.(
+      value & opt float 0.5
+      & info [ "skew" ] ~docv:"F"
+          ~doc:
+            "Skew bound (x radius) guiding each instance's baseline \
+             topology; the EBF window is the baseline's achieved one.")
+  in
+  let no_certify =
+    Arg.(
+      value & flag
+      & info [ "no-certify" ]
+          ~doc:
+            "Skip the a-posteriori Full certificate on each instance \
+             (faster; objectives are then not independently certified).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the JSON-lines records to FILE instead of stdout.")
+  in
+  let run size jobs seed per_bench skew no_certify out =
+    let jobs = if jobs = 0 then Pool.default_jobs () else jobs in
+    if jobs < 0 || per_bench < 1 then begin
+      prerr_endline "error: --jobs must be >= 0 and --per-bench >= 1";
+      exit 1
+    end;
+    batch size jobs seed per_bench skew no_certify out
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Solve a seeded instance corpus on a pool of domains, one \
+          JSON-lines record per instance (input order) plus a summary \
+          line; non-zero exit if any instance fails")
+    Term.(
+      const run $ size_t $ jobs $ seed $ per_bench $ skew $ no_certify $ out)
 
 (* ------------------------------------------------------------------ *)
 (* svg                                                                  *)
@@ -477,6 +613,7 @@ let () =
             gen_cmd;
             route_cmd;
             solve_cmd;
+            batch_cmd;
             svg_cmd;
             optimize_cmd;
             table_cmd "table1" "Regenerate Table 1 (baseline vs LUBT)" table1;

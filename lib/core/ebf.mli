@@ -75,7 +75,11 @@ type result = {
   lp_iterations : int;
   rounds : int;  (** row-generation rounds (1 when eager) *)
   round_stats : round_stat list;  (** per-round telemetry, in round order *)
-  lp_stats : Lubt_lp.Simplex.stats;  (** cumulative solver counters *)
+  lp_stats : Lubt_lp.Simplex.stats;
+      (** cumulative solver counters, summed over every row-generation
+          round. Valid for every status (they describe work done, not the
+          solution); totals from independent solves can be combined with
+          {!Lubt_lp.Simplex.merge_stats}. *)
   certificate : Lubt_lp.Certify.report option;
       (** certification outcome; [None] when [options.check = Off] or the
           solve did not claim optimality *)
@@ -96,6 +100,11 @@ val solve :
     sink of the instance corresponds to node [(Tree.sinks tree).(k)].
     An [Infeasible] status certifies that no LUBT exists for this topology
     and these bounds (Theorem 4.2 discussion).
+
+    Each call builds its own LP engine and touches no global mutable
+    state, so concurrent [solve] calls on distinct (or even shared,
+    since neither is mutated) instances and trees are safe — this is
+    what {!Lubt_util.Pool}-based sweeps rely on.
 
     @raise Invalid_argument when the tree's sink count differs from the
     instance's. *)

@@ -1,0 +1,175 @@
+module Benchmarks = Lubt_data.Benchmarks
+module Ebf = Lubt_core.Ebf
+module Simplex = Lubt_lp.Simplex
+module Status = Lubt_lp.Status
+module Pool = Lubt_util.Pool
+
+type spec = {
+  id : string;
+  bench : string;
+  size : Benchmarks.size;
+  seed : int;
+  skew_rel : float;
+}
+
+let corpus ?(size = Benchmarks.Tiny) ?(per_bench = 5) ?(skew_rel = 0.5) ~seed
+    () =
+  List.concat_map
+    (fun (bspec : Benchmarks.spec) ->
+      List.init per_bench (fun k ->
+          {
+            id = Printf.sprintf "%s/s%d" bspec.Benchmarks.name (seed + k);
+            bench = bspec.Benchmarks.name;
+            size;
+            seed = bspec.Benchmarks.seed + seed + k;
+            skew_rel;
+          }))
+    (Benchmarks.specs size)
+
+type outcome = {
+  index : int;
+  spec : spec;
+  status : string;
+  objective : float;
+  bst_cost : float;
+  lp_rows : int;
+  full_rows : int;
+  lp_iterations : int;
+  rounds : int;
+  certified : bool;
+  wall_s : float;
+  error : string option;
+  solver : Simplex.stats option;
+}
+
+type summary = {
+  outcomes : outcome list;
+  jobs : int;
+  failures : int;
+  wall_s : float;
+  merged : Simplex.stats;
+}
+
+let solve_one ~certify spec =
+  let bspec =
+    { (Benchmarks.find spec.size spec.bench) with Benchmarks.seed = spec.seed }
+  in
+  let t0 = Unix.gettimeofday () in
+  let b = Protocol.run_baseline bspec ~skew_rel:spec.skew_rel in
+  let options =
+    if certify then
+      { Ebf.default_options with Ebf.check = Lubt_lp.Certify.Full }
+    else Ebf.default_options
+  in
+  (* run_lubt raises on a non-optimal status; the pool captures that and
+     the outcome below reports it as an error *)
+  let l = Protocol.run_lubt_from_baseline ~options b in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let ebf = l.Protocol.ebf in
+  (b, ebf, wall_s)
+
+let outcome_of_task index spec ~certify = function
+  | Ok (b, (ebf : Ebf.result), wall_s) ->
+    {
+      index;
+      spec;
+      status = Status.to_string ebf.Ebf.status;
+      objective = ebf.Ebf.objective;
+      bst_cost = b.Protocol.bst.Lubt_bst.Bst_dme.cost;
+      lp_rows = ebf.Ebf.lp_rows;
+      full_rows = ebf.Ebf.full_rows;
+      lp_iterations = ebf.Ebf.lp_iterations;
+      rounds = ebf.Ebf.rounds;
+      certified =
+        (match ebf.Ebf.certificate with
+        | Some r -> r.Lubt_lp.Certify.ok
+        | None -> not certify && ebf.Ebf.status = Status.Optimal);
+      wall_s;
+      error = None;
+      solver = Some ebf.Ebf.lp_stats;
+    }
+  | Error (f : Pool.failure) ->
+    {
+      index;
+      spec;
+      status = "error";
+      objective = nan;
+      bst_cost = nan;
+      lp_rows = 0;
+      full_rows = 0;
+      lp_iterations = 0;
+      rounds = 0;
+      certified = false;
+      wall_s = nan;
+      error = Some (Printexc.to_string f.Pool.exn);
+      solver = None;
+    }
+
+let run ?jobs ?(certify = true) specs =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let results = Pool.map_result ~jobs (solve_one ~certify) specs in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let outcomes =
+    List.mapi
+      (fun index (spec, r) -> outcome_of_task index spec ~certify r)
+      (List.combine specs results)
+  in
+  let failures =
+    List.length
+      (List.filter (fun o -> o.error <> None || not o.certified) outcomes)
+  in
+  let merged =
+    List.fold_left
+      (fun acc o ->
+        match o.solver with
+        | Some s -> Simplex.merge_stats acc s
+        | None -> acc)
+      Simplex.zero_stats outcomes
+  in
+  { outcomes; jobs; failures; wall_s; merged }
+
+(* ------------------------------------------------------------------ *)
+(* JSON-lines rendering                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let outcome_json o =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"index\": %d, \"id\": \"%s\", \"bench\": \"%s\", \"seed\": %d, \
+        \"skew_rel\": %s, \"status\": \"%s\", \"objective\": %s, \
+        \"bst_cost\": %s, \"lp_rows\": %d, \"full_rows\": %d, \
+        \"lp_iterations\": %d, \"rounds\": %d, \"certified\": %b, \
+        \"wall_s\": %s"
+       o.index
+       (Protocol.json_escape o.spec.id)
+       (Protocol.json_escape o.spec.bench)
+       o.spec.seed
+       (Protocol.json_float o.spec.skew_rel)
+       (Protocol.json_escape o.status)
+       (Protocol.json_float o.objective)
+       (Protocol.json_float o.bst_cost)
+       o.lp_rows o.full_rows o.lp_iterations o.rounds o.certified
+       (Protocol.json_float o.wall_s));
+  (match o.error with
+  | Some e ->
+    Buffer.add_string buf
+      (Printf.sprintf ", \"error\": \"%s\"" (Protocol.json_escape e))
+  | None -> ());
+  (match o.solver with
+  | Some s ->
+    Buffer.add_string buf (", \"solver\": " ^ Protocol.solver_stats_json s)
+  | None -> ());
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let summary_json s =
+  Printf.sprintf
+    "{\"summary\": true, \"instances\": %d, \"jobs\": %d, \"failures\": %d, \
+     \"wall_s\": %s, \"solver\": %s}"
+    (List.length s.outcomes) s.jobs s.failures
+    (Protocol.json_float s.wall_s)
+    (Protocol.solver_stats_json s.merged)

@@ -1,0 +1,90 @@
+(** Domain-parallel instance sweeps.
+
+    The paper's evaluation — and any production use of fixed-topology
+    embedding LPs — solves many independent (topology, bounds) instances
+    per configuration. This module is the batch engine behind
+    [bench/main.exe] corpus sweeps and the [lubt batch] CLI subcommand:
+    it fans a corpus of seeded benchmark instances over a
+    {!Lubt_util.Pool} of domains, collects per-instance outcomes in
+    {e input order}, captures per-instance failures instead of aborting
+    the sweep, and merges per-instance solver telemetry
+    ({!Lubt_lp.Simplex.merge_stats}) into one whole-corpus record.
+
+    Determinism: each instance is fully determined by its {!spec} (sink
+    field seed included), so a sweep's per-instance objectives and
+    orderings are bit-identical at any [jobs] count — only the wall-clock
+    changes. This is asserted by [test/test_pool.ml]. *)
+
+type spec = {
+  id : string;  (** unique within the sweep, e.g. ["prim1s/s17"] *)
+  bench : string;  (** benchmark family name, e.g. ["prim1s"] *)
+  size : Lubt_data.Benchmarks.size;
+  seed : int;  (** sink-field seed override for this variant *)
+  skew_rel : float;
+      (** skew bound (relative to the radius) guiding the baseline
+          topology; the EBF window is the baseline's achieved one *)
+}
+(** One independent instance of the sweep. *)
+
+val corpus :
+  ?size:Lubt_data.Benchmarks.size ->
+  ?per_bench:int ->
+  ?skew_rel:float ->
+  seed:int ->
+  unit ->
+  spec list
+(** [corpus ~seed ()] is the reference corpus: [per_bench] (default 5)
+    seeded sink-field variants of each of the four benchmarks (so 20
+    instances by default), at [size] (default [Tiny]) and [skew_rel]
+    (default 0.5). Variant [k] of a benchmark uses sink-field seed
+    [seed + k], so the corpus at a given [(size, per_bench, skew_rel,
+    seed)] is a fixed, reproducible instance set. *)
+
+type outcome = {
+  index : int;  (** position in the input spec list *)
+  spec : spec;
+  status : string;  (** LP status, or ["error"] when the task raised *)
+  objective : float;  (** certified EBF objective; [nan] on error *)
+  bst_cost : float;  (** the baseline router's cost on the instance *)
+  lp_rows : int;
+  full_rows : int;
+  lp_iterations : int;
+  rounds : int;
+  certified : bool;  (** certificate present and [ok] *)
+  wall_s : float;  (** this instance's wall-clock (baseline + EBF) *)
+  error : string option;  (** exception text when the task raised *)
+  solver : Lubt_lp.Simplex.stats option;  (** per-instance counters *)
+}
+(** Per-instance result, reported even for failures. *)
+
+type summary = {
+  outcomes : outcome list;  (** in input order, one per spec *)
+  jobs : int;  (** worker domains actually used *)
+  failures : int;  (** outcomes with [error <> None] or an uncertified /
+                       non-optimal status *)
+  wall_s : float;  (** whole-sweep wall-clock *)
+  merged : Lubt_lp.Simplex.stats;
+      (** all per-instance counters folded with
+          {!Lubt_lp.Simplex.merge_stats} *)
+}
+
+val run : ?jobs:int -> ?certify:bool -> spec list -> summary
+(** [run ~jobs specs] solves every spec on a pool of [jobs] domains
+    (default {!Lubt_util.Pool.default_jobs}; [jobs = 1] is the exact
+    sequential path). Each instance runs the baseline router to get a
+    topology and achieved delay window, then the lazy EBF on that
+    window; with [certify] (default [true]) the solve carries a
+    {!Lubt_lp.Certify.Full} a-posteriori certificate, so reported
+    objectives are certified optima. A raising instance yields an
+    [error] outcome; the sweep always completes and reports every
+    instance. *)
+
+val outcome_json : outcome -> string
+(** One JSON-lines record (a single-line JSON object): [index], [id],
+    [bench], [seed], [skew_rel], [status], [objective], [bst_cost], row
+    and iteration counts, [certified], [wall_s], and [error]/[solver]
+    when present. *)
+
+val summary_json : summary -> string
+(** A single-line JSON trailer object: [summary true], [instances],
+    [jobs], [failures], [wall_s], and the merged solver counters. *)

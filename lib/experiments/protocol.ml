@@ -180,9 +180,31 @@ let bench_entry_json e =
   Buffer.add_char buf '}';
   Buffer.contents buf
 
-let bench_json ~size entries =
+type scaling_point = {
+  sc_jobs : int;
+  sc_wall_s : float;
+  sc_speedup : float;
+  sc_instances : int;
+}
+
+let scaling_point_json p =
   Printf.sprintf
-    "{\n  \"schema\": \"lubt-bench/2\",\n  \"size\": \"%s\",\n  \
-     \"benchmarks\": [\n    %s\n  ]\n}\n"
-    (json_escape size)
+    "{\"jobs\": %d, \"wall_s\": %s, \"speedup\": %s, \"instances\": %d}"
+    p.sc_jobs (json_float p.sc_wall_s) (json_float p.sc_speedup) p.sc_instances
+
+let bench_json ?(jobs = 1) ?(scaling = []) ~size entries =
+  let scaling_field =
+    match scaling with
+    | [] -> ""
+    | points ->
+      Printf.sprintf ",\n  \"scaling\": [\n    %s\n  ]"
+        (String.concat ",\n    " (List.map scaling_point_json points))
+  in
+  Printf.sprintf
+    "{\n  \"schema\": \"lubt-bench/3\",\n  \"size\": \"%s\",\n  \
+     \"jobs\": %d,\n  \"cores\": %d,\n  \
+     \"benchmarks\": [\n    %s\n  ]%s\n}\n"
+    (json_escape size) jobs
+    (Lubt_util.Pool.default_jobs ())
     (String.concat ",\n    " (List.map bench_entry_json entries))
+    scaling_field

@@ -47,14 +47,19 @@ val time : (unit -> 'a) -> 'a * float
 
 (** {1 Machine-readable benchmark records}
 
-    The [BENCH_lp.json] schema ([lubt-bench/1]) emitted by
+    The [BENCH_lp.json] schema ([lubt-bench/3]) emitted by
     [bench/main.exe -- timing --json FILE]: a top-level object with
-    [schema], [size] (tiny|scaled|full), and [benchmarks], an array of
-    entries each holding [name], [ms_per_run], and — for LP-backed
-    benchmarks — [solver] (the {!Lubt_lp.Simplex.stats} counters, times in
+    [schema], [size] (tiny|scaled|full), [jobs] (worker domains the run
+    was asked for), [cores] (the machine's
+    {!Lubt_util.Pool.default_jobs}), [benchmarks] — an array of entries
+    each holding [name], [ms_per_run], and, for LP-backed benchmarks,
+    [solver] (the {!Lubt_lp.Simplex.stats} counters, times in
     milliseconds) and [ebf] (status, objective, row counts, and
-    [round_stats], the per-round lazy-loop telemetry). Perf PRs append one
-    such file per run to track the trajectory. *)
+    [round_stats], the per-round lazy-loop telemetry) — and, when a
+    scaling sweep was run, [scaling]: one point per jobs count with the
+    corpus wall-clock and the speedup over the jobs=1 run of the same
+    corpus. Perf PRs append one such file per run to track the
+    trajectory. *)
 
 type bench_entry = {
   bench_name : string;
@@ -65,6 +70,38 @@ type bench_entry = {
       (** lazy-loop telemetry of the same representative solve *)
 }
 
-val bench_json : size:string -> bench_entry list -> string
-(** Renders entries as the [lubt-bench/1] JSON document (self-contained,
-    no external JSON dependency; [inf]/[nan] become [null]). *)
+type scaling_point = {
+  sc_jobs : int;  (** worker domains used for this corpus run *)
+  sc_wall_s : float;  (** whole-corpus wall-clock, seconds *)
+  sc_speedup : float;  (** jobs=1 wall-clock / this wall-clock *)
+  sc_instances : int;  (** corpus size *)
+}
+(** One point of the domain-scaling curve recorded in [BENCH_lp.json]. *)
+
+val bench_json :
+  ?jobs:int -> ?scaling:scaling_point list -> size:string ->
+  bench_entry list -> string
+(** Renders entries as the [lubt-bench/3] JSON document (self-contained,
+    no external JSON dependency; [inf]/[nan] become [null]). [jobs]
+    (default 1) and [scaling] (default absent) fill the schema's
+    parallel-sweep fields. *)
+
+(** {1 JSON building blocks}
+
+    Exposed for the batch driver and the CLI, which emit the same solver
+    and EBF records as JSON-lines. All of them produce a single
+    syntactically complete JSON value. *)
+
+val json_escape : string -> string
+(** Escapes a string for embedding between double quotes in JSON. *)
+
+val json_float : float -> string
+(** Shortest-roundtrip decimal rendering; [inf]/[nan] become [null]
+    (JSON has no literals for them). *)
+
+val solver_stats_json : Lubt_lp.Simplex.stats -> string
+(** The [solver] object of the bench schema. *)
+
+val ebf_result_json : Lubt_core.Ebf.result -> string
+(** The [ebf] object of the bench schema ([status], [objective], row
+    counts, [round_stats]). *)

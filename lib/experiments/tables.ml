@@ -21,23 +21,28 @@ type t1_row = {
 
 let table1_skews = [ 0.0; 0.01; 0.05; 0.1; 0.5; 1.0; 2.0; infinity ]
 
-let table1 ?(size = Benchmarks.Scaled) ?(clustered = false) () =
-  List.concat_map
-    (fun spec ->
-      List.map
-        (fun skew_rel ->
-          let b = Protocol.run_baseline spec ~skew_rel in
-          let l = Protocol.run_lubt_from_baseline b in
-          {
-            bench = spec.Benchmarks.name;
-            skew_rel;
-            shortest = (if skew_rel = infinity then 0.0 else b.Protocol.shortest_rel);
-            longest = (if skew_rel = infinity then infinity else b.Protocol.longest_rel);
-            bst_cost = b.Protocol.bst.Bst_dme.cost;
-            lubt_cost = l.Protocol.cost;
-          })
-        table1_skews)
-    (if clustered then Benchmarks.clustered size else Benchmarks.specs size)
+(* Each (benchmark, skew) cell is an independent baseline + LP solve, so
+   the sweeps fan the flattened cell list over a domain pool; Pool.map
+   returns results in input order, so row order never depends on jobs. *)
+let table1 ?(jobs = 1) ?(size = Benchmarks.Scaled) ?(clustered = false) () =
+  let cells =
+    List.concat_map
+      (fun spec -> List.map (fun skew_rel -> (spec, skew_rel)) table1_skews)
+      (if clustered then Benchmarks.clustered size else Benchmarks.specs size)
+  in
+  Lubt_util.Pool.map ~jobs
+    (fun (spec, skew_rel) ->
+      let b = Protocol.run_baseline spec ~skew_rel in
+      let l = Protocol.run_lubt_from_baseline b in
+      {
+        bench = spec.Benchmarks.name;
+        skew_rel;
+        shortest = (if skew_rel = infinity then 0.0 else b.Protocol.shortest_rel);
+        longest = (if skew_rel = infinity then infinity else b.Protocol.longest_rel);
+        bst_cost = b.Protocol.bst.Bst_dme.cost;
+        lubt_cost = l.Protocol.cost;
+      })
+    cells
 
 let print_table1 rows =
   Report.print ~title:"Table 1: routing costs for the [9]-style baseline and for LUBT"
@@ -67,14 +72,18 @@ type t2_row = {
   cost : float;
 }
 
-let table2 ?(size = Benchmarks.Scaled) () =
+let table2 ?(jobs = 1) ?(size = Benchmarks.Scaled) () =
   let benches = [ "prim1s"; "prim2s" ] in
   let skews = [ 0.3; 0.5 ] in
-  List.concat_map
-    (fun name ->
-      let spec = Benchmarks.find size name in
-      List.concat_map
-        (fun skew_rel ->
+  let cells =
+    List.concat_map
+      (fun name -> List.map (fun skew -> (name, skew)) skews)
+      benches
+  in
+  List.concat
+    (Lubt_util.Pool.map ~jobs
+       (fun (name, skew_rel) ->
+          let spec = Benchmarks.find size name in
           let b = Protocol.run_baseline spec ~skew_rel in
           (* windows with the same width as the skew bound: the tightest
              admissible one, two shifted ones, and the window the baseline
@@ -101,8 +110,7 @@ let table2 ?(size = Benchmarks.Scaled) () =
                 cost = r.Protocol.cost;
               })
             candidates)
-        skews)
-    benches
+       cells)
 
 let print_table2 rows =
   Report.print
@@ -143,17 +151,19 @@ let table3_windows =
     (0.0, 2.0);
   ]
 
-let table3 ?(size = Benchmarks.Scaled) () =
-  List.concat_map
-    (fun spec ->
-      List.map
-        (fun (lower_rel, upper_rel) ->
-          (* the topology generator is guided by the available skew *)
-          let b = Protocol.run_baseline spec ~skew_rel:(upper_rel -. lower_rel) in
-          let r = Protocol.run_lubt b ~lower_rel ~upper_rel in
-          { bench = spec.Benchmarks.name; lower_rel; upper_rel; cost = r.Protocol.cost })
-        table3_windows)
-    (Benchmarks.specs size)
+let table3 ?(jobs = 1) ?(size = Benchmarks.Scaled) () =
+  let cells =
+    List.concat_map
+      (fun spec -> List.map (fun w -> (spec, w)) table3_windows)
+      (Benchmarks.specs size)
+  in
+  Lubt_util.Pool.map ~jobs
+    (fun (spec, (lower_rel, upper_rel)) ->
+      (* the topology generator is guided by the available skew *)
+      let b = Protocol.run_baseline spec ~skew_rel:(upper_rel -. lower_rel) in
+      let r = Protocol.run_lubt b ~lower_rel ~upper_rel in
+      { bench = spec.Benchmarks.name; lower_rel; upper_rel; cost = r.Protocol.cost })
+    cells
 
 let print_table3 rows =
   Report.print ~title:"Table 3: LUBT cost for various other bound combinations"
@@ -174,7 +184,7 @@ let print_table3 rows =
 
 type curve_point = { lower_rel : float; upper_rel : float; cost : float }
 
-let tradeoff ?(size = Benchmarks.Scaled) ?(bench = "prim2s") () =
+let tradeoff ?(jobs = 1) ?(size = Benchmarks.Scaled) ?(bench = "prim2s") () =
   let spec = Benchmarks.find size bench in
   (* sweep from loose ([0,2]) to tight ([0.99,1]) windows: first widen the
      lower bound toward 1 with u fixed, after first tightening u to 1 *)
@@ -182,7 +192,7 @@ let tradeoff ?(size = Benchmarks.Scaled) ?(bench = "prim2s") () =
     [ (0.0, 2.0); (0.0, 1.75); (0.0, 1.5); (0.0, 1.25); (0.0, 1.0) ]
     @ List.map (fun l -> (l, 1.0)) [ 0.2; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 0.95; 0.98; 0.99 ]
   in
-  List.map
+  Lubt_util.Pool.map ~jobs
     (fun (lower_rel, upper_rel) ->
       let b = Protocol.run_baseline spec ~skew_rel:(upper_rel -. lower_rel) in
       let r = Protocol.run_lubt b ~lower_rel ~upper_rel in

@@ -3,7 +3,13 @@
     Each function returns structured rows and can print them in the
     paper's layout. Sizes default to the scaled-down benchmark fields
     (see {!Lubt_data.Benchmarks.size}); pass [~size:Full] for paper-sized
-    runs. *)
+    runs.
+
+    The four sweep generators ({!table1}, {!table2}, {!table3},
+    {!tradeoff}) accept [~jobs] (default 1): their independent
+    (benchmark, bound) cells are fanned over a {!Lubt_util.Pool} of that
+    many domains. Row order and every cost are identical at any [jobs]
+    count — only the wall-clock changes. *)
 
 type t1_row = {
   bench : string;
@@ -15,6 +21,7 @@ type t1_row = {
 }
 
 val table1 :
+  ?jobs:int ->
   ?size:Lubt_data.Benchmarks.size -> ?clustered:bool -> unit -> t1_row list
 (** Table 1: baseline [9] cost vs LUBT cost for skew bounds
     {0, 0.01, 0.05, 0.1, 0.5, 1, 2, inf} on all four benchmarks.
@@ -33,7 +40,7 @@ type t2_row = {
   cost : float;
 }
 
-val table2 : ?size:Lubt_data.Benchmarks.size -> unit -> t2_row list
+val table2 : ?jobs:int -> ?size:Lubt_data.Benchmarks.size -> unit -> t2_row list
 (** Table 2: same skew bound, shifted [l, u] windows (prim1, prim2; skew
     0.3 and 0.5) — the flexibility [9] lacks. *)
 
@@ -46,7 +53,7 @@ type t3_row = {
   cost : float;
 }
 
-val table3 : ?size:Lubt_data.Benchmarks.size -> unit -> t3_row list
+val table3 : ?jobs:int -> ?size:Lubt_data.Benchmarks.size -> unit -> t3_row list
 (** Table 3: other bound combinations ([0.99,1] ... [0,2]), global-routing
     style included. *)
 
@@ -54,7 +61,9 @@ val print_table3 : t3_row list -> unit
 
 type curve_point = { lower_rel : float; upper_rel : float; cost : float }
 
-val tradeoff : ?size:Lubt_data.Benchmarks.size -> ?bench:string -> unit -> curve_point list
+val tradeoff :
+  ?jobs:int ->
+  ?size:Lubt_data.Benchmarks.size -> ?bench:string -> unit -> curve_point list
 (** Figure 8: the cost-versus-bounds trade-off curve for prim2 — windows
     tighten from [0,2] to [0.99,1]. *)
 

@@ -52,6 +52,8 @@ val dim : t -> int
 (** Current dimension: LU dimension plus appended rows. *)
 
 val eta_count : t -> int
+(** Pivots recorded since the last factorisation (length of the eta
+    trail, border extensions not included). *)
 
 val trail_nnz : t -> int
 (** Nonzeros stored across the eta/border trail. Applying the trail to a

@@ -51,5 +51,9 @@ val check : ?tol:float -> ?level:level -> Problem.t -> Status.solution -> report
     Never raises; inconsistent dimensions yield [ok = false]. *)
 
 val pp : Format.formatter -> report -> unit
+(** One-line human rendering: level, verdict, and the residuals (plus
+    the failing check when [ok = false]). *)
 
 val level_to_string : level -> string
+(** ["off"], ["primal"] or ["full"] — the spelling the CLI's
+    [--certify] flag accepts. *)

@@ -8,11 +8,16 @@
     [\ ] comments). *)
 
 val to_string : Problem.t -> string
+(** Renders the problem in CPLEX LP format. Unnamed variables get
+    [x<index>] names so the output is always readable back. *)
 
 val write : string -> Problem.t -> unit
+(** [write path prob] writes {!to_string}[ prob] to [path]. *)
 
 val of_string : string -> (Problem.t, string) result
 (** Variables are created in order of first appearance; names are
     preserved. *)
 
 val read : string -> (Problem.t, string) result
+(** [read path] parses the file at [path] with {!of_string}; I/O errors
+    are returned as [Error]. *)

@@ -19,6 +19,7 @@ val factor : ?pivot_tol:float -> Sparse.t array -> t
     [cols.(j)] (row indices must be < [Array.length cols]). *)
 
 val dim : t -> int
+(** Dimension of the factored (square) matrix. *)
 
 val nnz : t -> int
 (** Fill-in diagnostic: stored nonzeros of [L] and [U]. *)

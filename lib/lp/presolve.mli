@@ -24,15 +24,21 @@ type outcome =
           unsatisfiable bounds, or crossed variable bounds) *)
 
 val run : Problem.t -> outcome
+(** Runs the reduction loop to a fixed point. The input problem is not
+    modified; the reduced problem shares no mutable state with it. *)
 
 val problem : t -> Problem.t
 (** The reduced problem. *)
 
 val original_vars : t -> int
+(** Variable count of the original problem (the size {!postsolve}
+    restores). *)
 
 val reduced_vars : t -> int
+(** Variable count after reduction. *)
 
 val reduced_rows : t -> int
+(** Row count after reduction. *)
 
 val postsolve : t -> Status.solution -> Status.solution
 (** Lifts a solution of the reduced problem back to the original variable

@@ -1642,6 +1642,65 @@ let stats t =
       };
   }
 
+let zero_stats =
+  {
+    iterations = 0;
+    phase1_iterations = 0;
+    phase2_iterations = 0;
+    dual_iterations = 0;
+    bound_flips = 0;
+    full_pricing_scans = 0;
+    partial_pricing_scans = 0;
+    ftran_count = 0;
+    btran_count = 0;
+    hyper_sparse_ftrans = 0;
+    hyper_sparse_btrans = 0;
+    basis_updates = 0;
+    basis_extensions = 0;
+    refactorisations = 0;
+    degenerate_pivots = 0;
+    bland_activations = 0;
+    phase1_seconds = 0.0;
+    phase2_seconds = 0.0;
+    dual_seconds = 0.0;
+    recoveries = no_recoveries;
+  }
+
+let merge_recoveries a b =
+  {
+    refactor_retries = a.refactor_retries + b.refactor_retries;
+    backend_switches = a.backend_switches + b.backend_switches;
+    tolerance_escalations = a.tolerance_escalations + b.tolerance_escalations;
+    perturbed_resolves = a.perturbed_resolves + b.perturbed_resolves;
+    tableau_fallbacks = a.tableau_fallbacks + b.tableau_fallbacks;
+    faults_injected = a.faults_injected + b.faults_injected;
+    validations_rejected = a.validations_rejected + b.validations_rejected;
+  }
+
+let merge_stats a b =
+  {
+    iterations = a.iterations + b.iterations;
+    phase1_iterations = a.phase1_iterations + b.phase1_iterations;
+    phase2_iterations = a.phase2_iterations + b.phase2_iterations;
+    dual_iterations = a.dual_iterations + b.dual_iterations;
+    bound_flips = a.bound_flips + b.bound_flips;
+    full_pricing_scans = a.full_pricing_scans + b.full_pricing_scans;
+    partial_pricing_scans = a.partial_pricing_scans + b.partial_pricing_scans;
+    ftran_count = a.ftran_count + b.ftran_count;
+    btran_count = a.btran_count + b.btran_count;
+    hyper_sparse_ftrans = a.hyper_sparse_ftrans + b.hyper_sparse_ftrans;
+    hyper_sparse_btrans = a.hyper_sparse_btrans + b.hyper_sparse_btrans;
+    basis_updates = a.basis_updates + b.basis_updates;
+    basis_extensions = a.basis_extensions + b.basis_extensions;
+    refactorisations = a.refactorisations + b.refactorisations;
+    degenerate_pivots = a.degenerate_pivots + b.degenerate_pivots;
+    bland_activations = a.bland_activations + b.bland_activations;
+    phase1_seconds = a.phase1_seconds +. b.phase1_seconds;
+    phase2_seconds = a.phase2_seconds +. b.phase2_seconds;
+    dual_seconds = a.dual_seconds +. b.dual_seconds;
+    recoveries = merge_recoveries a.recoveries b.recoveries;
+  }
+
 let pp_stats fmt s =
   Format.fprintf fmt
     "@[<v>iterations: %d (phase1 %d, phase2 %d, dual %d), bound flips: %d@,\

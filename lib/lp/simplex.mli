@@ -18,9 +18,22 @@
     Rows can be appended between solves ([add_row]); the factorised basis is
     extended in O(m x nnz) and stays dual feasible, so re-optimisation is a
     short dual-simplex run. This implements the paper's Section 4.6
-    constraint-reduction strategy as exact lazy row generation. *)
+    constraint-reduction strategy as exact lazy row generation.
+
+    {b Domain safety.} The engine keeps no global mutable state: every
+    working array, the basis factorisation, the {!Basis.counters} record
+    and the {!stats} mirror are owned by the [t] value returned by
+    {!of_problem}. Concurrent [solve] calls on {e distinct} engines from
+    different domains are therefore safe and produce the same results as
+    sequential calls (the batch layer {!Lubt_util.Pool} relies on this;
+    cross-checked in [test/test_pool.ml]). A single [t] must not be
+    shared between domains without external synchronisation. *)
 
 type t
+(** A loaded LP engine: problem snapshot, current basis (either backend),
+    factorisation, and cumulative telemetry. Create with {!of_problem};
+    all mutation goes through {!solve}, {!add_row} and
+    {!set_time_limit}. *)
 
 type pricing =
   | Dantzig
@@ -134,6 +147,10 @@ type params = {
 }
 
 val default_params : params
+(** Partial pricing, bound flips on, warm starts on, dense explicit
+    inverse, [refactor_every = 100], [tol_feas = 1e-7],
+    [tol_dual = tol_pivot = 1e-9], automatic iteration cap, no time
+    limit, full recovery ladder, no fault injection. *)
 
 type recoveries = {
   refactor_retries : int;
@@ -148,6 +165,7 @@ type recoveries = {
 (** Recovery-ladder telemetry; all zero on a numerically clean solve. *)
 
 val no_recoveries : recoveries
+(** The all-zero record a numerically clean solve reports. *)
 
 val recovery_attempts : recoveries -> int
 (** Total ladder stages applied (sum of the five stage counters;
@@ -184,7 +202,23 @@ type stats = {
   recoveries : recoveries;  (** numerical-recovery telemetry *)
 }
 (** Cumulative solver counters, preserved across warm restarts ([add_row] +
-    re-[solve]); read them with {!stats} at any point. *)
+    re-[solve]); read them with {!stats} at any point. Counter fields are
+    valid from engine creation onwards (all zero before the first
+    [solve]); the [*_seconds] fields only cover completed phase runs, so
+    they undercount while a [solve] is in flight. The [recoveries] field
+    is only meaningful after [solve] has returned — a recovery in
+    progress is not yet counted. *)
+
+val zero_stats : stats
+(** All-zero counters: the identity of {!merge_stats} and the natural
+    accumulator seed for batch aggregation. *)
+
+val merge_stats : stats -> stats -> stats
+(** [merge_stats a b] sums every counter and phase time (and the nested
+    {!recoveries}) component-wise. Commutative and associative with
+    {!zero_stats} as identity, so per-worker telemetry from a
+    domain-parallel sweep can be folded in any order into one
+    whole-corpus record, as [Lubt_experiments.Batch] does. *)
 
 val of_problem : ?params:params -> Problem.t -> t
 (** Loads a model. The engine takes a snapshot: later changes to the
@@ -224,16 +258,22 @@ val add_row : t -> lo:float -> up:float -> (int * float) list -> unit
     otherwise the basis is refactorised at the next [solve]. *)
 
 val nrows : t -> int
+(** Number of constraint rows currently loaded (including rows appended
+    with {!add_row}). *)
 
 val nvars : t -> int
 (** Number of structural variables. *)
 
 val objective : t -> float
+(** Objective value of the current basis. Only a certified optimum after
+    [solve] returned {!Status.Optimal}; mid-ladder or after a time limit
+    it is simply the value of the basis reached. *)
 
 val primal : t -> float array
 (** Structural variable values of the current basis. *)
 
 val row_activity : t -> float array
+(** [a_i^T x] per row for the current basis (length {!nrows}). *)
 
 val dual : t -> float array
 (** Simplex multipliers [y] (one per row) of the current basis. *)
@@ -242,6 +282,8 @@ val reduced_cost : t -> int -> float
 (** Reduced cost of a structural variable in the current basis. *)
 
 val iterations : t -> int
+(** Total simplex pivots over the engine's lifetime (equals
+    [(stats t).iterations]). *)
 
 val stats : t -> stats
 (** Snapshot of the cumulative solver counters. *)

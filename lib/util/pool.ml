@@ -1,0 +1,72 @@
+type failure = { index : int; exn : exn; backtrace : string }
+
+exception Task_failed of failure
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Each slot of [results] is written exactly once, by the single worker
+   that claimed its index from the atomic counter; the caller reads the
+   slots only after joining every domain. Domain.join is the
+   synchronisation point, so plain Array writes are race-free here. *)
+let run_indexed ~jobs (tasks : (unit -> 'b) array) : ('b, failure) result array =
+  let n = Array.length tasks in
+  let capture i f =
+    match f () with
+    | v -> Ok v
+    | exception exn ->
+      let backtrace = Printexc.get_backtrace () in
+      Error { index = i; exn; backtrace }
+  in
+  let jobs = max 1 (min jobs n) in
+  if jobs = 1 then Array.mapi (fun i f -> capture i f) tasks
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (capture i tasks.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    Array.map
+      (function Some r -> r | None -> assert false (* every index claimed *))
+      results
+  end
+
+let map_result ?jobs f xs =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let tasks = Array.of_list (List.map (fun x () -> f x) xs) in
+  Array.to_list (run_indexed ~jobs tasks)
+
+(* Re-raise the lowest-index failure so the reported error does not
+   depend on scheduling. *)
+let reraise_first results =
+  List.iter (function Error f -> raise (Task_failed f) | Ok _ -> ()) results
+
+let map ?jobs f xs =
+  let results = map_result ?jobs f xs in
+  reraise_first results;
+  List.map (function Ok v -> v | Error _ -> assert false) results
+
+let mapi ?jobs f xs =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let tasks = Array.of_list (List.mapi (fun i x () -> f i x) xs) in
+  let results = Array.to_list (run_indexed ~jobs tasks) in
+  reraise_first results;
+  List.map (function Ok v -> v | Error _ -> assert false) results
+
+let iter ?jobs f xs = ignore (map ?jobs f xs)
+
+let map_seeded ?jobs ~seed f xs =
+  let root = Prng.create seed in
+  (* split all streams sequentially up front: stream i is a function of
+     (seed, i) alone, never of jobs or scheduling *)
+  let seeded = List.map (fun x -> (Prng.split root, x)) xs in
+  map ?jobs (fun (rng, x) -> f rng x) seeded

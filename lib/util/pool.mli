@@ -1,0 +1,75 @@
+(** Domain-parallel batch execution for independent tasks.
+
+    A fixed-size pool of OCaml 5 domains drains a shared task queue
+    (atomic next-index counter, so finished workers steal whatever work
+    remains instead of being bound to a static slice). Designed for the
+    instance sweeps of the experiment and bench layers: each task is a
+    whole (topology, bounds) solve — milliseconds to seconds of work — so
+    per-task dispatch overhead (one atomic fetch-and-add) is negligible.
+
+    {b Determinism.} Results are returned in input order, regardless of
+    which domain ran which task or in what order tasks finished. With
+    {!map_seeded}, per-task PRNG streams are split from the root seed
+    {e sequentially, before any domain starts}, so a seeded sweep is
+    bit-for-bit reproducible at any [jobs] count.
+
+    {b Exception safety.} A raising task never brings down the pool or
+    the caller mid-sweep: every task's exception is captured with its
+    backtrace and input index. [map]/[iter] re-raise the failure with the
+    lowest input index after all tasks have run to completion (so a
+    deterministic failure is reported identically at any [jobs] count);
+    [map_result] hands back all outcomes for per-instance reporting.
+
+    {b Requirements on tasks.} Tasks run concurrently on separate
+    domains: they must not share mutable state (the LP engine qualifies —
+    each {!Lubt_lp.Simplex.of_problem} engine owns all its state; see the
+    domain-safety note in {!Lubt_lp.Simplex}). Tasks must not install
+    signal handlers or chdir. Output interleaving is the task's own
+    business — batch callers should buffer and print from the collecting
+    domain only. *)
+
+type failure = {
+  index : int;  (** input position of the failing task *)
+  exn : exn;
+  backtrace : string;  (** raw backtrace captured at the raise point *)
+}
+(** A captured task failure. *)
+
+exception Task_failed of failure
+(** Raised by {!map} and {!iter} (in the calling domain, after the sweep
+    has drained) when at least one task raised; carries the failure with
+    the smallest input index. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: the runtime's estimate of how
+    many domains this machine runs well (usually the core count). *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs] computed by [jobs] domains.
+    Results are in input order. [jobs] defaults to {!default_jobs} and is
+    clamped to [1 .. length xs]; [jobs = 1] runs sequentially in the
+    calling domain — no domain is spawned, giving bit-for-bit the
+    sequential semantics (same evaluation order, same allocations).
+    @raise Task_failed after the sweep if any task raised. *)
+
+val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** {!map} with the input index passed to the task. *)
+
+val iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit
+(** [iter ~jobs f xs] runs [f] on every element, in parallel.
+    @raise Task_failed after the sweep if any task raised. *)
+
+val map_result : ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, failure) result list
+(** Like {!map} but never raises: each task's outcome is an [Ok] or the
+    captured failure, in input order. This is what batch drivers use to
+    report per-instance errors and still exit non-zero at the end. *)
+
+val map_seeded :
+  ?jobs:int -> seed:int -> (Prng.t -> 'a -> 'b) -> 'a list -> 'b list
+(** [map_seeded ~seed f xs] gives every task a private PRNG stream:
+    stream [i] is the [i]-th {!Prng.split} of a parent created with
+    [seed]. The streams are derived sequentially before any worker
+    starts, so the value of task [i] does not depend on [jobs] or on
+    scheduling — seeded sweeps reproduce bit-for-bit at any domain
+    count.
+    @raise Task_failed after the sweep if any task raised. *)

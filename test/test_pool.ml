@@ -1,0 +1,422 @@
+(* Tests for the domain pool: result ordering, exception capture,
+   jobs-count invariance, seeded-stream determinism, the batch engine's
+   jobs=1 vs jobs=N agreement, and JSON well-formedness of every
+   machine-readable record the sweeps emit (including the CLI's
+   solve --json stdout). *)
+
+module Pool = Lubt_util.Pool
+module Prng = Lubt_util.Prng
+module Batch = Lubt_experiments.Batch
+module Protocol = Lubt_experiments.Protocol
+module Benchmarks = Lubt_data.Benchmarks
+
+(* ------------------------------------------------------------------ *)
+(* a tiny recursive-descent JSON syntax checker (no external deps)     *)
+(* ------------------------------------------------------------------ *)
+
+let json_valid s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let fail () = raise Exit in
+  let expect c = if peek () = Some c then incr pos else fail () in
+  let lit w =
+    let l = String.length w in
+    if !pos + l <= n && String.sub s !pos l = w then pos := !pos + l
+    else fail ()
+  in
+  let digits () =
+    let start = !pos in
+    while !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false do
+      incr pos
+    done;
+    if !pos = start then fail ()
+  in
+  let str () =
+    expect '"';
+    let rec loop () =
+      if !pos >= n then fail ();
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+        incr pos;
+        if !pos >= n then fail ();
+        incr pos;
+        loop ()
+      | _ ->
+        incr pos;
+        loop ()
+    in
+    loop ()
+  in
+  let number () =
+    if peek () = Some '-' then incr pos;
+    digits ();
+    if peek () = Some '.' then (
+      incr pos;
+      digits ());
+    match peek () with
+    | Some ('e' | 'E') ->
+      incr pos;
+      (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+      digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> str ()
+    | Some 't' -> lit "true"
+    | Some 'f' -> lit "false"
+    | Some 'n' -> lit "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail ()
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then incr pos
+    else
+      let rec members () =
+        skip_ws ();
+        str ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          incr pos;
+          members ()
+        | Some '}' -> incr pos
+        | _ -> fail ()
+      in
+      members ()
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then incr pos
+    else
+      let rec elems () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          incr pos;
+          elems ()
+        | Some ']' -> incr pos
+        | _ -> fail ()
+      in
+      elems ()
+  in
+  match
+    value ();
+    skip_ws ();
+    !pos = n
+  with
+  | r -> r
+  | exception Exit -> false
+
+let test_json_checker () =
+  List.iter
+    (fun s -> Alcotest.(check bool) ("accepts " ^ s) true (json_valid s))
+    [
+      "{}";
+      "[]";
+      "null";
+      "-1.5e+10";
+      "{\"a\": [1, 2.0, true, \"x\\\"y\"], \"b\": {\"c\": null}}";
+    ];
+  List.iter
+    (fun s -> Alcotest.(check bool) ("rejects " ^ s) false (json_valid s))
+    [ ""; "{"; "{\"a\": }"; "[1,]"; "{'a': 1}"; "nan"; "1.2.3"; "{} {}" ]
+
+(* ------------------------------------------------------------------ *)
+(* pool semantics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_ordering () =
+  (* enough tasks that work stealing certainly interleaves workers *)
+  let inputs = List.init 500 Fun.id in
+  let f x = (x * x) + 1 in
+  let expected = List.map f inputs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d equals sequential" jobs)
+        expected
+        (Pool.map ~jobs f inputs))
+    [ 1; 2; 4; 8 ]
+
+let test_jobs_exceed_tasks () =
+  Alcotest.(check (list int))
+    "more workers than tasks" [ 10; 20 ]
+    (Pool.map ~jobs:16 (fun x -> 10 * x) [ 1; 2 ]);
+  Alcotest.(check (list int)) "empty input" [] (Pool.map ~jobs:4 succ []);
+  Alcotest.(check (list int))
+    "single task" [ 42 ]
+    (Pool.map ~jobs:8 Fun.id [ 42 ])
+
+let test_jobs1_bit_identical () =
+  (* float pipeline: any reordering of operations would change bits *)
+  let inputs = List.init 200 (fun i -> 1.0 +. (float_of_int i /. 7.0)) in
+  let f x = sqrt x +. (sin x *. 1e-3) in
+  let seq = List.map f inputs in
+  let pooled = Pool.map ~jobs:1 f inputs in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        "bit-for-bit" true
+        (Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)))
+    seq pooled
+
+let test_exception_lowest_index () =
+  let f x = if x mod 3 = 0 then failwith (string_of_int x) else x in
+  List.iter
+    (fun jobs ->
+      match Pool.map ~jobs f [ 1; 2; 3; 4; 6; 7 ] with
+      | _ -> Alcotest.fail "expected Task_failed"
+      | exception Pool.Task_failed fl ->
+        (* index 2 (value 3) is the lowest-index failure at any jobs *)
+        Alcotest.(check int) "lowest index wins" 2 fl.Pool.index;
+        Alcotest.(check bool)
+          "carries the exception" true
+          (fl.Pool.exn = Failure "3"))
+    [ 1; 4 ]
+
+let test_map_result_positions () =
+  let f x = if x < 0 then failwith "neg" else 2 * x in
+  let results = Pool.map_result ~jobs:3 f [ 1; -1; 2; -2; 3 ] in
+  let render = function
+    | Ok v -> Printf.sprintf "ok:%d" v
+    | Error (fl : Pool.failure) -> Printf.sprintf "err:%d" fl.Pool.index
+  in
+  Alcotest.(check (list string))
+    "errors sit at their input positions"
+    [ "ok:2"; "err:1"; "ok:4"; "err:3"; "ok:6" ]
+    (List.map render results)
+
+let test_seeded_streams () =
+  let inputs = List.init 50 Fun.id in
+  let f rng x =
+    (* consume a per-task amount of the stream to prove independence *)
+    let acc = ref 0.0 in
+    for _ = 0 to x mod 5 do
+      acc := !acc +. Prng.float rng 1.0
+    done;
+    !acc
+  in
+  let runs =
+    List.map (fun jobs -> Pool.map_seeded ~jobs ~seed:123 f inputs) [ 1; 2; 8 ]
+  in
+  match runs with
+  | base :: rest ->
+    List.iter
+      (fun run ->
+        List.iter2
+          (fun a b ->
+            Alcotest.(check bool)
+              "stream depends on (seed, index) only" true
+              (Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)))
+          base run)
+      rest;
+    (* different seed must give a different stream *)
+    let other = Pool.map_seeded ~jobs:2 ~seed:124 f inputs in
+    Alcotest.(check bool) "seed matters" false (base = other)
+  | [] -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* batch engine: jobs-count invariance on real EBF solves              *)
+(* ------------------------------------------------------------------ *)
+
+let check_batch_invariant ~per_bench () =
+  let specs = Batch.corpus ~size:Benchmarks.Tiny ~per_bench ~seed:11 () in
+  let s1 = Batch.run ~jobs:1 specs in
+  let s4 = Batch.run ~jobs:4 specs in
+  Alcotest.(check int) "no failures at jobs=1" 0 s1.Batch.failures;
+  Alcotest.(check int) "no failures at jobs=4" 0 s4.Batch.failures;
+  List.iter2
+    (fun (a : Batch.outcome) (b : Batch.outcome) ->
+      Alcotest.(check string) "same id order" a.Batch.spec.Batch.id
+        b.Batch.spec.Batch.id;
+      Alcotest.(check bool)
+        ("objective identical for " ^ a.Batch.spec.Batch.id)
+        true
+        (Int64.equal
+           (Int64.bits_of_float a.Batch.objective)
+           (Int64.bits_of_float b.Batch.objective));
+      Alcotest.(check int) "same iteration count" a.Batch.lp_iterations
+        b.Batch.lp_iterations;
+      Alcotest.(check bool) "certified" true a.Batch.certified)
+    s1.Batch.outcomes s4.Batch.outcomes;
+  (* merged solver stats are order-independent sums *)
+  Alcotest.(check int)
+    "merged iterations agree" s1.Batch.merged.Lubt_lp.Simplex.iterations
+    s4.Batch.merged.Lubt_lp.Simplex.iterations
+
+let test_batch_small () = check_batch_invariant ~per_bench:1 ()
+let test_batch_corpus () = check_batch_invariant ~per_bench:5 ()
+
+let test_batch_error_isolation () =
+  (* an unknown benchmark name raises inside the worker; the pool must
+     convert it into a per-instance error without poisoning the rest *)
+  let specs = Batch.corpus ~size:Benchmarks.Tiny ~per_bench:1 ~seed:0 () in
+  let broken =
+    {
+      Batch.id = "bogus/s0";
+      bench = "no-such-bench";
+      size = Benchmarks.Tiny;
+      seed = 0;
+      skew_rel = 0.5;
+    }
+  in
+  let s = Batch.run ~jobs:2 (broken :: specs) in
+  Alcotest.(check int) "exactly one failure" 1 s.Batch.failures;
+  (match s.Batch.outcomes with
+  | first :: rest ->
+    Alcotest.(check bool) "error recorded" true (first.Batch.error <> None);
+    Alcotest.(check string) "error status" "error" first.Batch.status;
+    List.iter
+      (fun (o : Batch.outcome) ->
+        Alcotest.(check bool)
+          ("instance " ^ o.Batch.spec.Batch.id ^ " unaffected")
+          true o.Batch.certified)
+      rest
+  | [] -> Alcotest.fail "no outcomes");
+  Alcotest.(check bool) "summary JSON still valid" true
+    (json_valid (Batch.summary_json s))
+
+(* ------------------------------------------------------------------ *)
+(* JSON well-formedness of the machine-readable surfaces               *)
+(* ------------------------------------------------------------------ *)
+
+let test_batch_json () =
+  let specs = Batch.corpus ~size:Benchmarks.Tiny ~per_bench:1 ~seed:3 () in
+  let s = Batch.run ~jobs:2 specs in
+  List.iter
+    (fun o ->
+      let line = Batch.outcome_json o in
+      Alcotest.(check bool) "outcome is one line" false
+        (String.contains line '\n');
+      Alcotest.(check bool) "outcome JSON valid" true (json_valid line))
+    s.Batch.outcomes;
+  Alcotest.(check bool) "summary JSON valid" true
+    (json_valid (Batch.summary_json s))
+
+let test_bench_json () =
+  let scaling =
+    [
+      {
+        Protocol.sc_jobs = 1;
+        sc_wall_s = 2.0;
+        sc_speedup = 1.0;
+        sc_instances = 20;
+      };
+      {
+        Protocol.sc_jobs = 4;
+        sc_wall_s = 1.9;
+        sc_speedup = 2.0 /. 1.9;
+        sc_instances = 20;
+      };
+    ]
+  in
+  let j =
+    Protocol.bench_json ~jobs:4 ~scaling ~size:"tiny"
+      [
+        {
+          Protocol.bench_name = "unit \"test\"";
+          ms_per_run = 1.25e-3;
+          solver = None;
+          ebf_result = None;
+        };
+      ]
+  in
+  Alcotest.(check bool) "bench_json valid" true (json_valid j);
+  Alcotest.(check bool) "schema v3 stamped" true
+    (let re = "\"schema\": \"lubt-bench/3\"" in
+     let rec find i =
+       i + String.length re <= String.length j
+       && (String.sub j i (String.length re) = re || find (i + 1))
+     in
+     find 0)
+
+let test_cli_solve_json () =
+  (* satellite check: `lubt solve --json --stats` must keep stdout pure
+     JSON with all telemetry on stderr *)
+  let dir = Filename.temp_file "lubt_pool" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let inst = Filename.concat dir "inst.lubt" in
+  let out = Filename.concat dir "stdout.json" in
+  (* the CLI sits next to this binary in the build tree regardless of
+     whether we were started by `dune runtest` or `dune exec` *)
+  let cli =
+    Filename.concat
+      (Filename.concat (Filename.dirname Sys.executable_name) "..")
+      (Filename.concat "bin" "lubt_cli.exe")
+  in
+  let run cmd =
+    let code = Sys.command cmd in
+    Alcotest.(check int) ("exit 0: " ^ cmd) 0 code
+  in
+  run
+    (Printf.sprintf
+       "%s gen --bench prim1s --size tiny --upper 1.5 -o %s >/dev/null 2>&1"
+       (Filename.quote cli) (Filename.quote inst));
+  run
+    (Printf.sprintf "%s solve %s --stats --certify --json > %s 2>/dev/null"
+       (Filename.quote cli) (Filename.quote inst) (Filename.quote out));
+  let ic = open_in out in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  let lines =
+    String.split_on_char '\n' contents |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "stdout is exactly one line" 1 (List.length lines);
+  Alcotest.(check bool) "stdout parses as JSON" true
+    (json_valid (List.hd lines));
+  Sys.remove inst;
+  Sys.remove out;
+  Unix.rmdir dir
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "ordering across jobs" `Quick test_map_ordering;
+          Alcotest.test_case "jobs > tasks" `Quick test_jobs_exceed_tasks;
+          Alcotest.test_case "jobs=1 bit-identical" `Quick
+            test_jobs1_bit_identical;
+          Alcotest.test_case "lowest-index failure" `Quick
+            test_exception_lowest_index;
+          Alcotest.test_case "map_result positions" `Quick
+            test_map_result_positions;
+          Alcotest.test_case "seeded streams" `Quick test_seeded_streams;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "jobs invariance (small)" `Quick test_batch_small;
+          Alcotest.test_case "jobs invariance (20-instance corpus)" `Slow
+            test_batch_corpus;
+          Alcotest.test_case "error isolation" `Quick test_batch_error_isolation;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "checker sanity" `Quick test_json_checker;
+          Alcotest.test_case "batch records" `Quick test_batch_json;
+          Alcotest.test_case "bench schema" `Quick test_bench_json;
+          Alcotest.test_case "cli solve --json stdout" `Quick
+            test_cli_solve_json;
+        ] );
+    ]
