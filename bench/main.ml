@@ -31,6 +31,9 @@ module Zeroskew = Lubt_core.Zeroskew
 module Embed = Lubt_core.Embed
 module Simplex = Lubt_lp.Simplex
 module Bst = Lubt_bst.Bst_dme
+module Bench_diff = Lubt_experiments.Bench_diff
+module Trace = Lubt_obs.Trace
+module Chrome_trace = Lubt_obs.Chrome_trace
 
 (* ------------------------------------------------------------------ *)
 (* Table regeneration                                                   *)
@@ -278,7 +281,7 @@ let timing_tests ?(seed = 0) () =
              fun () -> ignore (Embed.place inst topo lengths))));
   ]
 
-let run_timing ?(seed = 0) ?(jobs = 1) json_out =
+let run_timing ?(seed = 0) ?(jobs = 1) ?(no_scaling = false) json_out =
   let open Bechamel in
   let cfg =
     Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~stabilize:false ()
@@ -325,13 +328,19 @@ let run_timing ?(seed = 0) ?(jobs = 1) json_out =
   | None -> ()
   | Some path ->
     (* the JSON run also records the domain-scaling curve of the
-       reference corpus (and cross-checks its determinism) *)
-    let scaling = scaling_sweep ~seed Benchmarks.Tiny in
+       reference corpus (and cross-checks its determinism), unless
+       --no-scaling asked for the quick timings-only record *)
+    let scaling =
+      if no_scaling then [] else scaling_sweep ~seed Benchmarks.Tiny
+    in
     let oc = open_out path in
-    output_string oc (Protocol.bench_json ~jobs ~scaling ~size:"tiny" entries);
+    output_string oc
+      (Protocol.bench_json ~jobs ~scaling ~scaling_skipped:no_scaling
+         ~size:"tiny" entries);
     close_out oc;
-    Printf.printf "wrote %s (%d benchmark records, %d scaling points)\n%!"
+    Printf.printf "wrote %s (%d benchmark records, %d scaling points%s)\n%!"
       path (List.length entries) (List.length scaling)
+      (if no_scaling then ", scaling skipped" else "")
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                          *)
@@ -339,22 +348,80 @@ let run_timing ?(seed = 0) ?(jobs = 1) json_out =
 
 let known_commands =
   [ "table1"; "table2"; "table3"; "tradeoff"; "figure8"; "ablation";
-    "extensions"; "sweep"; "timing" ]
+    "extensions"; "sweep"; "timing"; "diff" ]
 
 let usage_and_exit () =
   Printf.eprintf
     "usage: main.exe [COMMAND...] [--tiny|--scaled|--full] [--json FILE]\n\
-     [--seed N] [--jobs N]\n\
+     [--seed N] [--jobs N] [--no-scaling] [--trace FILE]\n\
+     \       main.exe diff OLD.json NEW.json [--threshold PCT] [--warn-only]\n\
      commands: %s (all of them when none given)\n"
     (String.concat "|" known_commands);
   exit 1
 
+(* The regression gate: diff two bench-JSON files and exit non-zero on
+   a regression past the threshold. Exit codes: 0 ok, 1 regression (or
+   lost benchmark coverage), 2 unreadable/invalid input. --warn-only
+   prints the same report but always exits 0 (CI soft gate). *)
+let run_diff args =
+  let threshold = ref 10.0 in
+  let warn_only = ref false in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | [ "--threshold" ] ->
+      Printf.eprintf "--threshold requires a percentage argument\n";
+      usage_and_exit ()
+    | "--threshold" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some t when t >= 0.0 ->
+        threshold := t;
+        parse rest
+      | _ ->
+        Printf.eprintf "--threshold: not a non-negative number: %S\n" v;
+        usage_and_exit ())
+    | "--warn-only" :: rest ->
+      warn_only := true;
+      parse rest
+    | a :: _ when String.length a > 0 && a.[0] = '-' ->
+      Printf.eprintf "unknown flag %S\n" a;
+      usage_and_exit ()
+    | f :: rest ->
+      files := f :: !files;
+      parse rest
+  in
+  parse args;
+  match List.rev !files with
+  | [ old_path; new_path ] -> (
+    match
+      Bench_diff.compare_files ~threshold:(!threshold /. 100.0) old_path
+        new_path
+    with
+    | Error e ->
+      Printf.eprintf "bench diff: %s\n" e;
+      exit 2
+    | Ok report ->
+      Bench_diff.print stdout report;
+      if Bench_diff.has_regression report && not !warn_only then exit 1)
+  | _ ->
+    Printf.eprintf "diff needs exactly two bench-JSON files\n";
+    usage_and_exit ()
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  (* [diff] has its own positional grammar (two files), so it routes
+     before the flag parser below *)
+  (match args with
+  | "diff" :: rest ->
+    run_diff rest;
+    exit 0
+  | _ -> ());
   let size = ref Benchmarks.Scaled in
   let json_out = ref None in
   let seed = ref 0 in
   let jobs = ref 1 in
+  let no_scaling = ref false in
+  let trace_out = ref None in
   let commands = ref [] in
   let rec parse = function
     | [] -> ()
@@ -384,6 +451,15 @@ let () =
       | None ->
         Printf.eprintf "--seed: not an integer: %S\n" n;
         usage_and_exit ())
+    | "--no-scaling" :: rest ->
+      no_scaling := true;
+      parse rest
+    | [ "--trace" ] ->
+      Printf.eprintf "--trace requires a FILE argument\n";
+      usage_and_exit ()
+    | "--trace" :: file :: rest ->
+      trace_out := Some file;
+      parse rest
     | [ "--jobs" ] ->
       Printf.eprintf "--jobs requires an integer argument\n";
       usage_and_exit ()
@@ -412,6 +488,7 @@ let () =
   parse args;
   let size = !size in
   let jobs = !jobs in
+  if !trace_out <> None then Trace.start ();
   let run = function
     | "table1" -> run_table1 ~jobs size
     | "table2" -> run_table2 ~jobs size
@@ -420,10 +497,11 @@ let () =
     | "ablation" -> run_ablation size
     | "extensions" -> run_extensions size
     | "sweep" -> run_sweep ~jobs ~seed:!seed size
-    | "timing" -> run_timing ~seed:!seed ~jobs !json_out
+    | "timing" -> run_timing ~seed:!seed ~jobs ~no_scaling:!no_scaling !json_out
+    | "diff" -> assert false (* routed before the flag parser *)
     | _ -> assert false
   in
-  match List.rev !commands with
+  (match List.rev !commands with
   | [] ->
     (* full sweep: every table and figure, then the ablations and timings *)
     run_table1 ~jobs size;
@@ -432,5 +510,13 @@ let () =
     run_tradeoff ~jobs size;
     run_ablation size;
     run_extensions size;
-    run_timing ~seed:!seed ~jobs !json_out
-  | cmds -> List.iter run cmds
+    run_timing ~seed:!seed ~jobs ~no_scaling:!no_scaling !json_out
+  | cmds -> List.iter run cmds);
+  match !trace_out with
+  | Some path ->
+    let events = Trace.events () in
+    Trace.stop ();
+    Chrome_trace.write path events;
+    Printf.eprintf "wrote trace to %s (%d events, %d dropped)\n%!" path
+      (List.length events) (Trace.dropped ())
+  | None -> ()

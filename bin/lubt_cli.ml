@@ -30,6 +30,10 @@ module Tables = Lubt_experiments.Tables
 module Protocol = Lubt_experiments.Protocol
 module Batch = Lubt_experiments.Batch
 module Pool = Lubt_util.Pool
+module Log = Lubt_obs.Log
+module Trace = Lubt_obs.Trace
+module Chrome_trace = Lubt_obs.Chrome_trace
+module Convergence = Lubt_obs.Convergence
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                     *)
@@ -85,8 +89,40 @@ let bench_t =
 let or_die = function
   | Ok v -> v
   | Error msg ->
-    prerr_endline ("error: " ^ msg);
+    Log.err "%s" msg;
     exit 1
+
+let log_level_t =
+  let level_conv =
+    let parse s =
+      match Log.level_of_string s with
+      | Ok l -> Ok l
+      | Error e -> Error (`Msg e)
+    in
+    let print fmt l = Format.pp_print_string fmt (Log.level_to_string l) in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt level_conv Log.Info
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Stderr diagnostic verbosity: $(b,error), $(b,warn), $(b,info) \
+           (default) or $(b,debug). Lowering it silences the progress \
+           chatter without touching stdout.")
+
+(* flush the recorder into a Chrome-trace JSON file; call after the
+   traced work (and any worker domains) have finished *)
+let write_trace path =
+  let events = Trace.events () in
+  let dropped = Trace.dropped () in
+  Trace.stop ();
+  Chrome_trace.write path events;
+  Log.info
+    ~fields:
+      [ ("events", Trace.Int (List.length events));
+        ("dropped", Trace.Int dropped) ]
+    "wrote trace to %s" path
 
 (* ------------------------------------------------------------------ *)
 (* gen                                                                  *)
@@ -209,7 +245,43 @@ let solve_report_json (report : Lubt.report) ~validated =
     (Protocol.solver_stats_json ebf.Ebf.lp_stats)
 
 let solve inst_path topo_path eager stats certify time_limit fault_seed
-    pricing no_warm_start json =
+    pricing no_warm_start json trace convergence log_level =
+  Log.set_level log_level;
+  if trace <> None then Trace.start ();
+  let conv_sink =
+    match convergence with
+    | None -> None
+    | Some path ->
+      let oc = open_out path in
+      Some (path, oc, Convergence.to_channel oc)
+  in
+  (* flushes the observability outputs; must run on every exit path of
+     the solve, success or not, so partial traces survive failures *)
+  let finish_obs () =
+    (match conv_sink with
+    | Some (path, oc, sink) ->
+      close_out oc;
+      Log.info
+        ~fields:[ ("lines", Trace.Int (Convergence.lines sink)) ]
+        "wrote convergence log to %s" path
+    | None -> ());
+    match trace with Some path -> write_trace path | None -> ()
+  in
+  let probe =
+    match conv_sink with
+    | None -> None
+    | Some (_, _, sink) ->
+      Some
+        (fun (e : Simplex.probe_event) ->
+          Convergence.record sink ~iteration:e.Simplex.pr_iteration
+            ~phase:e.Simplex.pr_phase ~objective:e.Simplex.pr_objective
+            ~primal_infeasibility:e.Simplex.pr_primal_infeas
+            ~dual_infeasibility:e.Simplex.pr_dual_infeas
+            ~entering:e.Simplex.pr_entering ~leaving:e.Simplex.pr_leaving
+            ~eta_count:e.Simplex.pr_eta_count
+            ~bound_flips:e.Simplex.pr_bound_flips
+            ?recovery:e.Simplex.pr_recovery ())
+  in
   let inst = or_die (Io.read_instance inst_path) in
   let tree =
     match topo_path with
@@ -247,32 +319,39 @@ let solve inst_path topo_path eager stats certify time_limit fault_seed
       time_limit = (if time_limit <= 0.0 then infinity else time_limit);
       warm_start = not no_warm_start;
       lp_params;
+      probe;
     }
   in
   match Lubt.solve ~options inst tree with
   | Error e ->
-    prerr_endline ("error: " ^ Lubt.error_to_string e);
+    finish_obs ();
+    Log.err "%s" (Lubt.error_to_string e);
     exit 1
   | Ok report ->
     let routed = report.Lubt.routed in
     (* diagnostics to stderr first, solution to stdout last *)
-    Printf.eprintf
-      "LP: %d rows (full formulation: %d), %d simplex iterations, %d rounds\n"
+    Log.info
+      ~fields:
+        [ ("full_rows", Trace.Int report.Lubt.ebf.Ebf.full_rows);
+          ("rounds", Trace.Int report.Lubt.ebf.Ebf.rounds) ]
+      "LP: %d rows (full formulation: %d), %d simplex iterations, %d rounds"
       report.Lubt.ebf.Ebf.lp_rows report.Lubt.ebf.Ebf.full_rows
       report.Lubt.ebf.Ebf.lp_iterations report.Lubt.ebf.Ebf.rounds;
     (match report.Lubt.ebf.Ebf.certificate with
     | Some r when r.Lubt_lp.Certify.ok ->
-      Printf.eprintf "certification: OK (%s level, %d rows)\n"
+      Log.info "certification: OK (%s level, %d rows)"
         (Lubt_lp.Certify.level_to_string r.Lubt_lp.Certify.level)
         r.Lubt_lp.Certify.rows_checked
     | _ -> ());
     let recov = (report.Lubt.ebf.Ebf.lp_stats).Simplex.recoveries in
     if Simplex.recovery_attempts recov > 0 then
-      Printf.eprintf
-        "numerical recoveries: %d (faults injected: %d, validations \
-         rejected: %d)\n"
-        (Simplex.recovery_attempts recov)
-        recov.Simplex.faults_injected recov.Simplex.validations_rejected;
+      Log.warn
+        ~fields:
+          [ ("faults_injected", Trace.Int recov.Simplex.faults_injected);
+            ( "validations_rejected",
+              Trace.Int recov.Simplex.validations_rejected ) ]
+        "numerical recoveries: %d"
+        (Simplex.recovery_attempts recov);
     if stats then print_solver_stats report.Lubt.ebf;
     let validated, verrors =
       match Routed.validate routed with
@@ -280,10 +359,11 @@ let solve inst_path topo_path eager stats certify time_limit fault_seed
       | Error es -> (false, es)
     in
     if not validated then begin
-      prerr_endline "validation FAILED:";
-      List.iter (fun e -> prerr_endline ("  " ^ e)) verrors
+      Log.err "validation FAILED:";
+      List.iter (fun e -> Log.err "  %s" e) verrors
     end
-    else Printf.eprintf "validation: OK\n";
+    else Log.info "validation: OK";
+    finish_obs ();
     if json then print_endline (solve_report_json report ~validated)
     else Format.printf "%a@." Routed.pp_summary routed;
     if not validated then exit 1
@@ -378,20 +458,51 @@ let solve_cmd =
              telemetry). All diagnostics go to stderr either way, so \
              stdout is machine-parseable.")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record spans for the whole solve (EBF rounds, simplex \
+             phases, FTRAN/BTRAN, embedding passes) and write them as \
+             Chrome trace-event JSON to FILE — load it in Perfetto \
+             (ui.perfetto.dev) or chrome://tracing.")
+  in
+  let convergence =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "convergence" ] ~docv:"FILE"
+          ~doc:
+            "Record one JSON line per simplex pivot (objective, \
+             dual infeasibility, entering/leaving indices, eta count, \
+             recovery events) to FILE. Installs the per-iteration \
+             probe, which perturbs BTRAN counters; solutions are \
+             unaffected.")
+  in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve the LUBT problem (EBF + embedding)")
     Term.(
       const solve $ inst_path $ topo_path $ eager $ stats $ certify
-      $ time_limit $ fault_seed $ pricing $ no_warm_start $ json)
+      $ time_limit $ fault_seed $ pricing $ no_warm_start $ json $ trace
+      $ convergence $ log_level_t)
 
 (* ------------------------------------------------------------------ *)
 (* batch                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let batch size jobs seed per_bench skew no_certify out =
+let batch size jobs seed per_bench skew no_certify out trace_dir =
+  (match trace_dir with
+  | Some dir ->
+    (try Unix.mkdir dir 0o755 with
+    | Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    Trace.start ()
+  | None -> ());
   let specs = Batch.corpus ~size ~per_bench ~skew_rel:skew ~seed () in
-  Printf.eprintf "batch: %d instances, %d jobs (machine reports %d cores)\n%!"
-    (List.length specs) jobs (Pool.default_jobs ());
+  Log.info
+    ~fields:[ ("cores", Trace.Int (Pool.default_jobs ())) ]
+    "batch: %d instances, %d jobs" (List.length specs) jobs;
   let s = Batch.run ~jobs ~certify:(not no_certify) specs in
   let oc = match out with Some path -> open_out path | None -> stdout in
   List.iter
@@ -399,14 +510,20 @@ let batch size jobs seed per_bench skew no_certify out =
     s.Batch.outcomes;
   output_string oc (Batch.summary_json s ^ "\n");
   if out <> None then close_out oc;
-  Printf.eprintf "batch: wall %.3fs, %d failures\n%!" s.Batch.wall_s
-    s.Batch.failures;
+  Log.info
+    ~fields:[ ("failures", Trace.Int s.Batch.failures) ]
+    "batch: wall %.3fs, %d failures" s.Batch.wall_s s.Batch.failures;
   List.iter
     (fun (o : Batch.outcome) ->
       match o.Batch.error with
-      | Some e -> Printf.eprintf "  %s: %s\n" o.Batch.spec.Batch.id e
+      | Some e -> Log.err "%s: %s" o.Batch.spec.Batch.id e
       | None -> ())
     s.Batch.outcomes;
+  (* all worker domains have joined inside Batch.run, so every
+     per-domain buffer is quiescent and safe to snapshot *)
+  (match trace_dir with
+  | Some dir -> write_trace (Filename.concat dir "batch_trace.json")
+  | None -> ());
   if s.Batch.failures > 0 then exit 1
 
 let batch_cmd =
@@ -458,13 +575,26 @@ let batch_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"Write the JSON-lines records to FILE instead of stdout.")
   in
-  let run size jobs seed per_bench skew no_certify out =
+  let trace_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-dir" ] ~docv:"DIR"
+          ~doc:
+            "Record spans for the whole sweep and write \
+             DIR/batch_trace.json (Chrome trace-event JSON; DIR is \
+             created if missing). Each worker domain records into its \
+             own buffer, so parallel tasks render as separate tracks \
+             in Perfetto.")
+  in
+  let run size jobs seed per_bench skew no_certify out trace_dir log_level =
+    Log.set_level log_level;
     let jobs = if jobs = 0 then Pool.default_jobs () else jobs in
     if jobs < 0 || per_bench < 1 then begin
-      prerr_endline "error: --jobs must be >= 0 and --per-bench >= 1";
+      Log.err "--jobs must be >= 0 and --per-bench >= 1";
       exit 1
     end;
-    batch size jobs seed per_bench skew no_certify out
+    batch size jobs seed per_bench skew no_certify out trace_dir
   in
   Cmd.v
     (Cmd.info "batch"
@@ -473,7 +603,8 @@ let batch_cmd =
           JSON-lines record per instance (input order) plus a summary \
           line; non-zero exit if any instance fails")
     Term.(
-      const run $ size_t $ jobs $ seed $ per_bench $ skew $ no_certify $ out)
+      const run $ size_t $ jobs $ seed $ per_bench $ skew $ no_certify $ out
+      $ trace_dir $ log_level_t)
 
 (* ------------------------------------------------------------------ *)
 (* svg                                                                  *)

@@ -4,6 +4,8 @@ module Problem = Lubt_lp.Problem
 module Simplex = Lubt_lp.Simplex
 module Status = Lubt_lp.Status
 module Certify = Lubt_lp.Certify
+module Trace = Lubt_obs.Trace
+module Clock = Lubt_obs.Clock
 
 type options = {
   lazy_steiner : bool;
@@ -14,6 +16,7 @@ type options = {
   time_limit : float;
   check : Certify.level;
   warm_start : bool;
+  probe : Simplex.probe option;
   lp_params : Simplex.params;
 }
 
@@ -27,6 +30,7 @@ let default_options =
     time_limit = infinity;
     check = Certify.Off;
     warm_start = true;
+    probe = None;
     lp_params = { Simplex.default_params with Simplex.sparse_basis = true };
   }
 
@@ -257,10 +261,11 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
     }
   in
   let eng = Simplex.of_problem ~params:lp_params prob in
-  (* wall-clock budget shared across all row-generation rounds *)
+  Simplex.set_probe eng options.probe;
+  (* monotonic budget shared across all row-generation rounds *)
   let deadline =
     if options.time_limit = infinity then infinity
-    else Unix.gettimeofday () +. options.time_limit
+    else Clock.now () +. options.time_limit
   in
   let lengths_of_primal primal =
     let n = Tree.num_nodes tree in
@@ -274,15 +279,19 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
      O(1) LCA path lengths, add the worst, re-optimise (dual simplex) *)
   let round_stats = ref [] in
   let rec loop rounds =
-    let solve_t0 = Unix.gettimeofday () in
+    let solve_t0 = Clock.now () in
     if deadline < infinity then
       (* hand the engine whatever budget is left; non-positive remaining
          time makes the solve return Time_limit immediately *)
       Simplex.set_time_limit eng (deadline -. solve_t0);
     let pivots0 = Simplex.iterations eng in
     let status = Simplex.solve eng in
-    let solve_seconds = Unix.gettimeofday () -. solve_t0 in
+    let solve_seconds = Clock.now () -. solve_t0 in
     let solve_pivots = Simplex.iterations eng - pivots0 in
+    if Trace.enabled () then
+      Trace.complete ~t0:solve_t0 "ebf.solve"
+        ~args:
+          [ ("round", Trace.Int rounds); ("pivots", Trace.Int solve_pivots) ];
     let record ?(warm_rows = 0) ~rows_added ~violations_found ~scan_seconds () =
       round_stats :=
         {
@@ -301,7 +310,7 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
       (status, rounds)
     end
     else begin
-      let scan_t0 = Unix.gettimeofday () in
+      let scan_t0 = Clock.now () in
       let lengths = lengths_of_primal (Simplex.primal eng) in
       let d = Tree.delays tree lengths in
       let violations = ref [] in
@@ -319,7 +328,14 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
           end
         done
       done;
-      let scan_seconds = Unix.gettimeofday () -. scan_t0 in
+      let scan_seconds = Clock.now () -. scan_t0 in
+      if Trace.enabled () then
+        Trace.complete ~t0:scan_t0 "ebf.scan"
+          ~args:
+            [
+              ("round", Trace.Int rounds);
+              ("violations", Trace.Int (List.length !violations));
+            ];
       match !violations with
       | [] ->
         record ~rows_added:0 ~violations_found:0 ~scan_seconds ();
@@ -332,6 +348,7 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
         else begin
           let sorted = List.sort (fun (a, _) (b, _) -> compare b a) vs in
           let take = ref 0 in
+          let append_t0 = if Trace.enabled () then Clock.now () else 0.0 in
           let ext0 = (Simplex.stats eng).Simplex.basis_extensions in
           List.iter
             (fun (_, key) ->
@@ -350,6 +367,14 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
           let warm_rows =
             (Simplex.stats eng).Simplex.basis_extensions - ext0
           in
+          if Trace.enabled () then
+            Trace.complete ~t0:append_t0 "ebf.append_rows"
+              ~args:
+                [
+                  ("round", Trace.Int rounds);
+                  ("rows", Trace.Int !take);
+                  ("warm_rows", Trace.Int warm_rows);
+                ];
           record ~warm_rows ~rows_added:!take ~violations_found:(List.length vs)
             ~scan_seconds ();
           loop (rounds + 1)

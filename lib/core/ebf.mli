@@ -46,6 +46,12 @@ type options = {
           a refactorisation before each re-solve. Gates — never enables —
           [lp_params.warm_start], so setting either [false] disables the
           reuse. Per-round uptake is reported in {!round_stat}[.warm_rows]. *)
+  probe : Lubt_lp.Simplex.probe option;
+      (** per-iteration convergence probe installed on the LP engine
+          ({!Lubt_lp.Simplex.set_probe}) for the whole row-generation run
+          (default [None]). Dump the events as JSON lines with
+          [Lubt_obs.Convergence]; note the probe perturbs the solver's
+          BTRAN counters (see {!Lubt_lp.Simplex.set_probe}). *)
   lp_params : Lubt_lp.Simplex.params;
 }
 

@@ -24,7 +24,10 @@ let place ?(policy = Center) ?(eps = 1e-9) (inst : Instance.t) tree lengths =
   let fr = Array.make n (Trr.of_point (Point.make 0.0 0.0)) in
   let err = ref None in
   let fail msg = if !err = None then err := Some msg in
+  let module Trace = Lubt_obs.Trace in
+  let module Clock = Lubt_obs.Clock in
   (* bottom-up feasible regions *)
+  let bu_t0 = if Trace.enabled () then Clock.now () else 0.0 in
   let post = Tree.postorder tree in
   Array.iter
     (fun v ->
@@ -52,10 +55,14 @@ let place ?(policy = Center) ?(eps = 1e-9) (inst : Instance.t) tree lengths =
                  v))
       end)
     post;
+  if Trace.enabled () then
+    Trace.complete ~t0:bu_t0 "embed.feasible_regions"
+      ~args:[ ("nodes", Trace.Int n) ];
   match !err with
   | Some msg -> Error msg
   | None ->
     (* top-down placement *)
+    let td_t0 = if Trace.enabled () then Clock.now () else 0.0 in
     let positions = Array.make n (Point.make 0.0 0.0) in
     let choose region parent_opt =
       match policy with
@@ -93,6 +100,9 @@ let place ?(policy = Center) ?(eps = 1e-9) (inst : Instance.t) tree lengths =
                    v shortfall)
         end)
       pre;
+    if Trace.enabled () then
+      Trace.complete ~t0:td_t0 "embed.place"
+        ~args:[ ("nodes", Trace.Int n) ];
     (match !err with
     | Some msg -> Error msg
     | None -> Ok { positions; feasible_regions = fr })

@@ -51,10 +51,11 @@ type summary = {
 }
 
 let solve_one ~certify spec =
+  let module Trace = Lubt_obs.Trace in
   let bspec =
     { (Benchmarks.find spec.size spec.bench) with Benchmarks.seed = spec.seed }
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Lubt_obs.Clock.now () in
   let b = Protocol.run_baseline bspec ~skew_rel:spec.skew_rel in
   let options =
     if certify then
@@ -64,7 +65,9 @@ let solve_one ~certify spec =
   (* run_lubt raises on a non-optimal status; the pool captures that and
      the outcome below reports it as an error *)
   let l = Protocol.run_lubt_from_baseline ~options b in
-  let wall_s = Unix.gettimeofday () -. t0 in
+  let wall_s = Lubt_obs.Clock.now () -. t0 in
+  if Trace.enabled () then
+    Trace.complete ~t0 "batch.task" ~args:[ ("id", Trace.Str spec.id) ];
   let ebf = l.Protocol.ebf in
   (b, ebf, wall_s)
 
@@ -109,9 +112,9 @@ let run ?jobs ?(certify = true) specs =
   let jobs =
     match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Lubt_obs.Clock.now () in
   let results = Pool.map_result ~jobs (solve_one ~certify) specs in
-  let wall_s = Unix.gettimeofday () -. t0 in
+  let wall_s = Lubt_obs.Clock.now () -. t0 in
   let outcomes =
     List.mapi
       (fun index (spec, r) -> outcome_of_task index spec ~certify r)

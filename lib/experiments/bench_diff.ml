@@ -1,0 +1,177 @@
+module Json = Lubt_obs.Json
+
+type verdict = Regression | Improvement | Unchanged
+
+type entry_delta = {
+  d_name : string;
+  d_old_ms : float;
+  d_new_ms : float;
+  d_ratio : float;
+  d_verdict : verdict;
+  d_counters : (string * float * float) list;
+}
+
+type report = {
+  r_threshold : float;
+  r_deltas : entry_delta list;
+  r_only_old : string list;
+  r_only_new : string list;
+}
+
+(* phase timings inside the solver record are wall-clock noise; every
+   other solver member is a deterministic pivot-trajectory counter *)
+let noisy_counter name =
+  match name with
+  | "phase1_ms" | "phase2_ms" | "dual_ms" -> true
+  | _ -> false
+
+let ( let* ) = Result.bind
+
+let err_ctx file = Result.map_error (fun e -> file ^ ": " ^ e)
+
+let get file what conv j =
+  match Option.bind (Json.member what j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: missing or mistyped %S member" file what)
+
+(* one benchmark entry -> (name, ms_per_run, flat counter list) *)
+let parse_entry file j =
+  let* name = get file "name" Json.str j in
+  let* ms = get file "ms_per_run" Json.num j in
+  let counters =
+    match Json.member "solver" j with
+    | Some (Json.Obj fields) ->
+      List.concat_map
+        (fun (k, v) ->
+          match v with
+          | Json.Num n when not (noisy_counter k) -> [ (k, n) ]
+          | Json.Obj nested ->
+            List.filter_map
+              (fun (nk, nv) ->
+                match nv with
+                | Json.Num n -> Some (k ^ "." ^ nk, n)
+                | _ -> None)
+              nested
+          | _ -> [])
+        fields
+    | _ -> []
+  in
+  Ok (name, ms, counters)
+
+let parse_bench file s =
+  let* j = err_ctx file (Json.parse s) in
+  let* schema = get file "schema" Json.str j in
+  if not (String.length schema >= 11 && String.sub schema 0 11 = "lubt-bench/")
+  then Error (file ^ ": not a lubt-bench file (schema " ^ schema ^ ")")
+  else
+    let* entries = get file "benchmarks" Json.arr j in
+    let rec collect acc = function
+      | [] -> Ok (List.rev acc)
+      | e :: rest ->
+        let* p = parse_entry file e in
+        collect (p :: acc) rest
+    in
+    collect [] entries
+
+let diff_counters old_cs new_cs =
+  List.filter_map
+    (fun (k, ov) ->
+      match List.assoc_opt k new_cs with
+      | Some nv when nv <> ov -> Some (k, ov, nv)
+      | _ -> None)
+    old_cs
+
+let compare ?(threshold = 0.10) old_json new_json =
+  let* old_entries = parse_bench "old" old_json in
+  let* new_entries = parse_bench "new" new_json in
+  let find name entries =
+    List.find_opt (fun (n, _, _) -> n = name) entries
+  in
+  let deltas =
+    List.filter_map
+      (fun (name, old_ms, old_cs) ->
+        match find name new_entries with
+        | None -> None
+        | Some (_, new_ms, new_cs) ->
+          let ratio = new_ms /. old_ms in
+          let verdict =
+            if not (Float.is_finite ratio) then Unchanged
+            else if ratio > 1.0 +. threshold then Regression
+            else if ratio < 1.0 -. threshold then Improvement
+            else Unchanged
+          in
+          Some
+            {
+              d_name = name;
+              d_old_ms = old_ms;
+              d_new_ms = new_ms;
+              d_ratio = ratio;
+              d_verdict = verdict;
+              d_counters = diff_counters old_cs new_cs;
+            })
+      old_entries
+  in
+  let names entries = List.map (fun (n, _, _) -> n) entries in
+  let only_old =
+    List.filter (fun n -> find n new_entries = None) (names old_entries)
+  in
+  let only_new =
+    List.filter (fun n -> find n old_entries = None) (names new_entries)
+  in
+  Ok
+    {
+      r_threshold = threshold;
+      r_deltas = deltas;
+      r_only_old = only_old;
+      r_only_new = only_new;
+    }
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> Ok s
+  | exception Sys_error e -> Error e
+
+let compare_files ?threshold old_path new_path =
+  let* old_json = read_file old_path in
+  let* new_json = read_file new_path in
+  compare ?threshold old_json new_json
+
+let regressions r =
+  List.filter (fun d -> d.d_verdict = Regression) r.r_deltas
+
+let has_regression r = regressions r <> [] || r.r_only_old <> []
+
+let verdict_tag = function
+  | Regression -> "REGRESSION"
+  | Improvement -> "improvement"
+  | Unchanged -> ""
+
+let print oc r =
+  Printf.fprintf oc
+    "bench diff (threshold %.1f%%): %d benchmarks compared\n"
+    (r.r_threshold *. 100.0)
+    (List.length r.r_deltas);
+  List.iter
+    (fun d ->
+      Printf.fprintf oc "%-40s %10.3f -> %10.3f ms/run  %+7.1f%%  %s\n"
+        d.d_name d.d_old_ms d.d_new_ms
+        ((d.d_ratio -. 1.0) *. 100.0)
+        (verdict_tag d.d_verdict);
+      List.iter
+        (fun (k, ov, nv) ->
+          Printf.fprintf oc "    counter %-32s %.0f -> %.0f\n" k ov nv)
+        d.d_counters)
+    r.r_deltas;
+  List.iter
+    (fun n -> Printf.fprintf oc "%-40s MISSING from new run\n" n)
+    r.r_only_old;
+  List.iter
+    (fun n -> Printf.fprintf oc "%-40s only in new run\n" n)
+    r.r_only_new;
+  let regs = List.length (regressions r) in
+  if has_regression r then
+    Printf.fprintf oc "verdict: %d regression(s)%s\n" regs
+      (if r.r_only_old <> [] then
+         Printf.sprintf ", %d benchmark(s) lost" (List.length r.r_only_old)
+       else "")
+  else Printf.fprintf oc "verdict: ok\n"

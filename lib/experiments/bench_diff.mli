@@ -1,0 +1,61 @@
+(** Bench regression gate: compare two [lubt-bench/*] JSON files.
+
+    [bench timing --json] writes one machine-readable record per
+    benchmark (ms/run plus solver counters). This module diffs two
+    such files — typically a committed baseline (BENCH_lp.json)
+    against a fresh run — and classifies each benchmark's timing
+    delta against a threshold, so CI can fail on a regression
+    instead of a human eyeballing numbers.
+
+    Timing verdicts use [ms_per_run] only. Solver counters
+    (iterations, pricing scans, refactorisations, ...) are diffed
+    exactly and reported, but never gate: on identical code they are
+    deterministic, so any counter drift is surfaced loudly — it means
+    the pivot trajectory changed — while wall-clock noise does not
+    produce false counter alarms. Phase timing fields ([phase1_ms],
+    [phase2_ms], [dual_ms]) are noise and are ignored. *)
+
+type verdict =
+  | Regression  (** new ms/run above old by more than the threshold *)
+  | Improvement  (** new ms/run below old by more than the threshold *)
+  | Unchanged  (** within the threshold either way *)
+
+type entry_delta = {
+  d_name : string;
+  d_old_ms : float;
+  d_new_ms : float;
+  d_ratio : float;  (** new / old *)
+  d_verdict : verdict;
+  d_counters : (string * float * float) list;
+      (** solver counters whose values differ: (name, old, new).
+          Nested recovery counters are reported as
+          ["recoveries.<field>"]. *)
+}
+
+type report = {
+  r_threshold : float;  (** the gate, as a fraction (0.10 = 10%) *)
+  r_deltas : entry_delta list;  (** benchmarks present in both files *)
+  r_only_old : string list;  (** benchmarks missing from the new file *)
+  r_only_new : string list;  (** benchmarks missing from the old file *)
+}
+
+val compare : ?threshold:float -> string -> string -> (report, string) result
+(** [compare old_json new_json] parses two bench-JSON strings and
+    diffs them. [threshold] is the relative timing gate (default
+    [0.10] = 10%). [Error] reports a parse or schema problem with the
+    offending file named. *)
+
+val compare_files : ?threshold:float -> string -> string -> (report, string) result
+(** [compare_files old_path new_path] reads and {!compare}s two files. *)
+
+val regressions : report -> entry_delta list
+
+val has_regression : report -> bool
+(** True when any benchmark regressed, or when a benchmark present in
+    the old file is missing from the new one (losing coverage must
+    not pass silently). *)
+
+val print : out_channel -> report -> unit
+(** Renders the delta table: one line per benchmark with old/new
+    ms/run, the ratio, the verdict, and any counter drift indented
+    beneath. *)

@@ -24,9 +24,9 @@ type lubt_run = {
 }
 
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Lubt_obs.Clock.now () in
   let v = f () in
-  (v, Unix.gettimeofday () -. t0)
+  (v, Lubt_obs.Clock.now () -. t0)
 
 let run_baseline spec ~skew_rel =
   let sinks = Benchmarks.sinks spec in
@@ -192,16 +192,21 @@ let scaling_point_json p =
     "{\"jobs\": %d, \"wall_s\": %s, \"speedup\": %s, \"instances\": %d}"
     p.sc_jobs (json_float p.sc_wall_s) (json_float p.sc_speedup) p.sc_instances
 
-let bench_json ?(jobs = 1) ?(scaling = []) ~size entries =
+let bench_json ?(jobs = 1) ?(scaling = []) ?(scaling_skipped = false) ~size
+    entries =
   let scaling_field =
-    match scaling with
-    | [] -> ""
-    | points ->
-      Printf.sprintf ",\n  \"scaling\": [\n    %s\n  ]"
-        (String.concat ",\n    " (List.map scaling_point_json points))
+    (* an explicitly-skipped sweep is recorded, not omitted, so a
+       consumer can tell "not measured" from "measured empty" *)
+    if scaling_skipped then ",\n  \"scaling\": [],\n  \"scaling_skipped\": true"
+    else
+      match scaling with
+      | [] -> ""
+      | points ->
+        Printf.sprintf ",\n  \"scaling\": [\n    %s\n  ]"
+          (String.concat ",\n    " (List.map scaling_point_json points))
   in
   Printf.sprintf
-    "{\n  \"schema\": \"lubt-bench/3\",\n  \"size\": \"%s\",\n  \
+    "{\n  \"schema\": \"lubt-bench/4\",\n  \"size\": \"%s\",\n  \
      \"jobs\": %d,\n  \"cores\": %d,\n  \
      \"benchmarks\": [\n    %s\n  ]%s\n}\n"
     (json_escape size) jobs

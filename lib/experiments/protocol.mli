@@ -47,7 +47,7 @@ val time : (unit -> 'a) -> 'a * float
 
 (** {1 Machine-readable benchmark records}
 
-    The [BENCH_lp.json] schema ([lubt-bench/3]) emitted by
+    The [BENCH_lp.json] schema ([lubt-bench/4]) emitted by
     [bench/main.exe -- timing --json FILE]: a top-level object with
     [schema], [size] (tiny|scaled|full), [jobs] (worker domains the run
     was asked for), [cores] (the machine's
@@ -58,8 +58,10 @@ val time : (unit -> 'a) -> 'a * float
     [round_stats], the per-round lazy-loop telemetry) — and, when a
     scaling sweep was run, [scaling]: one point per jobs count with the
     corpus wall-clock and the speedup over the jobs=1 run of the same
-    corpus. Perf PRs append one such file per run to track the
-    trajectory. *)
+    corpus. A run invoked with [--no-scaling] instead records
+    [scaling: []] plus [scaling_skipped: true], so a consumer (the
+    [bench diff] gate) can tell "not measured" from "measured empty".
+    Perf PRs append one such file per run to track the trajectory. *)
 
 type bench_entry = {
   bench_name : string;
@@ -79,12 +81,14 @@ type scaling_point = {
 (** One point of the domain-scaling curve recorded in [BENCH_lp.json]. *)
 
 val bench_json :
-  ?jobs:int -> ?scaling:scaling_point list -> size:string ->
-  bench_entry list -> string
-(** Renders entries as the [lubt-bench/3] JSON document (self-contained,
+  ?jobs:int -> ?scaling:scaling_point list -> ?scaling_skipped:bool ->
+  size:string -> bench_entry list -> string
+(** Renders entries as the [lubt-bench/4] JSON document (self-contained,
     no external JSON dependency; [inf]/[nan] become [null]). [jobs]
     (default 1) and [scaling] (default absent) fill the schema's
-    parallel-sweep fields. *)
+    parallel-sweep fields; [scaling_skipped] (default false) records an
+    explicitly-skipped sweep as [scaling: []] with the [skipped]
+    marker. *)
 
 (** {1 JSON building blocks}
 

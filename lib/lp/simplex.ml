@@ -64,6 +64,21 @@ let default_params =
     fault = None;
   }
 
+type probe_event = {
+  pr_iteration : int;
+  pr_phase : string;
+  pr_objective : float;
+  pr_primal_infeas : float;
+  pr_dual_infeas : float;
+  pr_entering : int;
+  pr_leaving : int;
+  pr_eta_count : int;
+  pr_bound_flips : int;
+  pr_recovery : string option;
+}
+
+type probe = probe_event -> unit
+
 type recoveries = {
   refactor_retries : int;
   backend_switches : int;
@@ -190,6 +205,8 @@ type t = {
   mutable time_budget : float;  (* seconds per solve; infinity = none *)
   mutable deadline : float;  (* absolute, set at solve entry *)
   mutable solving : bool;  (* fault hooks only fire inside solve *)
+  mutable probe : probe option;  (* per-iteration convergence probe *)
+  mutable cur_phase : string;  (* phase label for probe events *)
   mutable faults_left : int;
   frng : Lubt_util.Prng.t option;  (* fault-injection stream *)
   mutable fallback : Status.solution option;  (* Tableau_fallback result *)
@@ -210,6 +227,19 @@ type t = {
 }
 
 exception Numerical of string
+
+(* ------------------------------------------------------------------ *)
+(* Tracing helpers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = Lubt_obs.Trace
+module Clock = Lubt_obs.Clock
+
+(* Hot-path guard idiom: when tracing is disabled a site costs one atomic
+   load and a branch — no clock read, no closure allocation. *)
+let tr_start () = if Trace.enabled () then Clock.now () else 0.0
+
+let tr_stop t0 name = if Trace.enabled () then Trace.complete ~t0 name
 
 (* ------------------------------------------------------------------ *)
 (* Small accessors                                                     *)
@@ -254,7 +284,9 @@ let dual_tol t j = t.p.tol_dual *. (1.0 +. abs_float t.obj.(j))
 
 let sparse_mode t = t.cur_sparse
 
-let out_of_time t = t.deadline < infinity && Unix.gettimeofday () > t.deadline
+(* Monotonic by construction: a wall-clock step (NTP slew, manual reset)
+   must neither fire a spurious Time_limit nor disable the budget. *)
+let out_of_time t = t.deadline < infinity && Clock.now () > t.deadline
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic fault injection                                       *)
@@ -279,6 +311,7 @@ let fault_fires t kind =
 
 (* w <- B^-1 A_j *)
 let ftran t q =
+  let tr0 = tr_start () in
   if sparse_mode t then begin
     match t.sbasis with
     | None -> invalid_arg "ftran: basis not factorised"
@@ -318,10 +351,12 @@ let ftran t q =
       let r = Lubt_util.Prng.int rng t.m in
       t.w.(r) <- t.w.(r) +. (0.01 *. (1.0 +. abs_float t.w.(r)))
     | None -> ()
-  end
+  end;
+  tr_stop tr0 "simplex.ftran"
 
 (* y <- (B^-1)^T cb, skipping zero cost rows (phase I has very few). *)
 let compute_y t cb =
+  let tr0 = tr_start () in
   if sparse_mode t then begin
     match t.sbasis with
     | None -> invalid_arg "compute_y: basis not factorised"
@@ -342,7 +377,8 @@ let compute_y t cb =
       done
     end
   done
-  end
+  end;
+  tr_stop tr0 "simplex.btran"
 
 let fill_cb_phase2 t =
   for r = 0 to t.m - 1 do
@@ -368,6 +404,71 @@ let primal_infeasibility t =
     else if x > t.up.(b) then total := !total +. (x -. t.up.(b))
   done;
   !total
+
+(* ------------------------------------------------------------------ *)
+(* Convergence probe                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let set_probe t p = t.probe <- p
+
+(* Worst dual-feasibility violation of any nonbasic column under the
+   current multipliers. Only computed when a probe is installed: it costs
+   a BTRAN plus a full column scan per pivot, and it bumps the shared
+   linear-algebra counters — an observed engine reports more btrans than
+   an unobserved one. *)
+let dual_infeasibility t =
+  fill_cb_phase2 t;
+  compute_y t t.cb;
+  let worst = ref 0.0 in
+  let total = t.n + t.m in
+  for j = 0 to total - 1 do
+    match t.vstat.(j) with
+    | Basic _ -> ()
+    | _ when is_fixed t j -> ()
+    | At_lower ->
+      let d = t.obj.(j) -. col_dot t j t.y in
+      if d < 0.0 then worst := max !worst (-.d)
+    | At_upper ->
+      let d = t.obj.(j) -. col_dot t j t.y in
+      if d > 0.0 then worst := max !worst d
+    | Free_zero ->
+      let d = abs_float (t.obj.(j) -. col_dot t j t.y) in
+      worst := max !worst d
+  done;
+  !worst
+
+(* Objective of the current (possibly infeasible) point; reads variable
+   values only, so it is safe even mid-recovery when the factorisation is
+   suspect. *)
+let probe_objective t =
+  let acc = ref 0.0 in
+  for j = 0 to t.n - 1 do
+    if t.obj.(j) <> 0.0 then acc := !acc +. (t.obj.(j) *. value t j)
+  done;
+  !acc
+
+(* Fires the installed probe, if any. Recovery events skip the
+   dual-infeasibility computation (the basis that just failed cannot be
+   trusted to solve anything) and report it as nan. *)
+let fire_probe t ?recovery ~entering ~leaving () =
+  match t.probe with
+  | None -> ()
+  | Some f ->
+    let mid_recovery = recovery <> None in
+    f
+      {
+        pr_iteration = t.iters;
+        pr_phase = (if mid_recovery then "recovery" else t.cur_phase);
+        pr_objective = probe_objective t;
+        pr_primal_infeas = primal_infeasibility t;
+        pr_dual_infeas =
+          (if mid_recovery then Float.nan else dual_infeasibility t);
+        pr_entering = entering;
+        pr_leaving = leaving;
+        pr_eta_count = t.since_refactor;
+        pr_bound_flips = t.st.s_flips;
+        pr_recovery = recovery;
+      }
 
 let recompute_xb t =
   let m = t.m in
@@ -414,7 +515,7 @@ let basis_columns t =
    tolerance, never looser than the Lu.factor default. *)
 let lu_pivot_tol t = max 1e-11 (t.cur_tol_pivot *. 1e-2)
 
-let refactor t =
+let refactor_run t =
   if fault_fires t Fault_singular_refactor then
     raise (Numerical "fault injection: forced singular refactorisation");
   (* a fresh factorisation is exact, so the anti-cycling escape restarts:
@@ -459,6 +560,12 @@ let refactor t =
   t.since_refactor <- 0;
   recompute_xb t
   end
+
+(* [Trace.span] (rather than the complete-event idiom) so a singular
+   factorisation still closes the span on the raise path. *)
+let refactor t =
+  if Trace.enabled () then Trace.span "simplex.refactor" (fun () -> refactor_run t)
+  else refactor_run t
 
 (* Classic product-form refactorisation criterion: once the eta/border
    trail stores as many nonzeros as the LU factors themselves, applying it
@@ -544,6 +651,7 @@ let score_of t j d =
    side effect (except in Bland mode, where the first eligible index wins
    and candidate quality is irrelevant). *)
 let price_full t ~cost =
+  let tr0 = tr_start () in
   t.st.s_full_scans <- t.st.s_full_scans + 1;
   let best = ref None in
   let total = t.n + t.m in
@@ -570,6 +678,7 @@ let price_full t ~cost =
         cand_offer t j score
     done
   end;
+  tr_stop tr0 "simplex.price_full";
   !best
 
 (* Scan only the candidate list, dropping entries that no longer price
@@ -694,35 +803,39 @@ type blocking = Flip | Block of { row : int; to_upper : bool }
 let apply_primal_pivot t ~q ~sigma ~step ~blocking =
   let w = t.w in
   let q_new = value t q +. (sigma *. step) in
-  (match blocking with
-  | Flip ->
-    for r = 0 to t.m - 1 do
-      t.xb.(r) <- t.xb.(r) -. (sigma *. step *. w.(r))
-    done;
-    t.vstat.(q) <-
-      (match t.vstat.(q) with
-      | At_lower -> At_upper
-      | At_upper -> At_lower
-      | Basic _ | Free_zero -> invalid_arg "flip of non-bounded variable")
-  | Block { row = r; to_upper } ->
-    (* devex needs the pre-pivot basis; weights are heuristic state, so
-       mutating them before a possible Zero_pivot raise is harmless *)
-    if t.p.pricing = Devex then devex_update_primal t ~q ~r;
-    (* update the basis representation first: it raises on a bad pivot
-       before mutating anything, keeping vstat/basic/xb consistent for the
-       recovery ladder *)
-    update_binv t r;
-    for r' = 0 to t.m - 1 do
-      if r' <> r then t.xb.(r') <- t.xb.(r') -. (sigma *. step *. w.(r'))
-    done;
-    let leaving = t.basic.(r) in
-    t.vstat.(leaving) <- (if to_upper then At_upper else At_lower);
-    t.basic.(r) <- q;
-    t.vstat.(q) <- Basic r;
-    t.xb.(r) <- q_new;
-    (* the just-ejected variable tends to price attractively again soon:
-       seed it into the candidate list *)
-    if t.p.pricing <> Dantzig then cand_offer t leaving 0.0);
+  let left =
+    match blocking with
+    | Flip ->
+      for r = 0 to t.m - 1 do
+        t.xb.(r) <- t.xb.(r) -. (sigma *. step *. w.(r))
+      done;
+      t.vstat.(q) <-
+        (match t.vstat.(q) with
+        | At_lower -> At_upper
+        | At_upper -> At_lower
+        | Basic _ | Free_zero -> invalid_arg "flip of non-bounded variable");
+      -1
+    | Block { row = r; to_upper } ->
+      (* devex needs the pre-pivot basis; weights are heuristic state, so
+         mutating them before a possible Zero_pivot raise is harmless *)
+      if t.p.pricing = Devex then devex_update_primal t ~q ~r;
+      (* update the basis representation first: it raises on a bad pivot
+         before mutating anything, keeping vstat/basic/xb consistent for the
+         recovery ladder *)
+      update_binv t r;
+      for r' = 0 to t.m - 1 do
+        if r' <> r then t.xb.(r') <- t.xb.(r') -. (sigma *. step *. w.(r'))
+      done;
+      let leaving = t.basic.(r) in
+      t.vstat.(leaving) <- (if to_upper then At_upper else At_lower);
+      t.basic.(r) <- q;
+      t.vstat.(q) <- Basic r;
+      t.xb.(r) <- q_new;
+      (* the just-ejected variable tends to price attractively again soon:
+         seed it into the candidate list *)
+      if t.p.pricing <> Dantzig then cand_offer t leaving 0.0;
+      leaving
+  in
   t.iters <- t.iters + 1;
   t.since_refactor <- t.since_refactor + 1;
   if step <= t.cur_tol_pivot then begin
@@ -734,7 +847,8 @@ let apply_primal_pivot t ~q ~sigma ~step ~blocking =
     if not t.bland then t.st.s_bland <- t.st.s_bland + 1;
     t.bland <- true
   end
-  else if t.degen_streak = 0 then t.bland <- false
+  else if t.degen_streak = 0 then t.bland <- false;
+  fire_probe t ~entering:q ~leaving:left ()
 
 (* ------------------------------------------------------------------ *)
 (* Ratio tests                                                         *)
@@ -743,6 +857,7 @@ let apply_primal_pivot t ~q ~sigma ~step ~blocking =
 (* Phase-II ratio test: every basic variable blocks at the first bound it
    reaches. Returns (step, blocking) or None for unbounded. *)
 let ratio_phase2 t ~q ~sigma =
+  let tr0 = tr_start () in
   let w = t.w in
   let best_step = ref infinity in
   let best_block = ref Flip in
@@ -774,12 +889,14 @@ let ratio_phase2 t ~q ~sigma =
       end
     end
   done;
+  tr_stop tr0 "simplex.ratio_test";
   if !best_step = infinity then None else Some (!best_step, !best_block)
 
 (* Phase-I ratio test: feasible basic variables block as in phase II;
    infeasible ones block only when the step would carry them to the bound
    they violate (the phase-I gradient changes there). *)
 let ratio_phase1 t ~q ~sigma =
+  let tr0 = tr_start () in
   let w = t.w in
   let best_step = ref infinity in
   let best_block = ref Flip in
@@ -821,6 +938,7 @@ let ratio_phase1 t ~q ~sigma =
       end
     end
   done;
+  tr_stop tr0 "simplex.ratio_test";
   if !best_step = infinity then None else Some (!best_step, !best_block)
 
 (* ------------------------------------------------------------------ *)
@@ -924,6 +1042,7 @@ let dual_simplex t =
         compute_y t t.cb;
         (* entering candidates: columns whose pivot sign restores primal
            feasibility, with their dual ratio |d_j| / |alpha_j| *)
+        let tr0 = tr_start () in
         t.st.s_full_scans <- t.st.s_full_scans + 1;
         let cands = ref [] in
         let consider j ratio alpha =
@@ -998,6 +1117,7 @@ let dual_simplex t =
             walk !cands (abs_float (t.xb.(r) -. target)) []
           end
         in
+        tr_stop tr0 "simplex.dual_scan";
         if entering < 0 then Status.Infeasible
         else begin
           let q = entering in
@@ -1063,6 +1183,7 @@ let dual_simplex t =
           if t.p.pricing <> Dantzig then cand_offer t b 0.0;
           t.iters <- t.iters + 1;
           t.since_refactor <- t.since_refactor + 1;
+          fire_probe t ~entering:q ~leaving:b ();
           loop ()
         end
     end
@@ -1188,6 +1309,8 @@ let of_problem ?(params = default_params) prob =
       time_budget = params.time_limit;
       deadline = infinity;
       solving = false;
+      probe = None;
+      cur_phase = "";
       faults_left =
         (match params.fault with Some f -> f.max_faults | None -> 0);
       frng =
@@ -1303,27 +1426,39 @@ let dual_feasible t =
 (* Phase-attributed wrappers: account wall time and the iteration delta of
    one algorithm run to the matching stats bucket. *)
 let run_phase1 t =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let it0 = t.iters in
+  t.cur_phase <- "phase1";
   let r = primal_phase1 t in
-  t.st.s_phase1_secs <- t.st.s_phase1_secs +. (Unix.gettimeofday () -. t0);
+  t.st.s_phase1_secs <- t.st.s_phase1_secs +. (Clock.now () -. t0);
   t.st.s_phase1_iters <- t.st.s_phase1_iters + (t.iters - it0);
+  if Trace.enabled () then
+    Trace.complete ~t0 "simplex.phase1"
+      ~args:[ ("iterations", Trace.Int (t.iters - it0)) ];
   r
 
 let run_phase2 t =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let it0 = t.iters in
+  t.cur_phase <- "phase2";
   let r = primal_phase2 t in
-  t.st.s_phase2_secs <- t.st.s_phase2_secs +. (Unix.gettimeofday () -. t0);
+  t.st.s_phase2_secs <- t.st.s_phase2_secs +. (Clock.now () -. t0);
   t.st.s_phase2_iters <- t.st.s_phase2_iters + (t.iters - it0);
+  if Trace.enabled () then
+    Trace.complete ~t0 "simplex.phase2"
+      ~args:[ ("iterations", Trace.Int (t.iters - it0)) ];
   r
 
 let run_dual t =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let it0 = t.iters in
+  t.cur_phase <- "dual";
   let r = dual_simplex t in
-  t.st.s_dual_secs <- t.st.s_dual_secs +. (Unix.gettimeofday () -. t0);
+  t.st.s_dual_secs <- t.st.s_dual_secs +. (Clock.now () -. t0);
   t.st.s_dual_iters <- t.st.s_dual_iters + (t.iters - it0);
+  if Trace.enabled () then
+    Trace.complete ~t0 "simplex.dual"
+      ~args:[ ("iterations", Trace.Int (t.iters - it0)) ];
   r
 
 (* Algorithm selection for one clean run from the current basis. *)
@@ -1411,7 +1546,21 @@ let recoverable = function
 
 type stage_outcome = Retry | Final of Status.t
 
+let stage_name = function
+  | Refactor_retry -> "refactor_retry"
+  | Switch_backend -> "switch_backend"
+  | Tighten_pivot_tol -> "tighten_pivot_tol"
+  | Perturb_and_resolve -> "perturb_and_resolve"
+  | Tableau_fallback -> "tableau_fallback"
+
 let apply_stage t stage =
+  let name = stage_name stage in
+  Lubt_obs.Log.warn
+    ~fields:
+      [ ("stage", Trace.Str name); ("iteration", Trace.Int t.iters) ]
+    "simplex recovery stage engaged";
+  Trace.instant "simplex.recovery" ~args:[ ("stage", Trace.Str name) ];
+  fire_probe t ~recovery:name ~entering:(-1) ~leaving:(-1) ();
   match stage with
   | Refactor_retry ->
     t.st.s_rec_refactor <- t.st.s_rec_refactor + 1;
@@ -1489,7 +1638,7 @@ let solve t =
   t.solving <- true;
   t.deadline <-
     (if t.time_budget = infinity then infinity
-     else Unix.gettimeofday () +. t.time_budget);
+     else Clock.now () +. t.time_budget);
   let finish status =
     t.solving <- false;
     t.last_status <- status;
@@ -1544,7 +1693,12 @@ let solve t =
       | Ok (Final s) -> s
       | Error _ -> escalate rest)
   in
-  finish (attempt t.p.recovery)
+  let status =
+    if Trace.enabled () then
+      Trace.span "simplex.solve" (fun () -> attempt t.p.recovery)
+    else attempt t.p.recovery
+  in
+  finish status
 
 let set_time_limit t seconds = t.time_budget <- seconds
 
@@ -1716,12 +1870,10 @@ let pp_stats fmt s =
     s.bland_activations (s.phase1_seconds *. 1e3) (s.phase2_seconds *. 1e3)
     (s.dual_seconds *. 1e3);
   let r = s.recoveries in
-  if recovery_attempts r > 0 || r.faults_injected > 0 || r.validations_rejected > 0
-  then
-    Format.fprintf fmt
-      "@,recoveries: %d refactor, %d backend switch, %d tolerance, %d perturb, \
-       %d tableau; faults injected: %d, validations rejected: %d"
-      r.refactor_retries r.backend_switches r.tolerance_escalations
-      r.perturbed_resolves r.tableau_fallbacks r.faults_injected
-      r.validations_rejected;
+  Format.fprintf fmt
+    "@,recoveries: %d refactor, %d backend switch, %d tolerance, %d perturb, \
+     %d tableau; faults injected: %d, validations rejected: %d"
+    r.refactor_retries r.backend_switches r.tolerance_escalations
+    r.perturbed_resolves r.tableau_fallbacks r.faults_injected
+    r.validations_rejected;
   Format.fprintf fmt "@]"

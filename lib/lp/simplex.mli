@@ -289,7 +289,48 @@ val stats : t -> stats
 (** Snapshot of the cumulative solver counters. *)
 
 val pp_stats : Format.formatter -> stats -> unit
-(** Multi-line human-readable rendering of a counters snapshot. *)
+(** Multi-line human-readable rendering of a counters snapshot, including
+    the [bound_flips] counter and the nested {!recoveries} record (the
+    recovery line is always printed, zeros included, so [--stats]
+    consumers see a stable shape). *)
+
+type probe_event = {
+  pr_iteration : int;  (** {!iterations} after the pivot (or at the
+                           recovery event) *)
+  pr_phase : string;
+      (** ["phase1"], ["phase2"], ["dual"], or ["recovery"] *)
+  pr_objective : float;  (** objective of the current (possibly
+                             infeasible) point *)
+  pr_primal_infeas : float;  (** total bound violation of basic variables *)
+  pr_dual_infeas : float;
+      (** worst reduced-cost violation over nonbasic columns; [nan] on
+          recovery events, where the factorisation is not trusted *)
+  pr_entering : int;
+      (** entering variable index (auxiliary of row [i] is [nvars + i]);
+          [-1] when none (pure bound flip, recovery event) *)
+  pr_leaving : int;  (** leaving variable index; [-1] when none *)
+  pr_eta_count : int;  (** basis updates since the last refactorisation *)
+  pr_bound_flips : int;  (** cumulative long-step bound flips *)
+  pr_recovery : string option;
+      (** recovery-ladder stage name when this event marks a stage
+          engaging, [None] on ordinary pivots *)
+}
+(** One observation of the per-iteration convergence probe. *)
+
+type probe = probe_event -> unit
+
+val set_probe : t -> probe option -> unit
+(** Installs (or removes) a per-iteration probe. The probe fires after
+    every primal or dual pivot and when a recovery stage engages; dump the
+    events as JSON lines with [Lubt_obs.Convergence].
+
+    The probe is {e observational but not free}: computing the dual
+    infeasibility costs one extra BTRAN plus a column scan per pivot, and
+    those solves are counted in the shared {!stats} counters — so an
+    engine with a probe installed reports more [btran_count] than the
+    same solve unobserved. With no probe installed ([None], the default)
+    the engine's counters, pivots and results are bit-identical to an
+    uninstrumented build. *)
 
 val solution : t -> Status.solution
 (** Packages the current state (status as of the last [solve]). *)

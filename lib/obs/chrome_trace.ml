@@ -1,0 +1,76 @@
+let value_to_json : Trace.value -> Json.t = function
+  | Trace.Bool b -> Json.Bool b
+  | Trace.Int i -> Json.Num (float_of_int i)
+  | Trace.Float f -> Json.Num f
+  | Trace.Str s -> Json.Str s
+
+let args_to_json args =
+  Json.Obj (List.map (fun (k, v) -> (k, value_to_json v)) args)
+
+let usec seconds = seconds *. 1e6
+
+let event_to_json ~pid ~t_base (e : Trace.event) =
+  let common =
+    [
+      ("name", Json.Str e.name);
+      ("pid", Json.Num (float_of_int pid));
+      ("tid", Json.Num (float_of_int e.tid));
+      ("ts", Json.Num (usec (e.ts -. t_base)));
+    ]
+  in
+  let specific =
+    match e.kind with
+    | Trace.Span dur ->
+      [ ("ph", Json.Str "X"); ("dur", Json.Num (usec dur)) ]
+    | Trace.Instant -> [ ("ph", Json.Str "i"); ("s", Json.Str "t") ]
+    | Trace.Counter -> [ ("ph", Json.Str "C") ]
+  in
+  let args =
+    if e.args = [] then [] else [ ("args", args_to_json e.args) ]
+  in
+  Json.Obj (common @ specific @ args)
+
+let metadata ~pid name tid value =
+  Json.Obj
+    [
+      ("name", Json.Str name);
+      ("ph", Json.Str "M");
+      ("pid", Json.Num (float_of_int pid));
+      ("tid", Json.Num (float_of_int tid));
+      ("ts", Json.Num 0.0);
+      ("args", Json.Obj [ ("name", Json.Str value) ]);
+    ]
+
+let to_json ?pid (events : Trace.event list) =
+  let pid = match pid with Some p -> p | None -> Unix.getpid () in
+  let t_base =
+    List.fold_left (fun acc (e : Trace.event) -> min acc e.ts) infinity events
+  in
+  let t_base = if Float.is_finite t_base then t_base else 0.0 in
+  let tids =
+    List.sort_uniq compare
+      (List.map (fun (e : Trace.event) -> e.tid) events)
+  in
+  let meta =
+    metadata ~pid "process_name" 0 "lubt"
+    :: List.map
+         (fun tid ->
+           metadata ~pid "thread_name" tid (Printf.sprintf "domain %d" tid))
+         tids
+  in
+  let body = List.map (event_to_json ~pid ~t_base) events in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (meta @ body));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let to_string ?pid events = Json.to_string (to_json ?pid events)
+
+let write ?pid path events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string ?pid events);
+      output_char oc '\n')

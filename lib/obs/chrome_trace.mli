@@ -1,0 +1,29 @@
+(** Chrome trace-event export.
+
+    Renders a {!Trace} buffer in the Chrome trace-event JSON format
+    ({{:https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU}spec}),
+    loadable in Perfetto ([ui.perfetto.dev]) or [chrome://tracing].
+
+    Mapping from the {!Trace} event model:
+    - [Span dur] → a complete event ([ph:"X"]) with [ts]/[dur] in
+      microseconds;
+    - [Instant] → [ph:"i"] with thread scope ([s:"t"]);
+    - [Counter] → [ph:"C"] with the sampled series as [args];
+    - event args → the [args] object ([Float]s as numbers, the rest
+      per their type).
+
+    Each event's [tid] is the recording Domain's id, and the export
+    prepends metadata events ([ph:"M"]) naming the process ["lubt"]
+    and each thread ["domain N"] — so a [Pool]-parallel run renders
+    its workers as separate horizontal tracks. Timestamps are
+    rebased to the earliest event so traces start near zero. *)
+
+val to_json : ?pid:int -> Trace.event list -> Json.t
+(** [to_json events] is the [{"traceEvents": [...]}] object.
+    [pid] defaults to the OS process id. *)
+
+val to_string : ?pid:int -> Trace.event list -> string
+(** Compact rendering of {!to_json}. *)
+
+val write : ?pid:int -> string -> Trace.event list -> unit
+(** [write path events] writes {!to_string} to [path]. *)

@@ -1,0 +1,41 @@
+type sink = Channel of out_channel | Buf of Buffer.t
+
+type t = { sink : sink; mutable lines : int }
+
+let to_channel oc = { sink = Channel oc; lines = 0 }
+
+let to_buffer b = { sink = Buf b; lines = 0 }
+
+let record t ~iteration ~phase ~objective ~primal_infeasibility
+    ~dual_infeasibility ~entering ~leaving ~eta_count ~bound_flips ?recovery
+    () =
+  let base =
+    [
+      ("iteration", Json.Num (float_of_int iteration));
+      ("phase", Json.Str phase);
+      ("objective", Json.Num objective);
+      ("primal_infeasibility", Json.Num primal_infeasibility);
+      ("dual_infeasibility", Json.Num dual_infeasibility);
+      ("entering", Json.Num (float_of_int entering));
+      ("leaving", Json.Num (float_of_int leaving));
+      ("eta_count", Json.Num (float_of_int eta_count));
+      ("bound_flips", Json.Num (float_of_int bound_flips));
+    ]
+  in
+  let members =
+    match recovery with
+    | None -> base
+    | Some stage -> base @ [ ("recovery", Json.Str stage) ]
+  in
+  let line = Json.to_string (Json.Obj members) in
+  (match t.sink with
+  | Channel oc ->
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  | Buf b ->
+    Buffer.add_string b line;
+    Buffer.add_char b '\n');
+  t.lines <- t.lines + 1
+
+let lines t = t.lines

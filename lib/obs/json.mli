@@ -1,0 +1,46 @@
+(** Minimal JSON values: a recursive-descent parser and a compact printer.
+
+    This is deliberately tiny — no external dependencies — and shared by
+    every machine-readable observability surface: {!Chrome_trace} renders
+    through it, {!Convergence} emits lines with it, and the bench
+    regression gate ([bench diff]) parses [lubt-bench/*] files with it.
+    It accepts exactly the JSON grammar (RFC 8259) with two pragmatic
+    limits: numbers are parsed as [float], and [\uXXXX] escapes outside
+    the basic multilingual plane (surrogate pairs) are decoded
+    codepoint-by-codepoint. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list  (** members in source order, duplicates kept *)
+
+val parse : string -> (t, string) result
+(** Parses one complete JSON value; trailing non-whitespace is an error.
+    The error string carries the byte offset of the failure. *)
+
+val parse_exn : string -> t
+(** Like {!parse}. @raise Failure on a parse error. *)
+
+val to_string : t -> string
+(** Compact (single-line) rendering. Integral numbers print without a
+    fractional part; non-finite numbers (which JSON cannot represent)
+    print as [null]. *)
+
+val member : string -> t -> t option
+(** [member k (Obj kvs)] is the first binding of [k]; [None] on missing
+    keys and non-objects. *)
+
+val num : t -> float option
+(** [Num] payload. *)
+
+val str : t -> string option
+(** [Str] payload. *)
+
+val arr : t -> t list option
+(** [Arr] payload. *)
+
+val obj : t -> (string * t) list option
+(** [Obj] payload. *)

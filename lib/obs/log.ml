@@ -1,0 +1,75 @@
+type level = Error | Warn | Info | Debug
+
+let severity = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
+
+let level_to_string = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "error" -> Ok Error
+  | "warn" | "warning" -> Ok Warn
+  | "info" -> Ok Info
+  | "debug" -> Ok Debug
+  | _ ->
+    Error
+      (Printf.sprintf "unknown log level %S (expected error|warn|info|debug)"
+         s)
+
+let current = Atomic.make (severity Warn)
+
+let set_level l = Atomic.set current (severity l)
+
+let level () =
+  match Atomic.get current with
+  | 0 -> Error
+  | 1 -> Warn
+  | 2 -> Info
+  | _ -> Debug
+
+type field = string * Trace.value
+
+let sink = ref Format.err_formatter
+
+let set_formatter fmt = sink := fmt
+
+let emit_lock = Mutex.create ()
+
+let field_to_string (k, v) =
+  let value =
+    match (v : Trace.value) with
+    | Trace.Bool b -> string_of_bool b
+    | Trace.Int i -> string_of_int i
+    | Trace.Float f -> Printf.sprintf "%g" f
+    | Trace.Str s -> s
+  in
+  Printf.sprintf "%s=%s" k value
+
+let emit lvl fields msg =
+  Mutex.protect emit_lock (fun () ->
+      let fmt = !sink in
+      Format.fprintf fmt "lubt: [%s] %s" (level_to_string lvl) msg;
+      List.iter
+        (fun f -> Format.fprintf fmt " %s" (field_to_string f))
+        fields;
+      Format.fprintf fmt "@.");
+  if Trace.enabled () then
+    Trace.instant
+      ~args:(("message", Trace.Str msg) :: fields)
+      ("log." ^ level_to_string lvl)
+
+let log lvl ?(fields = []) fmt =
+  if severity lvl <= Atomic.get current then
+    Format.kasprintf (fun msg -> emit lvl fields msg) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let err ?fields fmt = log Error ?fields fmt
+
+let warn ?fields fmt = log Warn ?fields fmt
+
+let info ?fields fmt = log Info ?fields fmt
+
+let debug ?fields fmt = log Debug ?fields fmt

@@ -1,0 +1,161 @@
+type value =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+type kind =
+  | Span of float
+  | Instant
+  | Counter
+
+type event = {
+  name : string;
+  kind : kind;
+  ts : float;
+  tid : int;
+  args : (string * value) list;
+}
+
+let dummy_event =
+  { name = ""; kind = Instant; ts = 0.0; tid = 0; args = [] }
+
+(* One ring per domain. Buffers are looked up through domain-local
+   storage (no lock on the record path) but registered in a global
+   list so [events] can collect them after the domains are gone —
+   DLS data dies with its domain. A generation counter invalidates
+   cached buffers across [start] calls. *)
+type buffer = {
+  b_tid : int;
+  b_gen : int;
+  b_cap : int;
+  b_events : event array;
+  mutable b_written : int;  (* total appends; wraps modulo b_cap *)
+}
+
+let enabled_flag = Atomic.make false
+
+let generation = Atomic.make 0
+
+let cap_setting = Atomic.make 65_536
+
+let registry_lock = Mutex.create ()
+
+let registry : buffer list ref = ref []
+
+let enabled () = Atomic.get enabled_flag
+
+let buffer_key : buffer option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let fresh_buffer () =
+  let cap = Atomic.get cap_setting in
+  let b =
+    {
+      b_tid = (Domain.self () :> int);
+      b_gen = Atomic.get generation;
+      b_cap = cap;
+      b_events = Array.make cap dummy_event;
+      b_written = 0;
+    }
+  in
+  Mutex.protect registry_lock (fun () -> registry := b :: !registry);
+  b
+
+let my_buffer () =
+  let cell = Domain.DLS.get buffer_key in
+  match !cell with
+  | Some b when b.b_gen = Atomic.get generation -> b
+  | _ ->
+    let b = fresh_buffer () in
+    cell := Some b;
+    b
+
+let record ev =
+  let b = my_buffer () in
+  b.b_events.(b.b_written mod b.b_cap) <- ev;
+  b.b_written <- b.b_written + 1
+
+let start ?(capacity = 65_536) () =
+  Atomic.set cap_setting (max 1 capacity);
+  (* Bumping the generation orphans every existing buffer: recording
+     domains allocate fresh ones on their next event, and [events]
+     only reads current-generation buffers. *)
+  Mutex.protect registry_lock (fun () ->
+      Atomic.incr generation;
+      registry := []);
+  Atomic.set enabled_flag true
+
+let stop () = Atomic.set enabled_flag false
+
+let span ?(args = []) name f =
+  if not (enabled ()) then f ()
+  else begin
+    let t0 = Clock.now () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur = Clock.now () -. t0 in
+        record
+          {
+            name;
+            kind = Span dur;
+            ts = t0;
+            tid = (Domain.self () :> int);
+            args;
+          })
+      f
+  end
+
+let complete ?(args = []) ~t0 name =
+  if enabled () then
+    record
+      {
+        name;
+        kind = Span (Clock.now () -. t0);
+        ts = t0;
+        tid = (Domain.self () :> int);
+        args;
+      }
+
+let instant ?(args = []) name =
+  if enabled () then
+    record
+      {
+        name;
+        kind = Instant;
+        ts = Clock.now ();
+        tid = (Domain.self () :> int);
+        args;
+      }
+
+let counter name series =
+  if enabled () then
+    record
+      {
+        name;
+        kind = Counter;
+        ts = Clock.now ();
+        tid = (Domain.self () :> int);
+        args = List.map (fun (k, v) -> (k, Float v)) series;
+      }
+
+let snapshot () =
+  let gen = Atomic.get generation in
+  Mutex.protect registry_lock (fun () ->
+      List.filter (fun b -> b.b_gen = gen) !registry)
+
+let events () =
+  let collect b =
+    let retained = min b.b_written b.b_cap in
+    (* Oldest retained event sits at [b_written mod b_cap] once the
+       ring has wrapped; at index 0 otherwise. *)
+    let first = if b.b_written > b.b_cap then b.b_written mod b.b_cap else 0 in
+    List.init retained (fun i -> b.b_events.((first + i) mod b.b_cap))
+  in
+  snapshot ()
+  |> List.concat_map collect
+  |> List.stable_sort (fun a b -> Float.compare a.ts b.ts)
+
+let dropped () =
+  snapshot ()
+  |> List.fold_left (fun acc b -> acc + max 0 (b.b_written - b.b_cap)) 0

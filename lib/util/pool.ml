@@ -10,12 +10,22 @@ let default_jobs () = Domain.recommended_domain_count ()
    synchronisation point, so plain Array writes are race-free here. *)
 let run_indexed ~jobs (tasks : (unit -> 'b) array) : ('b, failure) result array =
   let n = Array.length tasks in
+  let module Trace = Lubt_obs.Trace in
+  let module Clock = Lubt_obs.Clock in
   let capture i f =
+    (* the per-task span records in the worker domain's own trace buffer,
+       so parallel tasks render as separate tid tracks *)
+    let t0 = if Trace.enabled () then Clock.now () else 0.0 in
+    let fin r =
+      if Trace.enabled () then
+        Trace.complete ~t0 "pool.task" ~args:[ ("index", Trace.Int i) ];
+      r
+    in
     match f () with
-    | v -> Ok v
+    | v -> fin (Ok v)
     | exception exn ->
       let backtrace = Printexc.get_backtrace () in
-      Error { index = i; exn; backtrace }
+      fin (Error { index = i; exn; backtrace })
   in
   let jobs = max 1 (min jobs n) in
   if jobs = 1 then Array.mapi (fun i f -> capture i f) tasks

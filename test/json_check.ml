@@ -1,0 +1,117 @@
+(* A tiny recursive-descent JSON syntax checker, shared by the test
+   suites that assert well-formedness of machine-readable output
+   (batch JSON-lines, bench records, CLI --json stdout, Chrome
+   traces). Deliberately independent of Lubt_obs.Json so the two
+   implementations cross-check each other. *)
+
+let json_valid s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let fail () = raise Exit in
+  let expect c = if peek () = Some c then incr pos else fail () in
+  let lit w =
+    let l = String.length w in
+    if !pos + l <= n && String.sub s !pos l = w then pos := !pos + l
+    else fail ()
+  in
+  let digits () =
+    let start = !pos in
+    while !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false do
+      incr pos
+    done;
+    if !pos = start then fail ()
+  in
+  let str () =
+    expect '"';
+    let rec loop () =
+      if !pos >= n then fail ();
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+        incr pos;
+        if !pos >= n then fail ();
+        incr pos;
+        loop ()
+      | _ ->
+        incr pos;
+        loop ()
+    in
+    loop ()
+  in
+  let number () =
+    if peek () = Some '-' then incr pos;
+    digits ();
+    if peek () = Some '.' then (
+      incr pos;
+      digits ());
+    match peek () with
+    | Some ('e' | 'E') ->
+      incr pos;
+      (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+      digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> str ()
+    | Some 't' -> lit "true"
+    | Some 'f' -> lit "false"
+    | Some 'n' -> lit "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail ()
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then incr pos
+    else
+      let rec members () =
+        skip_ws ();
+        str ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          incr pos;
+          members ()
+        | Some '}' -> incr pos
+        | _ -> fail ()
+      in
+      members ()
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then incr pos
+    else
+      let rec elems () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          incr pos;
+          elems ()
+        | Some ']' -> incr pos
+        | _ -> fail ()
+      in
+      elems ()
+  in
+  match
+    value ();
+    skip_ws ();
+    !pos = n
+  with
+  | r -> r
+  | exception Exit -> false

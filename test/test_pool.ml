@@ -11,120 +11,10 @@ module Protocol = Lubt_experiments.Protocol
 module Benchmarks = Lubt_data.Benchmarks
 
 (* ------------------------------------------------------------------ *)
-(* a tiny recursive-descent JSON syntax checker (no external deps)     *)
+(* JSON syntax checking (shared with test_obs; see json_check.ml)      *)
 (* ------------------------------------------------------------------ *)
 
-let json_valid s =
-  let n = String.length s in
-  let pos = ref 0 in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let skip_ws () =
-    while
-      !pos < n
-      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
-    do
-      incr pos
-    done
-  in
-  let fail () = raise Exit in
-  let expect c = if peek () = Some c then incr pos else fail () in
-  let lit w =
-    let l = String.length w in
-    if !pos + l <= n && String.sub s !pos l = w then pos := !pos + l
-    else fail ()
-  in
-  let digits () =
-    let start = !pos in
-    while !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false do
-      incr pos
-    done;
-    if !pos = start then fail ()
-  in
-  let str () =
-    expect '"';
-    let rec loop () =
-      if !pos >= n then fail ();
-      match s.[!pos] with
-      | '"' -> incr pos
-      | '\\' ->
-        incr pos;
-        if !pos >= n then fail ();
-        incr pos;
-        loop ()
-      | _ ->
-        incr pos;
-        loop ()
-    in
-    loop ()
-  in
-  let number () =
-    if peek () = Some '-' then incr pos;
-    digits ();
-    if peek () = Some '.' then (
-      incr pos;
-      digits ());
-    match peek () with
-    | Some ('e' | 'E') ->
-      incr pos;
-      (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
-      digits ()
-    | _ -> ()
-  in
-  let rec value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' -> obj ()
-    | Some '[' -> arr ()
-    | Some '"' -> str ()
-    | Some 't' -> lit "true"
-    | Some 'f' -> lit "false"
-    | Some 'n' -> lit "null"
-    | Some ('-' | '0' .. '9') -> number ()
-    | _ -> fail ()
-  and obj () =
-    expect '{';
-    skip_ws ();
-    if peek () = Some '}' then incr pos
-    else
-      let rec members () =
-        skip_ws ();
-        str ();
-        skip_ws ();
-        expect ':';
-        value ();
-        skip_ws ();
-        match peek () with
-        | Some ',' ->
-          incr pos;
-          members ()
-        | Some '}' -> incr pos
-        | _ -> fail ()
-      in
-      members ()
-  and arr () =
-    expect '[';
-    skip_ws ();
-    if peek () = Some ']' then incr pos
-    else
-      let rec elems () =
-        value ();
-        skip_ws ();
-        match peek () with
-        | Some ',' ->
-          incr pos;
-          elems ()
-        | Some ']' -> incr pos
-        | _ -> fail ()
-      in
-      elems ()
-  in
-  match
-    value ();
-    skip_ws ();
-    !pos = n
-  with
-  | r -> r
-  | exception Exit -> false
+let json_valid = Json_check.json_valid
 
 let test_json_checker () =
   List.iter
@@ -341,13 +231,36 @@ let test_bench_json () =
       ]
   in
   Alcotest.(check bool) "bench_json valid" true (json_valid j);
-  Alcotest.(check bool) "schema v3 stamped" true
-    (let re = "\"schema\": \"lubt-bench/3\"" in
-     let rec find i =
-       i + String.length re <= String.length j
-       && (String.sub j i (String.length re) = re || find (i + 1))
-     in
-     find 0)
+  let contains re j =
+    let rec find i =
+      i + String.length re <= String.length j
+      && (String.sub j i (String.length re) = re || find (i + 1))
+    in
+    find 0
+  in
+  Alcotest.(check bool) "schema v4 stamped" true
+    (contains "\"schema\": \"lubt-bench/4\"" j);
+  (* a --no-scaling run records the skip explicitly instead of omitting
+     the field *)
+  let skipped =
+    Protocol.bench_json ~scaling_skipped:true ~size:"tiny"
+      [
+        {
+          Protocol.bench_name = "unit";
+          ms_per_run = 1.0;
+          solver = None;
+          ebf_result = None;
+        };
+      ]
+  in
+  Alcotest.(check bool) "skipped run still valid JSON" true
+    (json_valid skipped);
+  Alcotest.(check bool) "empty scaling recorded" true
+    (contains "\"scaling\": []" skipped);
+  Alcotest.(check bool) "skip marker recorded" true
+    (contains "\"scaling_skipped\": true" skipped);
+  Alcotest.(check bool) "normal run has no skip marker" false
+    (contains "scaling_skipped" j)
 
 let test_cli_solve_json () =
   (* satellite check: `lubt solve --json --stats` must keep stdout pure
