@@ -346,15 +346,246 @@ let run_timing ?(seed = 0) ?(jobs = 1) ?(no_scaling = false) json_out =
 (* Entry point                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* serve: daemon load generator                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Serve = Lubt_experiments.Serve
+module Json = Lubt_obs.Json
+module Clock = Lubt_obs.Clock
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else
+    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+
+(* the request mix: rotate over the four tiny paper benchmarks with a
+   rotating seed offset, so consecutive requests hit different sink
+   fields and the pool actually sees heterogeneous work *)
+let load_request i =
+  let benches = [| "prim1s"; "prim2s"; "r1s"; "r3s" |] in
+  Printf.sprintf
+    "{\"id\": \"q%d\", \"bench\": \"%s\", \"size\": \"tiny\", \"seed\": %d}"
+    i benches.(i mod 4) (i / 4 mod 8)
+
+(* Open-loop load generator: [n = rps * duration] requests sent on a
+   fixed schedule over [conns] pipelined connections, responses matched
+   back to their send times by id. Open-loop (send times do not depend
+   on completions) so a slow daemon shows up as latency, not as a
+   silently lowered offered rate. Single-threaded select loop: the
+   concurrency lives in the daemon, not the client. *)
+let run_load ~addr ~rps ~duration ~conns =
+  let n = max 1 (int_of_float (Float.round (rps *. duration))) in
+  let fds =
+    Array.init conns (fun _ ->
+        let fd =
+          Unix.socket
+            (match addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET)
+            Unix.SOCK_STREAM 0
+        in
+        Unix.connect fd addr;
+        fd)
+  in
+  let bufs = Array.make conns "" in
+  let fd_list = Array.to_list fds in
+  let send_times : (string, float) Hashtbl.t = Hashtbl.create n in
+  let latencies = ref [] in
+  let ok = ref 0 and failed = ref 0 and rejected = ref 0 in
+  let handle_line line =
+    if String.trim line <> "" then begin
+      let t1 = Clock.now () in
+      match Json.parse line with
+      | Error _ -> incr failed
+      | Ok j ->
+        let id = match Json.member "id" j with
+          | Some (Json.Str s) -> Some s
+          | _ -> None
+        in
+        let is_ok = Json.member "ok" j = Some (Json.Bool true) in
+        let code =
+          match Option.bind (Json.member "error" j) (Json.member "code") with
+          | Some (Json.Str c) -> c
+          | _ -> ""
+        in
+        (match id with
+        | Some id ->
+          (match Hashtbl.find_opt send_times id with
+          | Some t0 ->
+            Hashtbl.remove send_times id;
+            if is_ok then begin
+              incr ok;
+              latencies := ((t1 -. t0) *. 1e3) :: !latencies
+            end
+            else if code = "overloaded" then incr rejected
+            else incr failed
+          | None -> incr failed)
+        | None -> incr failed)
+    end
+  in
+  let read_ready timeout =
+    match Unix.select fd_list [] [] timeout with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+      let buf = Bytes.create 65536 in
+      List.iter
+        (fun fd ->
+          let k = ref 0 in
+          Array.iteri (fun i f -> if f = fd then k := i) fds;
+          match Unix.read fd buf 0 (Bytes.length buf) with
+          | 0 -> ()
+          | r ->
+            let data = bufs.(!k) ^ Bytes.sub_string buf 0 r in
+            let lines = String.split_on_char '\n' data in
+            let rec go = function
+              | [] -> ()
+              | [ last ] -> bufs.(!k) <- last
+              | l :: rest -> handle_line l; go rest
+            in
+            go lines)
+        ready
+  in
+  let t_start = Clock.now () in
+  let sent = ref 0 in
+  while !sent < n do
+    let next = t_start +. (float_of_int !sent /. rps) in
+    let now = Clock.now () in
+    if now >= next then begin
+      let line = load_request !sent in
+      let id = Printf.sprintf "q%d" !sent in
+      let fd = fds.(!sent mod conns) in
+      Hashtbl.replace send_times id (Clock.now ());
+      (try
+         let b = Bytes.of_string (line ^ "\n") in
+         ignore (Unix.write fd b 0 (Bytes.length b))
+       with Unix.Unix_error _ -> incr failed);
+      incr sent
+    end
+    else read_ready (min 0.05 (next -. now))
+  done;
+  (* drain: every request was sent; wait (bounded) for the tail *)
+  let drain_deadline = Clock.now () +. 60.0 in
+  while Hashtbl.length send_times > 0 && Clock.now () < drain_deadline do
+    read_ready 0.1
+  done;
+  let wall_s = Clock.now () -. t_start in
+  Array.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) fds;
+  let unanswered = Hashtbl.length send_times in
+  let lat = Array.of_list !latencies in
+  Array.sort Float.compare lat;
+  (`Sent n, `Ok !ok, `Rejected !rejected, `Failed (!failed + unanswered),
+   `Wall wall_s, `Lat lat)
+
+let run_serve args =
+  let rps = ref 20.0 in
+  let duration = ref 5.0 in
+  let conns = ref 8 in
+  let jobs = ref 4 in
+  let socket = ref None in
+  let json_out = ref None in
+  let bad what =
+    Printf.eprintf
+      "%s\nusage: main.exe serve [--rps N] [--duration S] [--conns N] \
+       [--jobs N] [--socket PATH] [--json FILE]\n"
+      what;
+    exit 1
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--rps" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some r when r > 0.0 -> rps := r; parse rest
+      | _ -> bad "--rps: need a positive number")
+    | "--duration" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some d when d > 0.0 -> duration := d; parse rest
+      | _ -> bad "--duration: need a positive number of seconds")
+    | "--conns" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some c when c >= 1 -> conns := c; parse rest
+      | _ -> bad "--conns: need a positive integer")
+    | "--jobs" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some j when j >= 1 -> jobs := j; parse rest
+      | _ -> bad "--jobs: need a positive integer")
+    | "--socket" :: path :: rest -> socket := Some path; parse rest
+    | "--json" :: file :: rest -> json_out := Some file; parse rest
+    | a :: _ -> bad (Printf.sprintf "serve: unknown argument %S" a)
+  in
+  parse args;
+  (* self-host unless --socket points at an external daemon: the bench
+     then measures the library end to end in one process, which is also
+     what CI runs *)
+  let handle, addr =
+    match !socket with
+    | Some path -> (None, Unix.ADDR_UNIX path)
+    | None ->
+      let path =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "lubt-bench-%d.sock" (Unix.getpid ()))
+      in
+      let cfg =
+        { Serve.default_config with
+          Serve.socket = Some path;
+          jobs = !jobs;
+          max_pending = 4096 }
+      in
+      (match Serve.spawn cfg with
+      | Error msg -> Printf.eprintf "bench serve: %s\n" msg; exit 2
+      | Ok h -> (Some h, Unix.ADDR_UNIX path))
+  in
+  let `Sent sent, `Ok ok, `Rejected rejected, `Failed failed, `Wall wall_s,
+      `Lat lat =
+    run_load ~addr ~rps:!rps ~duration:!duration ~conns:!conns
+  in
+  (match handle with
+  | Some h -> ignore (Serve.shutdown h)
+  | None -> ());
+  let p50 = percentile lat 50.0
+  and p95 = percentile lat 95.0
+  and p99 = percentile lat 99.0 in
+  let throughput = float_of_int ok /. wall_s in
+  Printf.printf
+    "serve load: %d sent at %.0f rps over %d conns — %d ok, %d rejected, \
+     %d failed, %.1fs wall\n\
+     latency ms: p50 %.2f  p95 %.2f  p99 %.2f   throughput %.1f req/s\n%!"
+    sent !rps !conns ok rejected failed wall_s p50 p95 p99 throughput;
+  (match !json_out with
+  | Some path ->
+    (* latency quantiles join the lubt-bench schema as ms entries, so
+       [bench diff] gates serve latency like any other benchmark *)
+    let entry name ms =
+      { Protocol.bench_name = name; ms_per_run = ms;
+        solver = None; ebf_result = None }
+    in
+    let entries =
+      [ entry "serve_latency_p50" p50;
+        entry "serve_latency_p95" p95;
+        entry "serve_latency_p99" p99;
+        entry "serve_ms_per_request"
+          (if throughput > 0.0 then 1e3 /. throughput else nan) ]
+    in
+    let oc = open_out path in
+    output_string oc (Protocol.bench_json ~jobs:!jobs ~size:"tiny" entries);
+    close_out oc;
+    Printf.printf "wrote %s (%d serve records)\n%!" path (List.length entries)
+  | None -> ());
+  if ok = 0 then exit 1
+
 let known_commands =
   [ "table1"; "table2"; "table3"; "tradeoff"; "figure8"; "ablation";
-    "extensions"; "sweep"; "timing"; "diff" ]
+    "extensions"; "sweep"; "timing"; "diff"; "serve" ]
 
 let usage_and_exit () =
   Printf.eprintf
     "usage: main.exe [COMMAND...] [--tiny|--scaled|--full] [--json FILE]\n\
      [--seed N] [--jobs N] [--no-scaling] [--trace FILE]\n\
-     \       main.exe diff OLD.json NEW.json [--threshold PCT] [--warn-only]\n\
+     \       main.exe diff OLD.json NEW.json [--threshold PCT]\n\
+     \                    [--abs-floor-ms MS] [--warn-only]\n\
+     \       main.exe serve [--rps N] [--duration S] [--conns N] [--jobs N]\n\
+     \                      [--socket PATH] [--json FILE]\n\
      commands: %s (all of them when none given)\n"
     (String.concat "|" known_commands);
   exit 1
@@ -365,6 +596,7 @@ let usage_and_exit () =
    prints the same report but always exits 0 (CI soft gate). *)
 let run_diff args =
   let threshold = ref 10.0 in
+  let abs_floor_ms = ref 0.05 in
   let warn_only = ref false in
   let files = ref [] in
   let rec parse = function
@@ -380,6 +612,17 @@ let run_diff args =
       | _ ->
         Printf.eprintf "--threshold: not a non-negative number: %S\n" v;
         usage_and_exit ())
+    | [ "--abs-floor-ms" ] ->
+      Printf.eprintf "--abs-floor-ms requires a milliseconds argument\n";
+      usage_and_exit ()
+    | "--abs-floor-ms" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some f when f >= 0.0 ->
+        abs_floor_ms := f;
+        parse rest
+      | _ ->
+        Printf.eprintf "--abs-floor-ms: not a non-negative number: %S\n" v;
+        usage_and_exit ())
     | "--warn-only" :: rest ->
       warn_only := true;
       parse rest
@@ -394,8 +637,8 @@ let run_diff args =
   match List.rev !files with
   | [ old_path; new_path ] -> (
     match
-      Bench_diff.compare_files ~threshold:(!threshold /. 100.0) old_path
-        new_path
+      Bench_diff.compare_files ~threshold:(!threshold /. 100.0)
+        ~abs_floor_ms:!abs_floor_ms old_path new_path
     with
     | Error e ->
       Printf.eprintf "bench diff: %s\n" e;
@@ -414,6 +657,11 @@ let () =
   (match args with
   | "diff" :: rest ->
     run_diff rest;
+    exit 0
+  | "serve" :: rest ->
+    (* [serve] has its own flags (--rps, --duration, ...), so it routes
+       before the flag parser too *)
+    run_serve rest;
     exit 0
   | _ -> ());
   let size = ref Benchmarks.Scaled in
@@ -498,7 +746,10 @@ let () =
     | "extensions" -> run_extensions size
     | "sweep" -> run_sweep ~jobs ~seed:!seed size
     | "timing" -> run_timing ~seed:!seed ~jobs ~no_scaling:!no_scaling !json_out
-    | "diff" -> assert false (* routed before the flag parser *)
+    | "diff" | "serve" ->
+      Printf.eprintf "%s must be the first argument\n"
+        (List.hd (List.rev !commands));
+      exit 1
     | _ -> assert false
   in
   (match List.rev !commands with

@@ -6,6 +6,7 @@
      solve      solve the LUBT LP (+ embedding) for an instance & topology
      batch      domain-parallel sweep over a seeded instance corpus,
                 JSON-lines output
+     serve      long-lived JSON-lines solve daemon (Unix socket / TCP)
      table1/2/3, tradeoff, ablation
                 regenerate the paper's tables and figure
 
@@ -29,6 +30,7 @@ module Io = Lubt_data.Io
 module Tables = Lubt_experiments.Tables
 module Protocol = Lubt_experiments.Protocol
 module Batch = Lubt_experiments.Batch
+module Serve = Lubt_experiments.Serve
 module Pool = Lubt_util.Pool
 module Log = Lubt_obs.Log
 module Trace = Lubt_obs.Trace
@@ -228,22 +230,6 @@ let print_solver_stats (ebf : Ebf.result) =
         r.Ebf.solve_pivots)
     ebf.Ebf.round_stats
 
-(* the machine-readable solve report of [solve --json]: one JSON object
-   on stdout, reusing the bench schema's solver/ebf building blocks *)
-let solve_report_json (report : Lubt.report) ~validated =
-  let routed = report.Lubt.routed in
-  let ebf = report.Lubt.ebf in
-  Printf.sprintf
-    "{\"cost\": %s, \"validated\": %b, \"certified\": %b, \"ebf\": %s, \
-     \"solver\": %s}"
-    (Protocol.json_float (Routed.cost routed))
-    validated
-    (match ebf.Ebf.certificate with
-    | Some r -> r.Lubt_lp.Certify.ok
-    | None -> false)
-    (Protocol.ebf_result_json ebf)
-    (Protocol.solver_stats_json ebf.Ebf.lp_stats)
-
 let solve inst_path topo_path eager stats certify time_limit fault_seed
     pricing no_warm_start json trace convergence log_level =
   Log.set_level log_level;
@@ -364,7 +350,9 @@ let solve inst_path topo_path eager stats certify time_limit fault_seed
     end
     else Log.info "validation: OK";
     finish_obs ();
-    if json then print_endline (solve_report_json report ~validated)
+    (* rendered by the Serve module so the one-shot report and the
+       daemon's responses share one definition and cannot drift *)
+    if json then print_endline (Serve.solve_report_json report ~validated)
     else Format.printf "%a@." Routed.pp_summary routed;
     if not validated then exit 1
 
@@ -492,11 +480,32 @@ let solve_cmd =
 (* batch                                                                *)
 (* ------------------------------------------------------------------ *)
 
+(* [mkdir -p]: --trace-dir may name a nested path that does not exist
+   yet (e.g. results/2026-08/run3) *)
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* repeated sweeps into one directory must not clobber earlier traces:
+   take batch_trace.json if free, else the first free -N suffix *)
+let fresh_trace_path dir =
+  let base = Filename.concat dir "batch_trace" in
+  if not (Sys.file_exists (base ^ ".json")) then base ^ ".json"
+  else
+    let rec go n =
+      let p = Printf.sprintf "%s-%d.json" base n in
+      if Sys.file_exists p then go (n + 1) else p
+    in
+    go 1
+
 let batch size jobs seed per_bench skew no_certify out trace_dir =
   (match trace_dir with
   | Some dir ->
-    (try Unix.mkdir dir 0o755 with
-    | Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    mkdir_p dir;
     Trace.start ()
   | None -> ());
   let specs = Batch.corpus ~size ~per_bench ~skew_rel:skew ~seed () in
@@ -522,7 +531,7 @@ let batch size jobs seed per_bench skew no_certify out trace_dir =
   (* all worker domains have joined inside Batch.run, so every
      per-domain buffer is quiescent and safe to snapshot *)
   (match trace_dir with
-  | Some dir -> write_trace (Filename.concat dir "batch_trace.json")
+  | Some dir -> write_trace (fresh_trace_path dir)
   | None -> ());
   if s.Batch.failures > 0 then exit 1
 
@@ -582,10 +591,12 @@ let batch_cmd =
       & info [ "trace-dir" ] ~docv:"DIR"
           ~doc:
             "Record spans for the whole sweep and write \
-             DIR/batch_trace.json (Chrome trace-event JSON; DIR is \
-             created if missing). Each worker domain records into its \
-             own buffer, so parallel tasks render as separate tracks \
-             in Perfetto.")
+             DIR/batch_trace.json (Chrome trace-event JSON; DIR and \
+             its parents are created if missing, and an existing \
+             trace gets a -N suffixed sibling instead of being \
+             overwritten). Each worker domain records into its own \
+             buffer, so parallel tasks render as separate tracks in \
+             Perfetto.")
   in
   let run size jobs seed per_bench skew no_certify out trace_dir log_level =
     Log.set_level log_level;
@@ -605,6 +616,103 @@ let batch_cmd =
     Term.(
       const run $ size_t $ jobs $ seed $ per_bench $ skew $ no_certify $ out
       $ trace_dir $ log_level_t)
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let serve socket port host jobs max_pending default_time_limit log_level =
+  Log.set_level log_level;
+  if socket = None && port = None then begin
+    prerr_endline "lubt serve: give --socket PATH and/or --port PORT";
+    exit 2
+  end;
+  let cfg =
+    {
+      Serve.socket;
+      port;
+      host;
+      jobs = (if jobs = 0 then Pool.default_jobs () else jobs);
+      max_pending;
+      default_time_limit =
+        (if default_time_limit <= 0.0 then infinity else default_time_limit);
+    }
+  in
+  match Serve.create cfg with
+  | Error msg ->
+    prerr_endline msg;
+    exit 1
+  | Ok server ->
+    Serve.install_signal_handlers server;
+    let stats = Serve.run server in
+    (* stdout stays machine-readable: one summary object, like batch *)
+    Printf.printf
+      "{\"connections\": %d, \"served\": %d, \"rejected\": %d, \
+       \"failed\": %d}\n"
+      stats.Serve.connections stats.Serve.served stats.Serve.rejected
+      stats.Serve.failed
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at $(docv) (a stale socket \
+             file is replaced; it is removed again on shutdown).")
+  in
+  let port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Listen on TCP $(docv) (combinable with --socket).")
+  in
+  let host =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR"
+          ~doc:"TCP bind address (default loopback only).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 4
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains solving requests concurrently (default 4; 0 \
+             means the machine's recommended domain count).")
+  in
+  let max_pending =
+    Arg.(
+      value & opt int 64
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:
+            "Bound on queued (accepted, not yet running) requests. A \
+             request arriving past the bound is refused immediately with \
+             an $(b,overloaded) error instead of growing the queue.")
+  in
+  let default_time_limit =
+    Arg.(
+      value & opt float 0.0
+      & info [ "default-time-limit" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget applied to requests that carry no \
+             $(b,time_limit) of their own (default: none). An expired \
+             solve answers with a $(b,time_limit) error.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived solve daemon: JSON-lines requests over a Unix \
+          socket and/or TCP, answered by a pool of worker domains with \
+          bounded-queue backpressure and per-request deadlines; \
+          responses reuse the $(b,solve --json) report shape. SIGTERM \
+          or SIGINT drains in-flight requests and exits cleanly.")
+    Term.(
+      const serve $ socket $ port $ host $ jobs $ max_pending
+      $ default_time_limit $ log_level_t)
 
 (* ------------------------------------------------------------------ *)
 (* svg                                                                  *)
@@ -745,6 +853,7 @@ let () =
             route_cmd;
             solve_cmd;
             batch_cmd;
+            serve_cmd;
             svg_cmd;
             optimize_cmd;
             table_cmd "table1" "Regenerate Table 1 (baseline vs LUBT)" table1;

@@ -262,11 +262,16 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
   in
   let eng = Simplex.of_problem ~params:lp_params prob in
   Simplex.set_probe eng options.probe;
-  (* monotonic budget shared across all row-generation rounds *)
+  (* One monotonic deadline shared by every phase of every round: the
+     LP solves (enforced inside the engine via set_time_limit), the
+     O(t^2) violation scans (checked below — without this a run whose
+     scans dominate overshoots the budget by a full scan per round) and
+     the round boundaries themselves. *)
   let deadline =
     if options.time_limit = infinity then infinity
     else Clock.now () +. options.time_limit
   in
+  let expired () = deadline < infinity && Clock.now () > deadline in
   let lengths_of_primal primal =
     let n = Tree.num_nodes tree in
     let lengths = Array.make n 0.0 in
@@ -280,6 +285,24 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
   let round_stats = ref [] in
   let rec loop rounds =
     let solve_t0 = Clock.now () in
+    if expired () then begin
+      (* budget gone before this round's solve: report the expiry with
+         the stats of the rounds that did run instead of starting more
+         work *)
+      round_stats :=
+        {
+          round = rounds;
+          rows_added = 0;
+          violations_found = 0;
+          warm_rows = 0;
+          scan_seconds = 0.0;
+          solve_seconds = 0.0;
+          solve_pivots = 0;
+        }
+        :: !round_stats;
+      (Status.Time_limit, rounds)
+    end
+    else begin
     if deadline < infinity then
       (* hand the engine whatever budget is left; non-positive remaining
          time makes the solve return Time_limit immediately *)
@@ -314,20 +337,30 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
       let lengths = lengths_of_primal (Simplex.primal eng) in
       let d = Tree.delays tree lengths in
       let violations = ref [] in
-      for i = 0 to t - 1 do
-        for j = i + 1 to t - 1 do
-          if not (Hashtbl.mem added (i, j)) then begin
-            let a, pa = terms.(i) and b, pb = terms.(j) in
-            let need = Point.dist pa pb in
-            if need > 0.0 then begin
-              let have = d.(a) +. d.(b) -. (2.0 *. d.(Tree.lca tree a b)) in
-              let viol = need -. have in
-              if viol > options.violation_tol *. scale then
-                violations := (viol, (i, j)) :: !violations
-            end
-          end
-        done
-      done;
+      let scan_cut = ref false in
+      (* the scan is the Theta(t^2) phase: poll the deadline once per
+         outer row (t clock reads against t^2 pair work) and abandon
+         the sweep when the budget runs out mid-scan *)
+      (try
+         for i = 0 to t - 1 do
+           if deadline < infinity && expired () then begin
+             scan_cut := true;
+             raise Exit
+           end;
+           for j = i + 1 to t - 1 do
+             if not (Hashtbl.mem added (i, j)) then begin
+               let a, pa = terms.(i) and b, pb = terms.(j) in
+               let need = Point.dist pa pb in
+               if need > 0.0 then begin
+                 let have = d.(a) +. d.(b) -. (2.0 *. d.(Tree.lca tree a b)) in
+                 let viol = need -. have in
+                 if viol > options.violation_tol *. scale then
+                   violations := (viol, (i, j)) :: !violations
+               end
+             end
+           done
+         done
+       with Exit -> ());
       let scan_seconds = Clock.now () -. scan_t0 in
       if Trace.enabled () then
         Trace.complete ~t0:scan_t0 "ebf.scan"
@@ -336,6 +369,14 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
               ("round", Trace.Int rounds);
               ("violations", Trace.Int (List.length !violations));
             ];
+      if !scan_cut then begin
+        (* a truncated scan proves nothing about the unseen pairs: the
+           incumbent lengths are a partial answer, not an optimum *)
+        record ~rows_added:0 ~violations_found:(List.length !violations)
+          ~scan_seconds ();
+        (Status.Time_limit, rounds)
+      end
+      else
       match !violations with
       | [] ->
         record ~rows_added:0 ~violations_found:0 ~scan_seconds ();
@@ -379,6 +420,7 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
             ~scan_seconds ();
           loop (rounds + 1)
         end
+    end
     end
   in
   let status, rounds = loop 1 in

@@ -28,10 +28,15 @@ type options = {
   max_rounds : int;
   time_limit : float;
       (** wall-clock budget in seconds over ALL row-generation rounds
-          (default [infinity]). The remaining budget is handed to the LP
-          engine before every (re-)solve; on expiry the result carries
-          status {!Lubt_lp.Status.Time_limit} and the best lengths reached
-          so far. *)
+          (default [infinity]), kept as one monotonic deadline
+          ({!Lubt_obs.Clock}). The remaining budget is handed to the LP
+          engine before every (re-)solve, and the deadline is also
+          polled at round entry and once per outer row of the
+          [O(t^2)] violation scan, so a run whose scans dominate cannot
+          overshoot by a full scan per round. On expiry the result
+          carries status {!Lubt_lp.Status.Time_limit}, partial
+          [round_stats] for the rounds that ran, and the best lengths
+          reached so far. *)
   check : Lubt_lp.Certify.level;
       (** a-posteriori certification of an optimal claim (default [Off]):
           the materialised LP is certified by {!Lubt_lp.Certify.check} and

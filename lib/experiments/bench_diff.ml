@@ -13,6 +13,7 @@ type entry_delta = {
 
 type report = {
   r_threshold : float;
+  r_abs_floor_ms : float;
   r_deltas : entry_delta list;
   r_only_old : string list;
   r_only_new : string list;
@@ -81,7 +82,7 @@ let diff_counters old_cs new_cs =
       | _ -> None)
     old_cs
 
-let compare ?(threshold = 0.10) old_json new_json =
+let compare ?(threshold = 0.10) ?(abs_floor_ms = 0.05) old_json new_json =
   let* old_entries = parse_bench "old" old_json in
   let* new_entries = parse_bench "new" new_json in
   let find name entries =
@@ -94,8 +95,19 @@ let compare ?(threshold = 0.10) old_json new_json =
         | None -> None
         | Some (_, new_ms, new_cs) ->
           let ratio = new_ms /. old_ms in
+          let delta = new_ms -. old_ms in
+          (* The ratio gate alone misfires on degenerate baselines: a
+             zero or sub-microsecond old entry (fast machine, tiny
+             instance, failed OLS fit) turns picosecond jitter into an
+             inf/nan or a huge finite ratio. The absolute-delta floor
+             clamps those: a change smaller than [abs_floor_ms] is
+             never a verdict, and when the baseline is zero (ratio
+             meaningless) the sign of the delta alone decides. *)
           let verdict =
-            if not (Float.is_finite ratio) then Unchanged
+            if not (Float.is_finite delta) then Unchanged
+            else if Float.abs delta <= abs_floor_ms then Unchanged
+            else if old_ms <= 0.0 || not (Float.is_finite ratio) then
+              if delta > 0.0 then Regression else Improvement
             else if ratio > 1.0 +. threshold then Regression
             else if ratio < 1.0 -. threshold then Improvement
             else Unchanged
@@ -121,6 +133,7 @@ let compare ?(threshold = 0.10) old_json new_json =
   Ok
     {
       r_threshold = threshold;
+      r_abs_floor_ms = abs_floor_ms;
       r_deltas = deltas;
       r_only_old = only_old;
       r_only_new = only_new;
@@ -131,10 +144,10 @@ let read_file path =
   | s -> Ok s
   | exception Sys_error e -> Error e
 
-let compare_files ?threshold old_path new_path =
+let compare_files ?threshold ?abs_floor_ms old_path new_path =
   let* old_json = read_file old_path in
   let* new_json = read_file new_path in
-  compare ?threshold old_json new_json
+  compare ?threshold ?abs_floor_ms old_json new_json
 
 let regressions r =
   List.filter (fun d -> d.d_verdict = Regression) r.r_deltas
@@ -148,14 +161,18 @@ let verdict_tag = function
 
 let print oc r =
   Printf.fprintf oc
-    "bench diff (threshold %.1f%%): %d benchmarks compared\n"
-    (r.r_threshold *. 100.0)
+    "bench diff (threshold %.1f%%, floor %.3f ms): %d benchmarks compared\n"
+    (r.r_threshold *. 100.0) r.r_abs_floor_ms
     (List.length r.r_deltas);
   List.iter
     (fun d ->
-      Printf.fprintf oc "%-40s %10.3f -> %10.3f ms/run  %+7.1f%%  %s\n"
-        d.d_name d.d_old_ms d.d_new_ms
-        ((d.d_ratio -. 1.0) *. 100.0)
+      let pct =
+        if Float.is_finite d.d_ratio then
+          Printf.sprintf "%+7.1f%%" ((d.d_ratio -. 1.0) *. 100.0)
+        else Printf.sprintf "%+.3f ms" (d.d_new_ms -. d.d_old_ms)
+      in
+      Printf.fprintf oc "%-40s %10.3f -> %10.3f ms/run  %s  %s\n"
+        d.d_name d.d_old_ms d.d_new_ms pct
         (verdict_tag d.d_verdict);
       List.iter
         (fun (k, ov, nv) ->

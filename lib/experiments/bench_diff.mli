@@ -34,18 +34,28 @@ type entry_delta = {
 
 type report = {
   r_threshold : float;  (** the gate, as a fraction (0.10 = 10%) *)
+  r_abs_floor_ms : float;  (** the absolute-delta floor, milliseconds *)
   r_deltas : entry_delta list;  (** benchmarks present in both files *)
   r_only_old : string list;  (** benchmarks missing from the new file *)
   r_only_new : string list;  (** benchmarks missing from the old file *)
 }
 
-val compare : ?threshold:float -> string -> string -> (report, string) result
+val compare :
+  ?threshold:float -> ?abs_floor_ms:float -> string -> string ->
+  (report, string) result
 (** [compare old_json new_json] parses two bench-JSON strings and
     diffs them. [threshold] is the relative timing gate (default
-    [0.10] = 10%). [Error] reports a parse or schema problem with the
-    offending file named. *)
+    [0.10] = 10%). [abs_floor_ms] (default [0.05]) clamps the ratio
+    gate: a delta of at most that many milliseconds is always
+    [Unchanged], and when the old entry is zero or non-finite — where
+    the ratio degenerates to [inf]/[nan] — the verdict falls back to
+    the sign of the absolute delta instead of failing spuriously.
+    [Error] reports a parse or schema problem with the offending file
+    named. *)
 
-val compare_files : ?threshold:float -> string -> string -> (report, string) result
+val compare_files :
+  ?threshold:float -> ?abs_floor_ms:float -> string -> string ->
+  (report, string) result
 (** [compare_files old_path new_path] reads and {!compare}s two files. *)
 
 val regressions : report -> entry_delta list

@@ -1,0 +1,699 @@
+module Instance = Lubt_core.Instance
+module Ebf = Lubt_core.Ebf
+module Lubt = Lubt_core.Lubt
+module Routed = Lubt_core.Routed
+module Tree = Lubt_topo.Tree
+module Bst = Lubt_bst.Bst_dme
+module Benchmarks = Lubt_data.Benchmarks
+module Io = Lubt_data.Io
+module Status = Lubt_lp.Status
+module Certify = Lubt_lp.Certify
+module Executor = Lubt_util.Pool.Executor
+module Json = Lubt_obs.Json
+module Log = Lubt_obs.Log
+module Trace = Lubt_obs.Trace
+module Clock = Lubt_obs.Clock
+
+type config = {
+  socket : string option;
+  port : int option;
+  host : string;
+  jobs : int;
+  max_pending : int;
+  default_time_limit : float;
+}
+
+let default_config =
+  {
+    socket = None;
+    port = None;
+    host = "127.0.0.1";
+    jobs = 4;
+    max_pending = 64;
+    default_time_limit = infinity;
+  }
+
+type stats = {
+  connections : int;
+  served : int;
+  rejected : int;
+  failed : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Report rendering (shared with the CLI's solve --json)               *)
+(* ------------------------------------------------------------------ *)
+
+let solve_report_fields (report : Lubt.report) ~validated =
+  let routed = report.Lubt.routed in
+  let ebf = report.Lubt.ebf in
+  Printf.sprintf
+    "\"cost\": %s, \"validated\": %b, \"certified\": %b, \"ebf\": %s, \
+     \"solver\": %s"
+    (Protocol.json_float (Routed.cost routed))
+    validated
+    (match ebf.Ebf.certificate with
+    | Some r -> r.Certify.ok
+    | None -> false)
+    (Protocol.ebf_result_json ebf)
+    (Protocol.solver_stats_json ebf.Ebf.lp_stats)
+
+let solve_report_json report ~validated =
+  "{" ^ solve_report_fields report ~validated ^ "}"
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type workload =
+  | Inline of Instance.t * Tree.t option
+  | Bench of Benchmarks.spec * float  (* skew_rel *)
+
+type solve_req = {
+  sq_workload : workload;
+  sq_eager : bool;
+  sq_certify : bool;
+  sq_time_limit : float option;
+}
+
+type op = Ping | Sleep of float  (* seconds *) | Solve of solve_req
+
+type request = {
+  rq_id : string;  (* the id member, rendered back to JSON text *)
+  rq_id_text : string;  (* the same, as a short tag for logs/traces *)
+  rq_op : op;
+}
+
+(* [id] as compact JSON for the response echo, and as a short plain
+   string for log/trace context. *)
+let id_of_json = function
+  | None -> ("null", "-")
+  | Some (Json.Str s) -> ("\"" ^ Protocol.json_escape s ^ "\"", s)
+  | Some j -> (Json.to_string j, Json.to_string j)
+
+let ( let* ) = Result.bind
+
+let mem_bool ~what ~default j =
+  match Json.member what j with
+  | None -> Ok default
+  | Some (Json.Bool b) -> Ok b
+  | Some _ -> Error (Printf.sprintf "%S must be a boolean" what)
+
+let mem_num ~what j =
+  match Json.member what j with
+  | None -> Ok None
+  | Some (Json.Num n) -> Ok (Some n)
+  | Some _ -> Error (Printf.sprintf "%S must be a number" what)
+
+let mem_str ~what j =
+  match Json.member what j with
+  | None -> Ok None
+  | Some (Json.Str s) -> Ok (Some s)
+  | Some _ -> Error (Printf.sprintf "%S must be a string" what)
+
+let parse_size = function
+  | None -> Ok Benchmarks.Tiny
+  | Some "tiny" -> Ok Benchmarks.Tiny
+  | Some "scaled" -> Ok Benchmarks.Scaled
+  | Some "full" -> Ok Benchmarks.Full
+  | Some s -> Error (Printf.sprintf "unknown size %S (tiny|scaled|full)" s)
+
+let parse_workload j =
+  let* inst_text = mem_str ~what:"instance" j in
+  let* bench = mem_str ~what:"bench" j in
+  match (inst_text, bench) with
+  | Some _, Some _ -> Error "give either \"instance\" or \"bench\", not both"
+  | None, None -> Error "a solve request needs \"instance\" or \"bench\""
+  | Some text, None ->
+    let* inst =
+      Result.map_error (fun e -> "instance: " ^ e)
+        (Io.instance_of_string text)
+    in
+    let* topo = mem_str ~what:"topology" j in
+    let* tree =
+      match topo with
+      | None -> Ok None
+      | Some t ->
+        Result.map
+          (fun t -> Some t)
+          (Result.map_error (fun e -> "topology: " ^ e) (Io.tree_of_string t))
+    in
+    (match tree with
+    | Some t when Tree.num_sinks t <> Instance.num_sinks inst ->
+      Error "topology sink count differs from instance"
+    | _ -> Ok (Inline (inst, tree)))
+  | None, Some name ->
+    let* size = Result.bind (mem_str ~what:"size" j) parse_size in
+    let* seed = mem_num ~what:"seed" j in
+    let* skew = mem_num ~what:"skew" j in
+    (match Benchmarks.find size name with
+    | exception Not_found -> Error (Printf.sprintf "unknown benchmark %S" name)
+    | spec ->
+      let spec =
+        match seed with
+        | None -> spec
+        | Some s -> { spec with Benchmarks.seed = spec.Benchmarks.seed + int_of_float s }
+      in
+      let skew_rel = match skew with None -> 0.5 | Some s -> s in
+      if skew_rel <> infinity && skew_rel <= 0.0 then
+        Error "\"skew\" must be positive"
+      else Ok (Bench (spec, skew_rel)))
+
+let parse_op j =
+  let* op_name = mem_str ~what:"op" j in
+  match op_name with
+  | None | Some "solve" ->
+    let* workload = parse_workload j in
+    let* eager = mem_bool ~what:"eager" ~default:false j in
+    let* certify = mem_bool ~what:"certify" ~default:true j in
+    let* tl = mem_num ~what:"time_limit" j in
+    let* time_limit =
+      match tl with
+      | Some t when t <= 0.0 -> Error "\"time_limit\" must be positive"
+      | other -> Ok other
+    in
+    Ok
+      (Solve
+         {
+           sq_workload = workload;
+           sq_eager = eager;
+           sq_certify = certify;
+           sq_time_limit = time_limit;
+         })
+  | Some "ping" -> Ok Ping
+  | Some "sleep" -> (
+    let* ms = mem_num ~what:"ms" j in
+    match ms with
+    | Some ms when ms >= 0.0 -> Ok (Sleep (ms /. 1e3))
+    | Some _ -> Error "\"ms\" must be non-negative"
+    | None -> Error "a sleep request needs \"ms\"")
+  | Some op -> Error (Printf.sprintf "unknown op %S (solve|ping|sleep)" op)
+
+(* [Error (id, msg)] echoes the request's own id whenever the line at
+   least parsed as JSON, so a client can match its rejection *)
+let parse_request line =
+  match Json.parse line with
+  | Error e -> Error ("null", "not JSON: " ^ e)
+  | Ok j -> (
+    let rq_id, id_text = id_of_json (Json.member "id" j) in
+    match parse_op j with
+    | Error msg -> Error (rq_id, msg)
+    | Ok op -> Ok { rq_id; rq_id_text = id_text; rq_op = op })
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let error_response ~id ~code msg =
+  Printf.sprintf
+    "{\"id\": %s, \"ok\": false, \"error\": {\"code\": \"%s\", \"message\": \
+     \"%s\"}}"
+    id code (Protocol.json_escape msg)
+
+let ok_envelope ~id ~status ~wall_ms fields =
+  Printf.sprintf
+    "{\"id\": %s, \"ok\": true, \"status\": \"%s\", \"wall_ms\": %s, %s}" id
+    (Protocol.json_escape status)
+    (Protocol.json_float wall_ms)
+    fields
+
+(* topology for an inline instance that came without one: the baseline
+   router, guided by the skew window the bounds imply (the same rule as
+   [lubt solve] without --topology) *)
+let baseline_topology (inst : Instance.t) =
+  let lo, _ = Lubt_util.Stats.min_max inst.Instance.lower in
+  let _, hi = Lubt_util.Stats.min_max inst.Instance.upper in
+  let bound = if hi = infinity then infinity else max 0.0 (hi -. lo) in
+  (Bst.route ~skew_bound:bound ?source:inst.Instance.source
+     inst.Instance.sinks)
+    .Bst.topology
+
+(* the [lubt batch] protocol: baseline route at the requested skew, then
+   the LUBT LP over the baseline's achieved delay window *)
+let bench_workload spec skew_rel =
+  let b = Protocol.run_baseline spec ~skew_rel in
+  let inst0 = b.Protocol.bst.Bst.routed.Routed.instance in
+  let m = Instance.num_sinks inst0 in
+  let lower_rel, upper_rel =
+    if skew_rel = infinity then (0.0, infinity)
+    else (b.Protocol.shortest_rel, b.Protocol.longest_rel)
+  in
+  let lower = Array.make m (lower_rel *. b.Protocol.radius) in
+  let upper =
+    Array.make m
+      (if upper_rel = infinity then infinity
+       else upper_rel *. b.Protocol.radius)
+  in
+  let inst = Instance.with_bounds inst0 ~lower ~upper in
+  (inst, b.Protocol.bst.Bst.topology)
+
+let execute_solve ~default_time_limit ~id (q : solve_req) =
+  let t0 = Clock.now () in
+  let inst, tree =
+    match q.sq_workload with
+    | Inline (inst, Some tree) -> (inst, tree)
+    | Inline (inst, None) -> (inst, baseline_topology inst)
+    | Bench (spec, skew_rel) -> bench_workload spec skew_rel
+  in
+  let options =
+    {
+      Ebf.default_options with
+      Ebf.lazy_steiner = not q.sq_eager;
+      check = (if q.sq_certify then Certify.Full else Certify.Off);
+      time_limit =
+        (match q.sq_time_limit with
+        | Some t -> t
+        | None -> default_time_limit);
+    }
+  in
+  match Lubt.solve ~options inst tree with
+  | Ok report ->
+    let validated = Result.is_ok (Routed.validate report.Lubt.routed) in
+    let wall_ms = (Clock.now () -. t0) *. 1e3 in
+    Log.debug
+      ~fields:[ ("wall_ms", Trace.Float wall_ms) ]
+      "request solved";
+    ( not validated,
+      ok_envelope ~id ~status:"optimal" ~wall_ms
+        (solve_report_fields report ~validated) )
+  | Error Lubt.No_solution ->
+    (true, error_response ~id ~code:"infeasible" (Lubt.error_to_string Lubt.No_solution))
+  | Error (Lubt.Solver_failure { status; _ } as e) ->
+    let code =
+      match status with
+      | Status.Time_limit -> "time_limit"
+      | _ -> "solver_failure"
+    in
+    (true, error_response ~id ~code (Lubt.error_to_string e))
+  | Error (Lubt.Embedding_failure _ as e) ->
+    (true, error_response ~id ~code:"embedding_failure" (Lubt.error_to_string e))
+
+(* Execute one parsed request. Returns (failed, response line); never
+   raises — an escaping exception here would otherwise eat a response
+   and leave its client hanging. *)
+let execute ~default_time_limit (rq : request) =
+  let id = rq.rq_id in
+  match rq.rq_op with
+  | Ping -> (false, Printf.sprintf "{\"id\": %s, \"ok\": true, \"pong\": true}" id)
+  | Sleep s ->
+    let t0 = Clock.now () in
+    Unix.sleepf s;
+    ( false,
+      Printf.sprintf
+        "{\"id\": %s, \"ok\": true, \"status\": \"slept\", \"wall_ms\": %s}"
+        id
+        (Protocol.json_float ((Clock.now () -. t0) *. 1e3)) )
+  | Solve q -> (
+    try execute_solve ~default_time_limit ~id q with
+    | exn ->
+      (true, error_response ~id ~code:"internal" (Printexc.to_string exn)))
+
+let response_of_line ~default_time_limit line =
+  match parse_request line with
+  | Error (id, msg) -> (true, error_response ~id ~code:"bad_request" msg)
+  | Ok rq -> execute ~default_time_limit rq
+
+let response_of_request ?(default_time_limit = infinity) line =
+  snd (response_of_line ~default_time_limit line)
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type conn_state = Reading | Draining | Closed
+
+type conn = {
+  c_id : int;
+  c_fd : Unix.file_descr;
+  c_lock : Mutex.t;
+  mutable c_state : conn_state;
+  mutable c_partial : string;  (* bytes after the last newline *)
+  mutable c_inflight : int;  (* submitted, response not yet written *)
+  mutable c_tickets : Executor.ticket list;  (* pending-task handles *)
+}
+
+type server = {
+  cfg : config;
+  executor : Executor.t;
+  listeners : (Unix.file_descr * string) list;  (* fd, description *)
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  stopped : bool Atomic.t;
+  s_connections : int Atomic.t;
+  s_served : int Atomic.t;
+  s_rejected : int Atomic.t;
+  s_failed : int Atomic.t;
+}
+
+let close_conn_locked conn =
+  if conn.c_state <> Closed then begin
+    conn.c_state <- Closed;
+    (try Unix.close conn.c_fd with Unix.Unix_error _ -> ())
+  end
+
+(* Tear a session down after a write error: cancel its queued tasks
+   (running ones finish and find the connection closed) and close. *)
+let kill_conn_locked conn =
+  List.iter
+    (fun tk -> if Executor.cancel tk then conn.c_inflight <- conn.c_inflight - 1)
+    conn.c_tickets;
+  conn.c_tickets <- [];
+  close_conn_locked conn
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      let w = Unix.write fd b off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+(* Responses are single lines written under the session lock, so
+   concurrent workers interleave whole replies, never bytes. *)
+let write_line conn line =
+  Mutex.protect conn.c_lock (fun () ->
+      if conn.c_state = Closed then false
+      else
+        match write_all conn.c_fd (line ^ "\n") with
+        | () -> true
+        | exception Unix.Unix_error (e, _, _) ->
+          Log.debug
+            ~fields:[ ("conn", Trace.Int conn.c_id) ]
+            "write failed (%s): dropping session" (Unix.error_message e);
+          kill_conn_locked conn;
+          false)
+
+(* A worker finished one of this session's requests: the last one out
+   closes a draining connection. [ticket_cell] is read under [c_lock] —
+   the session thread fills it under the same lock before any worker
+   can get here, so the read is ordered and never sees [None]. *)
+let finish_task conn ticket_cell =
+  Mutex.protect conn.c_lock (fun () ->
+      (match !ticket_cell with
+      | Some tk ->
+        conn.c_tickets <-
+          List.filter (fun t -> not (t == tk)) conn.c_tickets
+      | None -> ());
+      conn.c_inflight <- conn.c_inflight - 1;
+      if conn.c_state = Draining && conn.c_inflight = 0 then
+        close_conn_locked conn)
+
+let bump counter = Atomic.incr counter
+
+(* Dispatch one request line. Cheap ops (ping, malformed) are answered
+   on the session thread; solves and sleeps go to the worker pool. *)
+let dispatch server conn line =
+  if String.trim line <> "" then
+    match parse_request line with
+    | Error (id, msg) ->
+      bump server.s_served;
+      bump server.s_failed;
+      Log.warn
+        ~fields:[ ("conn", Trace.Int conn.c_id) ]
+        "bad request: %s" msg;
+      ignore (write_line conn (error_response ~id ~code:"bad_request" msg))
+    | Ok { rq_op = Ping; rq_id; _ } ->
+      bump server.s_served;
+      ignore
+        (write_line conn
+           (Printf.sprintf "{\"id\": %s, \"ok\": true, \"pong\": true}" rq_id))
+    | Ok rq ->
+      let id_text = rq.rq_id_text in
+      Mutex.protect conn.c_lock (fun () ->
+          if conn.c_state = Closed then ()
+          else begin
+            let ticket_cell = ref None in
+            let task () =
+              let t0 = Clock.now () in
+              Trace.with_context [ ("req", Trace.Str id_text) ] (fun () ->
+                  let failed, resp =
+                    if Trace.enabled () then
+                      Trace.span "serve.request" (fun () ->
+                          execute
+                            ~default_time_limit:
+                              server.cfg.default_time_limit rq)
+                    else
+                      execute
+                        ~default_time_limit:server.cfg.default_time_limit rq
+                  in
+                  bump server.s_served;
+                  if failed then bump server.s_failed;
+                  ignore (write_line conn resp);
+                  Log.info
+                    ~fields:
+                      [
+                        ("conn", Trace.Int conn.c_id);
+                        ("ok", Trace.Bool (not failed));
+                        ( "wall_ms",
+                          Trace.Float ((Clock.now () -. t0) *. 1e3) );
+                      ]
+                    "request served");
+              finish_task conn ticket_cell
+            in
+            match Executor.submit server.executor task with
+            | Ok ticket ->
+              (* the submit happens under [c_lock], which the task's
+                 epilogue also takes: the cell is filled before any
+                 worker can reach [finish_task] *)
+              ticket_cell := Some ticket;
+              conn.c_tickets <- ticket :: conn.c_tickets;
+              conn.c_inflight <- conn.c_inflight + 1
+            | Error reject ->
+              bump server.s_rejected;
+              let code, msg =
+                match reject with
+                | Executor.Overloaded depth ->
+                  ( "overloaded",
+                    Printf.sprintf
+                      "%d requests already pending (max %d); retry later"
+                      depth server.cfg.max_pending )
+                | Executor.Shutting_down -> ("shutting_down", "server is shutting down")
+              in
+              Log.warn
+                ~fields:
+                  [ ("conn", Trace.Int conn.c_id); ("req", Trace.Str id_text) ]
+                "rejected: %s" code;
+              (match write_all conn.c_fd (error_response ~id:rq.rq_id ~code msg ^ "\n") with
+              | () -> ()
+              | exception Unix.Unix_error _ -> kill_conn_locked conn)
+          end)
+
+(* Feed freshly-read bytes through the line splitter. *)
+let feed server conn chunk =
+  let data = conn.c_partial ^ chunk in
+  let lines = String.split_on_char '\n' data in
+  let rec go = function
+    | [] -> ()
+    | [ last ] -> conn.c_partial <- last
+    | line :: rest ->
+      dispatch server conn line;
+      go rest
+  in
+  go lines
+
+(* ------------------------------------------------------------------ *)
+(* Listeners                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let unlink_quiet path = try Unix.unlink path with Unix.Unix_error _ -> ()
+
+let bind_listeners cfg =
+  let opened = ref [] in
+  let cleanup () =
+    List.iter (fun (fd, _) -> try Unix.close fd with _ -> ()) !opened
+  in
+  try
+    (match cfg.socket with
+    | Some path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      unlink_quiet path;
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      opened := (fd, "unix:" ^ path) :: !opened
+    | None -> ());
+    (match cfg.port with
+    | Some port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd
+        (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, port));
+      Unix.listen fd 64;
+      opened := (fd, Printf.sprintf "tcp:%s:%d" cfg.host port) :: !opened
+    | None -> ());
+    match !opened with
+    | [] -> Error "serve: no listener (give --socket and/or --port)"
+    | ls -> Ok (List.rev ls)
+  with
+  | Unix.Unix_error (e, fn, arg) ->
+    cleanup ();
+    Error
+      (Printf.sprintf "serve: %s(%s): %s" fn arg (Unix.error_message e))
+  | Failure msg ->
+    (* inet_addr_of_string *)
+    cleanup ();
+    Error (Printf.sprintf "serve: bad host address: %s" msg)
+
+let create cfg =
+  match bind_listeners cfg with
+  | Error _ as e -> e
+  | Ok listeners ->
+    let stop_r, stop_w = Unix.pipe () in
+    let executor =
+      Executor.create ~jobs:(max 1 cfg.jobs)
+        ~max_pending:(max 0 cfg.max_pending) ()
+    in
+    Ok
+      {
+        cfg;
+        executor;
+        listeners;
+        stop_r;
+        stop_w;
+        stopped = Atomic.make false;
+        s_connections = Atomic.make 0;
+        s_served = Atomic.make 0;
+        s_rejected = Atomic.make 0;
+        s_failed = Atomic.make 0;
+      }
+
+let stop server =
+  if not (Atomic.exchange server.stopped true) then
+    (* one byte on the self-pipe wakes the select loop; safe from
+       signal handlers and other domains *)
+    try ignore (Unix.write server.stop_w (Bytes.make 1 's') 0 1)
+    with Unix.Unix_error _ -> ()
+
+let install_signal_handlers server =
+  let handle = Sys.Signal_handle (fun _ -> stop server) in
+  Sys.set_signal Sys.sigterm handle;
+  Sys.set_signal Sys.sigint handle
+
+let run server =
+  (* a client hanging up mid-response must be an EPIPE, not a fatal
+     signal *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  List.iter
+    (fun (_, desc) ->
+      Log.info
+        ~fields:
+          [
+            ("jobs", Trace.Int (Executor.jobs server.executor));
+            ("max_pending", Trace.Int server.cfg.max_pending);
+          ]
+        "listening on %s" desc)
+    server.listeners;
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  let next_conn_id = ref 0 in
+  let buf = Bytes.create 65536 in
+  let accept_from lfd =
+    match Unix.accept lfd with
+    | exception Unix.Unix_error _ -> ()
+    | fd, _addr ->
+      incr next_conn_id;
+      Atomic.incr server.s_connections;
+      Log.debug ~fields:[ ("conn", Trace.Int !next_conn_id) ] "session open";
+      Hashtbl.replace conns fd
+        {
+          c_id = !next_conn_id;
+          c_fd = fd;
+          c_lock = Mutex.create ();
+          c_state = Reading;
+          c_partial = "";
+          c_inflight = 0;
+          c_tickets = [];
+        }
+  in
+  let read_from conn =
+    match Unix.read conn.c_fd buf 0 (Bytes.length buf) with
+    | 0 ->
+      (* client finished sending; an unterminated trailing line is
+         still a request, then the session stays open only until its
+         in-flight requests have answered *)
+      Hashtbl.remove conns conn.c_fd;
+      let tail = conn.c_partial in
+      conn.c_partial <- "";
+      if String.trim tail <> "" then dispatch server conn tail;
+      Mutex.protect conn.c_lock (fun () ->
+          if conn.c_state = Reading then
+            if conn.c_inflight = 0 then close_conn_locked conn
+            else conn.c_state <- Draining)
+    | n -> feed server conn (Bytes.sub_string buf 0 n)
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      Hashtbl.remove conns conn.c_fd;
+      Mutex.protect conn.c_lock (fun () -> kill_conn_locked conn)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  let rec loop () =
+    if Atomic.get server.stopped then ()
+    else begin
+      let listener_fds = List.map fst server.listeners in
+      let conn_fds =
+        Hashtbl.fold (fun fd _ acc -> fd :: acc) conns []
+      in
+      match
+        Unix.select
+          ((server.stop_r :: listener_fds) @ conn_fds)
+          [] [] (-1.0)
+      with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | ready, _, _ ->
+        List.iter
+          (fun fd ->
+            if fd = server.stop_r then ()
+            else if List.mem fd listener_fds then accept_from fd
+            else
+              match Hashtbl.find_opt conns fd with
+              | Some conn -> read_from conn
+              | None -> ())
+          ready;
+        loop ()
+    end
+  in
+  loop ();
+  (* shutdown: stop accepting, drain the in-flight work so every
+     accepted request still gets its response, then tear sessions down *)
+  List.iter (fun (fd, _) -> try Unix.close fd with _ -> ()) server.listeners;
+  (match server.cfg.socket with Some p -> unlink_quiet p | None -> ());
+  Executor.shutdown ~drain:true server.executor;
+  Hashtbl.iter
+    (fun _ conn -> Mutex.protect conn.c_lock (fun () -> close_conn_locked conn))
+    conns;
+  (try Unix.close server.stop_r with _ -> ());
+  (try Unix.close server.stop_w with _ -> ());
+  let stats =
+    {
+      connections = Atomic.get server.s_connections;
+      served = Atomic.get server.s_served;
+      rejected = Atomic.get server.s_rejected;
+      failed = Atomic.get server.s_failed;
+    }
+  in
+  Log.info
+    ~fields:
+      [
+        ("connections", Trace.Int stats.connections);
+        ("served", Trace.Int stats.served);
+        ("rejected", Trace.Int stats.rejected);
+        ("failed", Trace.Int stats.failed);
+      ]
+    "server stopped";
+  stats
+
+(* ------------------------------------------------------------------ *)
+(* In-process hosting                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type handle = { h_server : server; h_domain : stats Domain.t }
+
+let spawn cfg =
+  match create cfg with
+  | Error _ as e -> e
+  | Ok server ->
+    Ok { h_server = server; h_domain = Domain.spawn (fun () -> run server) }
+
+let shutdown h =
+  stop h.h_server;
+  Domain.join h.h_domain

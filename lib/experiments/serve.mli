@@ -1,0 +1,151 @@
+(** [lubt serve]: a long-lived routing-tree daemon.
+
+    The paper's LUBT formulation is a per-instance LP, but the workload
+    it models — repeated delay-bounded routing queries over engineering
+    iterations — is a service. This module is the request/session layer
+    over the solver engine: a concurrent JSON-lines protocol served
+    over a Unix socket and/or TCP, scheduled onto a persistent
+    {!Lubt_util.Pool.Executor} worker pool with bounded-queue
+    backpressure and per-request deadlines.
+
+    {2 Protocol}
+
+    One JSON object per line in each direction. A request:
+
+    {v
+    {"id": "r1", "bench": "prim1s", "size": "tiny", "seed": 3}
+    {"id": 2, "instance": "sink 0 1 0 inf\nsink 2 3 0 inf\n",
+     "certify": true, "time_limit": 5.0}
+    {"id": "p", "op": "ping"}
+    v}
+
+    Fields:
+    - [id] — any JSON value, echoed verbatim in the response
+      (default [null]);
+    - [op] — ["solve"] (default), ["ping"], or ["sleep"] (a
+      load-testing aid; occupies a worker for [ms] milliseconds);
+    - workload — either [instance] (the {!Lubt_data.Io} instance text,
+      with optional [topology] tree text; the baseline router produces
+      a topology when absent) or [bench] (a {!Lubt_data.Benchmarks}
+      name with optional [size] (["tiny"]|["scaled"]|["full"], default
+      tiny), [seed] offset and [skew] (× radius, default [0.5]); the
+      LUBT window is the baseline's achieved one, exactly the
+      [lubt batch] protocol);
+    - [eager] — disable lazy row generation (default [false]);
+    - [certify] — a-posteriori certification (default [true]: serve
+      answers are certified unless the client opts out);
+    - [time_limit] — per-request wall-clock budget in seconds,
+      overriding the daemon's [--default-time-limit].
+
+    A success response reuses the [lubt solve --json] report shape,
+    wrapped in the request envelope:
+
+    {v
+    {"id": "r1", "ok": true, "status": "optimal", "wall_ms": 12.3,
+     "cost": ..., "validated": true, "certified": true,
+     "ebf": {...}, "solver": {...}}
+    v}
+
+    A failure response carries a structured error instead:
+
+    {v
+    {"id": "r1", "ok": false,
+     "error": {"code": "overloaded", "message": "..."}}
+    v}
+
+    with [code] one of [bad_request], [overloaded], [shutting_down],
+    [infeasible], [time_limit], [solver_failure], [embedding_failure]
+    or [internal]. A malformed or failing request never terminates the
+    daemon or its connection: every line gets a reply, in completion
+    order (responses are matched to requests by [id], not by
+    position — concurrent requests on one connection may complete out
+    of order).
+
+    {2 Scheduling and observability}
+
+    Requests are parsed on the session thread and executed on the
+    executor's worker domains. When [max_pending] requests are already
+    queued, new solve requests are refused immediately with
+    [overloaded] — bounded backpressure instead of an unbounded queue.
+    Each request runs under {!Lubt_obs.Trace.with_context} carrying its
+    [req] id, so its spans, counters and every {!Lubt_obs.Log} line it
+    emits are stamped with the request id; worker domains record into
+    their own trace buffers, so concurrent requests render as separate
+    tid tracks. *)
+
+type config = {
+  socket : string option;  (** Unix-domain socket path to listen on *)
+  port : int option;  (** TCP port to listen on (on [host]) *)
+  host : string;  (** TCP bind address (default ["127.0.0.1"]) *)
+  jobs : int;  (** worker domains (default 4) *)
+  max_pending : int;  (** queued-request bound (default 64) *)
+  default_time_limit : float;
+      (** per-request wall-clock budget when the request names none
+          (default [infinity] = no deadline) *)
+}
+
+val default_config : config
+(** No listeners ([create] requires at least one of [socket]/[port]),
+    [jobs = 4], [max_pending = 64], no default deadline. *)
+
+type stats = {
+  connections : int;  (** sessions accepted over the server's lifetime *)
+  served : int;  (** requests answered, successfully or with an error *)
+  rejected : int;  (** requests refused by backpressure *)
+  failed : int;  (** requests answered with [ok: false] *)
+}
+
+type server
+
+val create : config -> (server, string) result
+(** Binds the listeners (unlinking a stale Unix socket first) and
+    spawns the worker pool. [Error] reports a bind/listen problem;
+    nothing is left running in that case. *)
+
+val run : server -> stats
+(** The accept/dispatch loop: blocks until {!stop} (or a signal
+    installed by {!install_signal_handlers}) ends it, then drains
+    in-flight requests, closes every session and listener, removes the
+    Unix socket file, and returns the lifetime stats. *)
+
+val stop : server -> unit
+(** Asks a running {!run} to shut down cleanly. Callable from any
+    domain and from a signal handler (it writes one byte to a
+    self-pipe). Idempotent. *)
+
+val install_signal_handlers : server -> unit
+(** Routes [SIGTERM] and [SIGINT] to {!stop} for a clean drain-and-exit
+    shutdown. *)
+
+(** {2 In-process hosting}
+
+    The test suite and the [bench serve] load generator run the daemon
+    inside their own process. *)
+
+type handle
+
+val spawn : config -> (handle, string) result
+(** {!create} plus {!run} on a fresh domain. *)
+
+val shutdown : handle -> stats
+(** {!stop}, join the server domain, return its stats. *)
+
+(** {2 Request plumbing}
+
+    Exposed for the CLI (whose [solve --json] report is rendered by the
+    same code, so the daemon's responses and the one-shot CLI report
+    can never drift apart) and for protocol tests. *)
+
+val solve_report_fields : Lubt_core.Lubt.report -> validated:bool -> string
+(** The members of the [lubt solve --json] report object — [cost],
+    [validated], [certified], [ebf], [solver] — without the enclosing
+    braces, for embedding in a response envelope. *)
+
+val solve_report_json : Lubt_core.Lubt.report -> validated:bool -> string
+(** The complete [lubt solve --json] stdout object. *)
+
+val response_of_request : ?default_time_limit:float -> string -> string
+(** [response_of_request line] parses and executes one request line
+    synchronously and returns the exact response line the daemon would
+    write (the [wall_ms] member necessarily differs run to run). The
+    pure core of the daemon, used by the protocol round-trip tests. *)

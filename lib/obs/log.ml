@@ -49,12 +49,18 @@ let field_to_string (k, v) =
   Printf.sprintf "%s=%s" k value
 
 let emit lvl fields msg =
+  (* request-scoped trace context rides along on every printed line, so
+     a daemon's per-request fields need no explicit threading; the
+     mirrored instant below gets the same pairs from Trace itself *)
+  let line_fields =
+    match Trace.context () with [] -> fields | ctx -> fields @ ctx
+  in
   Mutex.protect emit_lock (fun () ->
       let fmt = !sink in
       Format.fprintf fmt "lubt: [%s] %s" (level_to_string lvl) msg;
       List.iter
         (fun f -> Format.fprintf fmt " %s" (field_to_string f))
-        fields;
+        line_fields;
       Format.fprintf fmt "@.");
   if Trace.enabled () then
     Trace.instant

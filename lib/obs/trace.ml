@@ -76,6 +76,24 @@ let record ev =
   b.b_events.(b.b_written mod b.b_cap) <- ev;
   b.b_written <- b.b_written + 1
 
+(* Request-scoped context: domain-local key→value pairs appended to
+   every event this domain records while a [with_context] is in scope.
+   Serve mode uses it to stamp the request id onto the spans and log
+   instants of whichever worker domain picked the request up. *)
+let context_key : (string * value) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let context () = !(Domain.DLS.get context_key)
+
+let with_context args f =
+  let cell = Domain.DLS.get context_key in
+  let saved = !cell in
+  cell := saved @ args;
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
+let with_ctx args =
+  match context () with [] -> args | ctx -> args @ ctx
+
 let start ?(capacity = 65_536) () =
   Atomic.set cap_setting (max 1 capacity);
   (* Bumping the generation orphans every existing buffer: recording
@@ -101,7 +119,7 @@ let span ?(args = []) name f =
             kind = Span dur;
             ts = t0;
             tid = (Domain.self () :> int);
-            args;
+            args = with_ctx args;
           })
       f
   end
@@ -114,7 +132,7 @@ let complete ?(args = []) ~t0 name =
         kind = Span (Clock.now () -. t0);
         ts = t0;
         tid = (Domain.self () :> int);
-        args;
+        args = with_ctx args;
       }
 
 let instant ?(args = []) name =
@@ -125,7 +143,7 @@ let instant ?(args = []) name =
         kind = Instant;
         ts = Clock.now ();
         tid = (Domain.self () :> int);
-        args;
+        args = with_ctx args;
       }
 
 let counter name series =
@@ -136,7 +154,7 @@ let counter name series =
         kind = Counter;
         ts = Clock.now ();
         tid = (Domain.self () :> int);
-        args = List.map (fun (k, v) -> (k, Float v)) series;
+        args = with_ctx (List.map (fun (k, v) -> (k, Float v)) series);
       }
 
 let snapshot () =

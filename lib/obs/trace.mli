@@ -88,6 +88,25 @@ val instant : ?args:(string * value) list -> string -> unit
 val counter : string -> (string * float) list -> unit
 (** [counter name series] samples the named numeric series. *)
 
+(** {2 Request-scoped context}
+
+    A daemon serving many requests on a shared worker pool needs every
+    event a worker records to say {e which request} it belonged to.
+    [with_context] installs domain-local key→value pairs that are
+    appended to the [args] of every event recorded by this domain for
+    the dynamic extent of the call (exception-safe; nested scopes
+    stack). {!Log} appends the same pairs to its stderr lines, so one
+    scope threads a request id through spans and logs alike. The
+    context machinery is independent of {!enabled}: logging picks the
+    fields up even when no trace is being recorded. *)
+
+val with_context : (string * value) list -> (unit -> 'a) -> 'a
+(** [with_context args f] runs [f ()] with [args] appended to this
+    domain's context. Restored on return or raise. *)
+
+val context : unit -> (string * value) list
+(** This domain's current context pairs (outermost scope first). *)
+
 val events : unit -> event list
 (** All retained events across every domain's buffer, sorted by
     timestamp. Call after parallel sections have joined: the snapshot

@@ -1,4 +1,9 @@
-type failure = { index : int; exn : exn; backtrace : string }
+type failure = {
+  index : int;
+  exn : exn;
+  backtrace : string;
+  raw_backtrace : Printexc.raw_backtrace;
+}
 
 exception Task_failed of failure
 
@@ -24,8 +29,15 @@ let run_indexed ~jobs (tasks : (unit -> 'b) array) : ('b, failure) result array 
     match f () with
     | v -> fin (Ok v)
     | exception exn ->
-      let backtrace = Printexc.get_backtrace () in
-      fin (Error { index = i; exn; backtrace })
+      let raw_backtrace = Printexc.get_raw_backtrace () in
+      fin
+        (Error
+           {
+             index = i;
+             exn;
+             backtrace = Printexc.raw_backtrace_to_string raw_backtrace;
+             raw_backtrace;
+           })
   in
   let jobs = max 1 (min jobs n) in
   if jobs = 1 then Array.mapi (fun i f -> capture i f) tasks
@@ -56,9 +68,14 @@ let map_result ?jobs f xs =
   Array.to_list (run_indexed ~jobs tasks)
 
 (* Re-raise the lowest-index failure so the reported error does not
-   depend on scheduling. *)
+   depend on scheduling. The raise point's own backtrace is reattached
+   so the original frames survive the cross-domain hand-off. *)
 let reraise_first results =
-  List.iter (function Error f -> raise (Task_failed f) | Ok _ -> ()) results
+  List.iter
+    (function
+      | Error f -> Printexc.raise_with_backtrace (Task_failed f) f.raw_backtrace
+      | Ok _ -> ())
+    results
 
 let map ?jobs f xs =
   let results = map_result ?jobs f xs in
@@ -73,6 +90,147 @@ let mapi ?jobs f xs =
   List.map (function Ok v -> v | Error _ -> assert false) results
 
 let iter ?jobs f xs = ignore (map ?jobs f xs)
+
+(* ------------------------------------------------------------------ *)
+(* Persistent executor (serve mode)                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Executor = struct
+  type task_state = Pending | Running | Done | Cancelled
+
+  type task = { mutable state : task_state; run : unit -> unit }
+
+  type t = {
+    lock : Mutex.t;
+    work : Condition.t;  (* signalled on submit and on shutdown *)
+    queue : task Queue.t;
+    max_pending : int;
+    jobs : int;
+    mutable pending : int;  (* Pending tasks currently queued *)
+    mutable running : int;
+    mutable task_errors : int;
+    mutable stopping : bool;
+    mutable workers : unit Domain.t list;
+  }
+
+  type ticket = { ticket_task : task; owner : t }
+
+  type reject =
+    | Overloaded of int  (** queue depth at rejection time *)
+    | Shutting_down
+
+  (* Workers drain the shared queue until shutdown; a raising task is
+     contained here (counted and logged with its backtrace) so one bad
+     request can never take a worker domain down with it. *)
+  let worker pool () =
+    let rec take () =
+      if pool.stopping && Queue.is_empty pool.queue then None
+      else
+        match Queue.take_opt pool.queue with
+        | Some tk when tk.state = Pending ->
+          tk.state <- Running;
+          pool.pending <- pool.pending - 1;
+          pool.running <- pool.running + 1;
+          Some tk
+        | Some _ -> take () (* cancelled while queued: skip *)
+        | None ->
+          Condition.wait pool.work pool.lock;
+          take ()
+    in
+    let rec loop () =
+      Mutex.lock pool.lock;
+      match take () with
+      | None -> Mutex.unlock pool.lock
+      | Some tk ->
+        Mutex.unlock pool.lock;
+        (try tk.run () with
+        | exn ->
+          let bt = Printexc.get_raw_backtrace () in
+          Mutex.protect pool.lock (fun () ->
+              pool.task_errors <- pool.task_errors + 1);
+          Lubt_obs.Log.err
+            ~fields:
+              [ ("exn", Lubt_obs.Trace.Str (Printexc.to_string exn)) ]
+            "executor task raised%s"
+            (let s = Printexc.raw_backtrace_to_string bt in
+             if s = "" then "" else "\n" ^ s));
+        Mutex.protect pool.lock (fun () ->
+            tk.state <- Done;
+            pool.running <- pool.running - 1);
+        loop ()
+    in
+    loop ()
+
+  let create ?jobs ?(max_pending = 64) () =
+    let jobs =
+      match jobs with Some j -> max 1 j | None -> default_jobs ()
+    in
+    let pool =
+      {
+        lock = Mutex.create ();
+        work = Condition.create ();
+        queue = Queue.create ();
+        max_pending = max 0 max_pending;
+        jobs;
+        pending = 0;
+        running = 0;
+        task_errors = 0;
+        stopping = false;
+        workers = [];
+      }
+    in
+    pool.workers <- List.init jobs (fun _ -> Domain.spawn (worker pool));
+    pool
+
+  let jobs pool = pool.jobs
+
+  let pending pool = Mutex.protect pool.lock (fun () -> pool.pending)
+
+  let running pool = Mutex.protect pool.lock (fun () -> pool.running)
+
+  let task_errors pool =
+    Mutex.protect pool.lock (fun () -> pool.task_errors)
+
+  let submit pool f =
+    Mutex.protect pool.lock (fun () ->
+        if pool.stopping then Error Shutting_down
+        else if pool.pending >= pool.max_pending then
+          Error (Overloaded pool.pending)
+        else begin
+          let tk = { state = Pending; run = f } in
+          Queue.add tk pool.queue;
+          pool.pending <- pool.pending + 1;
+          Condition.signal pool.work;
+          Ok { ticket_task = tk; owner = pool }
+        end)
+
+  let cancel { ticket_task = tk; owner = pool } =
+    Mutex.protect pool.lock (fun () ->
+        if tk.state = Pending then begin
+          tk.state <- Cancelled;
+          pool.pending <- pool.pending - 1;
+          true
+        end
+        else false)
+
+  let shutdown ?(drain = true) pool =
+    let workers =
+      Mutex.protect pool.lock (fun () ->
+          pool.stopping <- true;
+          if not drain then begin
+            (* drop everything still queued; running tasks finish *)
+            Queue.iter
+              (fun tk -> if tk.state = Pending then tk.state <- Cancelled)
+              pool.queue;
+            pool.pending <- 0
+          end;
+          Condition.broadcast pool.work;
+          let ws = pool.workers in
+          pool.workers <- [];
+          ws)
+    in
+    List.iter Domain.join workers
+end
 
 let map_seeded ?jobs ~seed f xs =
   let root = Prng.create seed in

@@ -31,14 +31,18 @@
 type failure = {
   index : int;  (** input position of the failing task *)
   exn : exn;
-  backtrace : string;  (** raw backtrace captured at the raise point *)
+  backtrace : string;  (** rendering of [raw_backtrace], for reports *)
+  raw_backtrace : Printexc.raw_backtrace;
+      (** backtrace captured at the raise point, inside the worker *)
 }
 (** A captured task failure. *)
 
 exception Task_failed of failure
 (** Raised by {!map} and {!iter} (in the calling domain, after the sweep
     has drained) when at least one task raised; carries the failure with
-    the smallest input index. *)
+    the smallest input index. Re-raised with
+    [Printexc.raise_with_backtrace] so the worker-side frames survive
+    the cross-domain hand-off and land in logs. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]: the runtime's estimate of how
@@ -63,6 +67,70 @@ val map_result : ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, failure) result list
 (** Like {!map} but never raises: each task's outcome is an [Ok] or the
     captured failure, in input order. This is what batch drivers use to
     report per-instance errors and still exit non-zero at the end. *)
+
+(** {1 Persistent executor}
+
+    The batch entry points above spawn domains per sweep and join them
+    before returning — the right shape for a finite corpus, the wrong
+    one for a long-lived daemon. {!Executor} keeps a fixed set of
+    worker domains alive across an unbounded request stream and adds
+    the two serving concerns batch mode never needed: {e backpressure}
+    (a bounded pending queue; a submit past the bound is refused
+    immediately instead of growing the queue without limit) and
+    {e cancellation} (a queued-but-unstarted task can be withdrawn,
+    e.g. when its client hangs up). *)
+
+module Executor : sig
+  type t
+  (** A fixed pool of worker domains draining one shared FIFO queue. *)
+
+  type ticket
+  (** A submitted task, usable for {!cancel}. *)
+
+  type reject =
+    | Overloaded of int
+        (** the pending queue was at [max_pending]; carries the depth
+            observed at rejection time *)
+    | Shutting_down  (** {!shutdown} has begun; no new work is accepted *)
+
+  val create : ?jobs:int -> ?max_pending:int -> unit -> t
+  (** [create ~jobs ~max_pending ()] spawns [jobs] worker domains
+      (default {!default_jobs}, clamped to at least 1). At most
+      [max_pending] (default 64) tasks may wait in the queue; running
+      tasks do not count against the bound. *)
+
+  val submit : t -> (unit -> unit) -> (ticket, reject) result
+  (** Enqueues a task, or refuses it without blocking. The task runs on
+      some worker domain; an exception it raises is contained there —
+      counted ({!task_errors}), logged with its backtrace via
+      {!Lubt_obs.Log} — and never kills the worker. Tasks that must
+      report results do so themselves (e.g. by writing a response);
+      the executor carries no return values. *)
+
+  val cancel : ticket -> bool
+  (** [cancel ticket] withdraws the task if it has not started; [true]
+      on success, [false] when it is already running or finished
+      (a running task is never interrupted). *)
+
+  val jobs : t -> int
+  (** Worker-domain count the executor was created with. *)
+
+  val pending : t -> int
+  (** Tasks queued and not yet started. *)
+
+  val running : t -> int
+  (** Tasks currently executing on a worker. *)
+
+  val task_errors : t -> int
+  (** Tasks that raised since {!create} (each one was logged). *)
+
+  val shutdown : ?drain:bool -> t -> unit
+  (** Stops the executor and joins every worker domain. With
+      [drain = true] (default) queued tasks run to completion first;
+      with [drain = false] they are cancelled and only the tasks
+      already running finish. Subsequent {!submit}s return
+      [Error Shutting_down]. *)
+end
 
 val map_seeded :
   ?jobs:int -> seed:int -> (Prng.t -> 'a -> 'b) -> 'a list -> 'b list

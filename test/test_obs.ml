@@ -491,6 +491,40 @@ let test_diff_improvement_and_missing () =
     Alcotest.(check bool) "lost coverage fails the gate" true
       (Bench_diff.has_regression r)
 
+(* The degenerate-baseline cases the absolute-delta floor exists for: a
+   zero or sub-microsecond old entry must not turn jitter into an
+   inf/nan or 20x ratio "regression". *)
+let test_diff_absolute_floor () =
+  let verdict ?threshold ?abs_floor_ms old_ms new_ms =
+    let old_f = bench_file [ ("a", old_ms, 1) ] in
+    let new_f = bench_file [ ("a", new_ms, 1) ] in
+    match Bench_diff.compare ?threshold ?abs_floor_ms old_f new_f with
+    | Error e -> Alcotest.fail e
+    | Ok r -> (
+      match r.Bench_diff.r_deltas with
+      | [ d ] -> d.Bench_diff.d_verdict
+      | ds -> Alcotest.failf "expected 1 delta, got %d" (List.length ds))
+  in
+  (* zero baseline: the ratio is inf/nan; the delta's sign decides,
+     but only past the floor *)
+  Alcotest.(check bool) "0 -> 0.03ms: below the floor, unchanged" true
+    (verdict 0.0 0.03 = Bench_diff.Unchanged);
+  Alcotest.(check bool) "0 -> 1ms: a real appearance, regression" true
+    (verdict 0.0 1.0 = Bench_diff.Regression);
+  Alcotest.(check bool) "1ms -> 0: a real disappearance, improvement" true
+    (verdict 1.0 0.0 = Bench_diff.Improvement);
+  (* sub-floor jitter with a scary ratio: 1us -> 20us is 20x but only
+     0.019ms — not a verdict *)
+  Alcotest.(check bool) "1us -> 20us: 20x ratio clamped by the floor" true
+    (verdict 0.001 0.02 = Bench_diff.Unchanged);
+  (* with the floor disabled the same jitter regresses, so the clamp
+     really is what protects it *)
+  Alcotest.(check bool) "floor 0 restores the raw ratio verdict" true
+    (verdict ~abs_floor_ms:0.0 0.001 0.02 = Bench_diff.Regression);
+  (* the floor never masks a real regression of normal magnitude *)
+  Alcotest.(check bool) "10 -> 12ms still regresses" true
+    (verdict 10.0 12.0 = Bench_diff.Regression)
+
 let test_diff_rejects_garbage () =
   (match Bench_diff.compare "not json" (bench_file []) with
   | Ok _ -> Alcotest.fail "accepted garbage old file"
@@ -604,6 +638,7 @@ let () =
             test_diff_regression_and_threshold;
           Alcotest.test_case "improvement and missing" `Quick
             test_diff_improvement_and_missing;
+          Alcotest.test_case "absolute floor" `Quick test_diff_absolute_floor;
           Alcotest.test_case "rejects garbage" `Quick test_diff_rejects_garbage;
           Alcotest.test_case "exe exit codes" `Quick test_diff_exit_codes;
         ] );

@@ -1,0 +1,423 @@
+(* Tests for the lubt serve daemon: protocol round-trips of
+   [Serve.response_of_request] against the independent JSON checker and
+   the one-shot report renderer, an in-process socket smoke over
+   concurrent pipelined clients (responses matched by id, objectives
+   identical to single-shot solves), bounded-queue backpressure,
+   per-request deadline expiry, and the malformed-input robustness
+   contract (a bad line never takes down the session or the daemon). *)
+
+module Serve = Lubt_experiments.Serve
+module Protocol = Lubt_experiments.Protocol
+module Json = Lubt_obs.Json
+module Instance = Lubt_core.Instance
+module Lubt = Lubt_core.Lubt
+module Ebf = Lubt_core.Ebf
+module Io = Lubt_data.Io
+module Benchmarks = Lubt_data.Benchmarks
+module Point = Lubt_geom.Point
+
+let member_exn what j =
+  match Json.member what j with
+  | Some v -> v
+  | None -> Alcotest.failf "response lacks %S member: %s" what (Json.to_string j)
+
+let parse_response line =
+  Alcotest.(check bool)
+    ("response passes the independent JSON checker: " ^ line)
+    true
+    (Json_check.json_valid line);
+  match Json.parse line with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "response does not parse: %s (%s)" e line
+
+let is_ok j = member_exn "ok" j = Json.Bool true
+
+let error_code j =
+  match Json.member "error" j with
+  | Some e -> (
+    match Json.member "code" e with
+    | Some (Json.Str c) -> c
+    | _ -> Alcotest.fail "error without string code")
+  | None -> Alcotest.failf "expected an error member: %s" (Json.to_string j)
+
+let respond line = parse_response (Serve.response_of_request line)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol round-trips (no socket)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_ping_and_id_echo () =
+  let r = respond {|{"id": "p1", "op": "ping"}|} in
+  Alcotest.(check bool) "ok" true (is_ok r);
+  Alcotest.(check bool) "id echoed" true
+    (member_exn "id" r = Json.Str "p1");
+  (* a numeric id and a missing id echo back as themselves / null *)
+  let r = respond {|{"id": 7, "op": "ping"}|} in
+  Alcotest.(check bool) "numeric id echoed" true
+    (member_exn "id" r = Json.Num 7.0);
+  let r = respond {|{"op": "ping"}|} in
+  Alcotest.(check bool) "missing id echoes null" true
+    (member_exn "id" r = Json.Null)
+
+let test_bad_requests () =
+  let code line = error_code (respond line) in
+  Alcotest.(check string) "not JSON" "bad_request" (code "garbage {");
+  Alcotest.(check string) "unknown op" "bad_request"
+    (code {|{"id": "x", "op": "frobnicate"}|});
+  Alcotest.(check string) "no workload" "bad_request"
+    (code {|{"id": "x"}|});
+  Alcotest.(check string) "both workloads" "bad_request"
+    (code {|{"id": "x", "bench": "prim1s", "instance": ""}|});
+  Alcotest.(check string) "unknown bench" "bad_request"
+    (code {|{"id": "x", "bench": "nonesuch"}|});
+  Alcotest.(check string) "bad size" "bad_request"
+    (code {|{"id": "x", "bench": "prim1s", "size": "huge"}|});
+  Alcotest.(check string) "mistyped field" "bad_request"
+    (code {|{"id": "x", "bench": "prim1s", "certify": "yes"}|});
+  Alcotest.(check string) "non-positive time limit" "bad_request"
+    (code {|{"id": "x", "bench": "prim1s", "time_limit": 0}|});
+  (* the id still comes back on a bad request when the line parsed *)
+  let r = respond {|{"id": "x", "op": "frobnicate"}|} in
+  Alcotest.(check bool) "id echoed on bad request" true
+    (member_exn "id" r = Json.Str "x")
+
+let test_bench_solve_roundtrip () =
+  let r =
+    respond {|{"id": "r1", "bench": "prim1s", "size": "tiny", "seed": 1}|}
+  in
+  Alcotest.(check bool) "ok" true (is_ok r);
+  Alcotest.(check bool) "status optimal" true
+    (member_exn "status" r = Json.Str "optimal");
+  Alcotest.(check bool) "validated" true
+    (member_exn "validated" r = Json.Bool true);
+  (* certification is the serve default *)
+  Alcotest.(check bool) "certified by default" true
+    (member_exn "certified" r = Json.Bool true);
+  let cost =
+    match Json.num (member_exn "cost" r) with
+    | Some c -> c
+    | None -> Alcotest.fail "cost is not a number"
+  in
+  Alcotest.(check bool) "positive finite cost" true
+    (Float.is_finite cost && cost > 0.0);
+  (* the embedded report carries the ebf/solver records of solve --json *)
+  Alcotest.(check bool) "ebf record present" true
+    (Json.member "ebf" r <> None);
+  Alcotest.(check bool) "solver record present" true
+    (Json.member "solver" r <> None);
+  (* opting out of certification is honoured *)
+  let r =
+    respond
+      {|{"id": "r2", "bench": "prim1s", "size": "tiny", "certify": false}|}
+  in
+  Alcotest.(check bool) "uncertified on request" true
+    (member_exn "certified" r = Json.Bool false)
+
+(* the daemon's bench workload is the [lubt batch] protocol: its cost
+   must equal a direct library solve over the same baseline window *)
+let test_bench_solve_matches_library () =
+  let spec = Benchmarks.find Benchmarks.Tiny "prim2s" in
+  let b = Protocol.run_baseline spec ~skew_rel:0.5 in
+  let run = Protocol.run_lubt_from_baseline b in
+  let expected = run.Protocol.cost in
+  let r = respond {|{"id": "m", "bench": "prim2s", "size": "tiny"}|} in
+  match Json.num (member_exn "cost" r) with
+  | None -> Alcotest.fail "cost is not a number"
+  | Some cost ->
+    (* same lengths, so only summation rounding may separate the LP
+       objective from Routed.cost *)
+    Alcotest.(check (float 1e-2)) "daemon cost = library cost" expected cost
+
+let test_inline_instance_solve () =
+  (* a 4-sink instance round-tripped through the Io text format *)
+  let sinks =
+    [| Point.make 0.0 100.0; Point.make 100.0 0.0;
+       Point.make 100.0 200.0; Point.make 200.0 100.0 |]
+  in
+  let inst =
+    Instance.uniform_bounds ~source:(Point.make 0.0 0.0) ~sinks ~lower:0.0
+      ~upper:500.0 ()
+  in
+  let text = Io.instance_to_string inst in
+  let req =
+    Printf.sprintf {|{"id": "i1", "instance": %s}|}
+      ("\"" ^ Protocol.json_escape text ^ "\"")
+  in
+  let r = respond req in
+  Alcotest.(check bool) "ok" true (is_ok r);
+  Alcotest.(check bool) "validated" true
+    (member_exn "validated" r = Json.Bool true)
+
+let test_deadline_expiry () =
+  (* a vanishing per-request budget must come back as a structured
+     time_limit error, not a late success and not a dead session *)
+  let r =
+    respond
+      {|{"id": "t", "bench": "r3s", "size": "tiny", "time_limit": 1e-9}|}
+  in
+  Alcotest.(check bool) "not ok" false (is_ok r);
+  Alcotest.(check string) "time_limit code" "time_limit" (error_code r);
+  Alcotest.(check bool) "id echoed" true (member_exn "id" r = Json.Str "t")
+
+(* the renderer shared with [lubt solve --json] emits checker-clean
+   JSON whose members match the serve response's payload *)
+let test_report_renderer_shared () =
+  let spec = Benchmarks.find Benchmarks.Tiny "prim1s" in
+  let b = Protocol.run_baseline spec ~skew_rel:0.5 in
+  let inst =
+    Lubt_bst.Bst_dme.extract_instance b.Protocol.bst
+  in
+  let options =
+    { Ebf.default_options with Ebf.check = Lubt_lp.Certify.Full }
+  in
+  match Lubt.solve ~options inst b.Protocol.bst.Lubt_bst.Bst_dme.topology with
+  | Error e -> Alcotest.fail (Lubt.error_to_string e)
+  | Ok report ->
+    let j = Serve.solve_report_json report ~validated:true in
+    Alcotest.(check bool) "report is checker-clean JSON" true
+      (Json_check.json_valid j);
+    (match Json.parse j with
+    | Error e -> Alcotest.fail e
+    | Ok parsed ->
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) (k ^ " member present") true
+            (Json.member k parsed <> None))
+        [ "cost"; "validated"; "certified"; "ebf"; "solver" ])
+
+(* ------------------------------------------------------------------ *)
+(* Socket-level tests                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let temp_socket () =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "lubt-test-%d-%d.sock" (Unix.getpid ()) (Random.int 100000))
+
+let with_daemon ?(jobs = 2) ?(max_pending = 64) f =
+  let path = temp_socket () in
+  let cfg =
+    { Serve.default_config with Serve.socket = Some path; jobs; max_pending }
+  in
+  match Serve.spawn cfg with
+  | Error msg -> Alcotest.fail msg
+  | Ok handle ->
+    let stats =
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          let r = f path in
+          let stats = Serve.shutdown handle in
+          (r, stats))
+    in
+    stats
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let send fd line =
+  let b = Bytes.of_string (line ^ "\n") in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then go (off + Unix.write fd b off (n - off))
+  in
+  go 0
+
+(* read whole lines until [want] of them have arrived (or EOF) *)
+let read_lines fd want =
+  let buf = Bytes.create 65536 in
+  let rec go acc partial =
+    if List.length acc >= want then List.rev acc
+    else
+      match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 -> List.rev acc
+      | n ->
+        let data = partial ^ Bytes.sub_string buf 0 n in
+        let parts = String.split_on_char '\n' data in
+        let rec walk acc = function
+          | [] -> (acc, "")
+          | [ last ] -> (acc, last)
+          | l :: rest ->
+            walk (if String.trim l = "" then acc else l :: acc) rest
+        in
+        let acc, last = walk acc parts in
+        go acc last
+  in
+  go [] ""
+
+let response_id j =
+  match Json.member "id" j with
+  | Some (Json.Str s) -> s
+  | _ -> Alcotest.fail "response without string id"
+
+(* concurrent pipelined clients: every request answered exactly once,
+   matched by id, all optimal, and equal ids (same workload) agree on
+   the cost — the daemon must give deterministic certified objectives
+   under concurrency *)
+let test_socket_concurrent_clients () =
+  let nconns = 5 and per_conn = 4 in
+  let _, stats =
+    with_daemon ~jobs:2 (fun path ->
+        let fds = Array.init nconns (fun _ -> connect path) in
+        Array.iteri
+          (fun c fd ->
+            for k = 0 to per_conn - 1 do
+              (* two distinct workloads alternating, so equal ids across
+                 connections must produce equal costs *)
+              let bench = if k mod 2 = 0 then "prim1s" else "prim2s" in
+              send fd
+                (Printf.sprintf
+                   {|{"id": "c%d-k%d-%s", "bench": "%s", "size": "tiny"}|} c k
+                   bench bench)
+            done)
+          fds;
+        let by_bench : (string, float) Hashtbl.t = Hashtbl.create 4 in
+        Array.iteri
+          (fun _ fd ->
+            let lines = read_lines fd per_conn in
+            Alcotest.(check int) "every request answered" per_conn
+              (List.length lines);
+            List.iter
+              (fun line ->
+                let j = parse_response line in
+                Alcotest.(check bool) ("ok: " ^ line) true (is_ok j);
+                let id = response_id j in
+                (* id suffix names the bench it asked for *)
+                let bench =
+                  List.nth (String.split_on_char '-' id) 2
+                in
+                let cost =
+                  match Json.num (member_exn "cost" j) with
+                  | Some c -> c
+                  | None -> Alcotest.fail "cost is not a number"
+                in
+                match Hashtbl.find_opt by_bench bench with
+                | None -> Hashtbl.add by_bench bench cost
+                | Some c0 ->
+                  Alcotest.(check (float 0.0))
+                    ("deterministic cost for " ^ bench) c0 cost)
+              lines)
+          fds;
+        Array.iter (fun fd -> Unix.close fd) fds;
+        Alcotest.(check int) "both workloads seen" 2 (Hashtbl.length by_bench))
+  in
+  Alcotest.(check int) "stats: all sessions counted" nconns stats.Serve.connections;
+  Alcotest.(check int) "stats: all requests served" (nconns * per_conn)
+    stats.Serve.served;
+  Alcotest.(check int) "stats: none failed" 0 stats.Serve.failed
+
+(* a malformed line gets its error and the session keeps serving *)
+let test_socket_malformed_then_alive () =
+  let _, stats =
+    with_daemon (fun path ->
+        let fd = connect path in
+        send fd "this is not json";
+        send fd {|{"id": "after", "op": "ping"}|};
+        let lines = read_lines fd 2 in
+        Alcotest.(check int) "both lines answered" 2 (List.length lines);
+        let codes =
+          List.filter_map
+            (fun l ->
+              let j = parse_response l in
+              if is_ok j then None else Some (error_code j))
+            lines
+        in
+        Alcotest.(check (list string)) "one bad_request" [ "bad_request" ]
+          codes;
+        let pings =
+          List.filter
+            (fun l ->
+              let j = parse_response l in
+              is_ok j && response_id j = "after")
+            lines
+        in
+        Alcotest.(check int) "the ping after the garbage answered" 1
+          (List.length pings);
+        Unix.close fd)
+  in
+  Alcotest.(check bool) "daemon survived to a clean shutdown" true
+    (stats.Serve.served = 2)
+
+(* jobs=1 + max_pending=1 + a slow request: the queue admits exactly one
+   follower; the rest must be refused immediately as overloaded *)
+let test_socket_backpressure () =
+  let _, stats =
+    with_daemon ~jobs:1 ~max_pending:1 (fun path ->
+        let fd = connect path in
+        send fd {|{"id": "slow", "op": "sleep", "ms": 400}|};
+        (* give the worker time to pick "slow" up, emptying the queue *)
+        Unix.sleepf 0.1;
+        send fd {|{"id": "queued", "op": "sleep", "ms": 1}|};
+        Unix.sleepf 0.05;
+        send fd {|{"id": "refused1", "op": "sleep", "ms": 1}|};
+        send fd {|{"id": "refused2", "op": "sleep", "ms": 1}|};
+        let lines = read_lines fd 4 in
+        let ok_ids, rejected_ids =
+          List.partition_map
+            (fun l ->
+              let j = parse_response l in
+              if is_ok j then Left (response_id j)
+              else begin
+                Alcotest.(check string) "overloaded code" "overloaded"
+                  (error_code j);
+                Right (response_id j)
+              end)
+            lines
+        in
+        Alcotest.(check (slist string String.compare))
+          "slow and queued complete" [ "queued"; "slow" ] ok_ids;
+        Alcotest.(check (slist string String.compare))
+          "the overflow is refused" [ "refused1"; "refused2" ] rejected_ids;
+        Unix.close fd)
+  in
+  Alcotest.(check int) "stats count the rejections" 2 stats.Serve.rejected
+
+(* a per-request deadline expiring inside the daemon comes back as a
+   time_limit error on the wire *)
+let test_socket_deadline () =
+  let _, _ =
+    with_daemon (fun path ->
+        let fd = connect path in
+        send fd
+          {|{"id": "tl", "bench": "r1s", "size": "tiny", "time_limit": 1e-9}|};
+        (match read_lines fd 1 with
+        | [ line ] ->
+          let j = parse_response line in
+          Alcotest.(check bool) "not ok" false (is_ok j);
+          Alcotest.(check string) "time_limit" "time_limit" (error_code j)
+        | ls -> Alcotest.failf "expected 1 line, got %d" (List.length ls));
+        Unix.close fd)
+  in
+  ()
+
+let () =
+  Random.self_init ();
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "ping and id echo" `Quick test_ping_and_id_echo;
+          Alcotest.test_case "bad requests" `Quick test_bad_requests;
+          Alcotest.test_case "bench solve round-trip" `Quick
+            test_bench_solve_roundtrip;
+          Alcotest.test_case "matches library solve" `Quick
+            test_bench_solve_matches_library;
+          Alcotest.test_case "inline instance" `Quick
+            test_inline_instance_solve;
+          Alcotest.test_case "deadline expiry" `Quick test_deadline_expiry;
+          Alcotest.test_case "shared report renderer" `Quick
+            test_report_renderer_shared;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "concurrent pipelined clients" `Quick
+            test_socket_concurrent_clients;
+          Alcotest.test_case "malformed line, session survives" `Quick
+            test_socket_malformed_then_alive;
+          Alcotest.test_case "backpressure refuses overflow" `Quick
+            test_socket_backpressure;
+          Alcotest.test_case "deadline over the wire" `Quick
+            test_socket_deadline;
+        ] );
+    ]
