@@ -458,7 +458,16 @@ let run_load ~addr ~rps ~duration ~conns =
       Hashtbl.replace send_times id (Clock.now ());
       (try
          let b = Bytes.of_string (line ^ "\n") in
-         ignore (Unix.write fd b 0 (Bytes.length b))
+         let len = Bytes.length b in
+         (* a short write (e.g. interrupted by a signal) would corrupt
+            the pipelined JSON-lines stream: always write whole lines *)
+         let rec put off =
+           if off < len then
+             match Unix.write fd b off (len - off) with
+             | w -> put (off + w)
+             | exception Unix.Unix_error (Unix.EINTR, _, _) -> put off
+         in
+         put 0
        with Unix.Unix_error _ -> incr failed);
       incr sent
     end

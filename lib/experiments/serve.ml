@@ -145,19 +145,27 @@ let parse_workload j =
   | None, Some name ->
     let* size = Result.bind (mem_str ~what:"size" j) parse_size in
     let* seed = mem_num ~what:"seed" j in
+    (* an integral JSON number, not merely a number: int_of_float
+       would silently truncate 1.5 and is undefined outside int range *)
+    let* seed_off =
+      match seed with
+      | None -> Ok 0
+      | Some s when Float.is_integer s && Float.abs s <= 1_073_741_823. ->
+        Ok (int_of_float s)
+      | Some _ -> Error "\"seed\" must be a small integer"
+    in
     let* skew = mem_num ~what:"skew" j in
     (match Benchmarks.find size name with
     | exception Not_found -> Error (Printf.sprintf "unknown benchmark %S" name)
     | spec ->
       let spec =
-        match seed with
-        | None -> spec
-        | Some s -> { spec with Benchmarks.seed = spec.Benchmarks.seed + int_of_float s }
+        { spec with Benchmarks.seed = spec.Benchmarks.seed + seed_off }
       in
       let skew_rel = match skew with None -> 0.5 | Some s -> s in
-      if skew_rel <> infinity && skew_rel <= 0.0 then
-        Error "\"skew\" must be positive"
-      else Ok (Bench (spec, skew_rel)))
+      (* [> 0.0] is false for NaN, true for infinity (= unbounded
+         skew): exactly the admissible set *)
+      if skew_rel > 0.0 then Ok (Bench (spec, skew_rel))
+      else Error "\"skew\" must be positive")
 
 let parse_op j =
   let* op_name = mem_str ~what:"op" j in
@@ -320,17 +328,32 @@ let response_of_request ?(default_time_limit = infinity) line =
 (* Sessions                                                            *)
 (* ------------------------------------------------------------------ *)
 
-type conn_state = Reading | Draining | Closed
+(* [Reading] → [Draining] on client EOF (close once the in-flight
+   requests have answered and the output queue has flushed); any error
+   path marks the session [Dead]. Only the select loop moves a session
+   to [Closed], because only the select loop may call [Unix.close]: a
+   worker closing an fd the loop still selects on would race the loop
+   into EBADF — or worse, into a recycled descriptor number. *)
+type conn_state = Reading | Draining | Dead | Closed
 
 type conn = {
   c_id : int;
-  c_fd : Unix.file_descr;
+  c_fd : Unix.file_descr;  (* non-blocking; closed by the select loop *)
   c_lock : Mutex.t;
   mutable c_state : conn_state;
   mutable c_partial : string;  (* bytes after the last newline *)
-  mutable c_inflight : int;  (* submitted, response not yet written *)
+  c_out : string Queue.t;  (* response lines awaiting the socket *)
+  mutable c_out_off : int;  (* bytes of the queue head already written *)
+  mutable c_out_bytes : int;  (* queued total, capped by [max_out_bytes] *)
+  mutable c_inflight : int;  (* submitted, response not yet enqueued *)
   mutable c_tickets : Executor.ticket list;  (* pending-task handles *)
 }
+
+(* A client that submits requests but never reads responses gets this
+   much buffered output before its session is dropped: the bound keeps
+   a dead-reader client from growing the queue without limit, and the
+   queue itself keeps workers from ever blocking in [Unix.write]. *)
+let max_out_bytes = 8 * 1024 * 1024
 
 type server = {
   cfg : config;
@@ -345,60 +368,77 @@ type server = {
   s_failed : int Atomic.t;
 }
 
-let close_conn_locked conn =
-  if conn.c_state <> Closed then begin
-    conn.c_state <- Closed;
-    (try Unix.close conn.c_fd with Unix.Unix_error _ -> ())
-  end
+(* One byte on the self-pipe wakes the select loop so it reconsiders
+   interest sets and prunes dead sessions. The write end is
+   non-blocking: a full pipe already guarantees a pending wake-up, so
+   EAGAIN (like a closed pipe during shutdown) is fine to ignore. *)
+let wake server =
+  try ignore (Unix.write server.stop_w (Bytes.make 1 'w') 0 1)
+  with Unix.Unix_error _ -> ()
 
-(* Tear a session down after a write error: cancel its queued tasks
-   (running ones finish and find the connection closed) and close. *)
+(* Tear a session down after an error: cancel its queued tasks (running
+   ones finish and find the session dead) and mark it [Dead] for the
+   select loop to close. [shutdown] — unlike [close] — is safe here: it
+   wakes the peer without giving the descriptor number back to the OS
+   while the loop may still hold it in a select set. *)
 let kill_conn_locked conn =
   List.iter
     (fun tk -> if Executor.cancel tk then conn.c_inflight <- conn.c_inflight - 1)
     conn.c_tickets;
   conn.c_tickets <- [];
-  close_conn_locked conn
+  match conn.c_state with
+  | Dead | Closed -> ()
+  | Reading | Draining ->
+    conn.c_state <- Dead;
+    (try Unix.shutdown conn.c_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
 
-let write_all fd s =
-  let b = Bytes.of_string s in
-  let n = Bytes.length b in
-  let rec go off =
-    if off < n then
-      let w = Unix.write fd b off (n - off) in
-      go (off + w)
+(* Queue one response line for the select loop to flush. Responses are
+   whole lines enqueued under the session lock, so concurrent workers
+   interleave whole replies, never bytes — and nobody ever blocks in
+   [Unix.write] while holding [c_lock]. *)
+let enqueue_locked conn line =
+  match conn.c_state with
+  | Dead | Closed -> false
+  | Reading | Draining ->
+    let s = line ^ "\n" in
+    if conn.c_out_bytes + String.length s > max_out_bytes then begin
+      Log.warn
+        ~fields:[ ("conn", Trace.Int conn.c_id) ]
+        "output backlog over %d bytes (client not reading): dropping \
+         session"
+        max_out_bytes;
+      kill_conn_locked conn;
+      false
+    end
+    else begin
+      Queue.add s conn.c_out;
+      conn.c_out_bytes <- conn.c_out_bytes + String.length s;
+      true
+    end
+
+let write_line server conn line =
+  let queued =
+    Mutex.protect conn.c_lock (fun () -> enqueue_locked conn line)
   in
-  go 0
+  (* new output (or a newly dead session) changes the loop's interest
+     set either way *)
+  wake server;
+  queued
 
-(* Responses are single lines written under the session lock, so
-   concurrent workers interleave whole replies, never bytes. *)
-let write_line conn line =
-  Mutex.protect conn.c_lock (fun () ->
-      if conn.c_state = Closed then false
-      else
-        match write_all conn.c_fd (line ^ "\n") with
-        | () -> true
-        | exception Unix.Unix_error (e, _, _) ->
-          Log.debug
-            ~fields:[ ("conn", Trace.Int conn.c_id) ]
-            "write failed (%s): dropping session" (Unix.error_message e);
-          kill_conn_locked conn;
-          false)
-
-(* A worker finished one of this session's requests: the last one out
-   closes a draining connection. [ticket_cell] is read under [c_lock] —
-   the session thread fills it under the same lock before any worker
-   can get here, so the read is ordered and never sees [None]. *)
-let finish_task conn ticket_cell =
+(* A worker finished one of this session's requests. [ticket_cell] is
+   read under [c_lock] — the session thread fills it under the same
+   lock before any worker can get here, so the read is ordered and
+   never sees [None]. The wake-up lets the select loop close a drained
+   session whose last response just went out. *)
+let finish_task server conn ticket_cell =
   Mutex.protect conn.c_lock (fun () ->
       (match !ticket_cell with
       | Some tk ->
         conn.c_tickets <-
           List.filter (fun t -> not (t == tk)) conn.c_tickets
       | None -> ());
-      conn.c_inflight <- conn.c_inflight - 1;
-      if conn.c_state = Draining && conn.c_inflight = 0 then
-        close_conn_locked conn)
+      conn.c_inflight <- conn.c_inflight - 1);
+  wake server
 
 let bump counter = Atomic.incr counter
 
@@ -413,17 +453,18 @@ let dispatch server conn line =
       Log.warn
         ~fields:[ ("conn", Trace.Int conn.c_id) ]
         "bad request: %s" msg;
-      ignore (write_line conn (error_response ~id ~code:"bad_request" msg))
+      ignore (write_line server conn (error_response ~id ~code:"bad_request" msg))
     | Ok { rq_op = Ping; rq_id; _ } ->
       bump server.s_served;
       ignore
-        (write_line conn
+        (write_line server conn
            (Printf.sprintf "{\"id\": %s, \"ok\": true, \"pong\": true}" rq_id))
     | Ok rq ->
       let id_text = rq.rq_id_text in
       Mutex.protect conn.c_lock (fun () ->
-          if conn.c_state = Closed then ()
-          else begin
+          match conn.c_state with
+          | Dead | Closed -> ()
+          | Reading | Draining -> begin
             let ticket_cell = ref None in
             let task () =
               let t0 = Clock.now () in
@@ -440,7 +481,7 @@ let dispatch server conn line =
                   in
                   bump server.s_served;
                   if failed then bump server.s_failed;
-                  ignore (write_line conn resp);
+                  ignore (write_line server conn resp);
                   Log.info
                     ~fields:
                       [
@@ -450,7 +491,7 @@ let dispatch server conn line =
                           Trace.Float ((Clock.now () -. t0) *. 1e3) );
                       ]
                     "request served");
-              finish_task conn ticket_cell
+              finish_task server conn ticket_cell
             in
             match Executor.submit server.executor task with
             | Ok ticket ->
@@ -475,9 +516,9 @@ let dispatch server conn line =
                 ~fields:
                   [ ("conn", Trace.Int conn.c_id); ("req", Trace.Str id_text) ]
                 "rejected: %s" code;
-              (match write_all conn.c_fd (error_response ~id:rq.rq_id ~code msg ^ "\n") with
-              | () -> ()
-              | exception Unix.Unix_error _ -> kill_conn_locked conn)
+              (* already under [c_lock]: enqueue directly; the loop
+                 (which is running this dispatch) flushes it next turn *)
+              ignore (enqueue_locked conn (error_response ~id:rq.rq_id ~code msg))
           end)
 
 (* Feed freshly-read bytes through the line splitter. *)
@@ -540,6 +581,9 @@ let create cfg =
   | Error _ as e -> e
   | Ok listeners ->
     let stop_r, stop_w = Unix.pipe () in
+    (* wake-ups must never block a worker: a full pipe already means a
+       wake-up is pending *)
+    Unix.set_nonblock stop_w;
     let executor =
       Executor.create ~jobs:(max 1 cfg.jobs)
         ~max_pending:(max 0 cfg.max_pending) ()
@@ -559,11 +603,9 @@ let create cfg =
       }
 
 let stop server =
-  if not (Atomic.exchange server.stopped true) then
-    (* one byte on the self-pipe wakes the select loop; safe from
-       signal handlers and other domains *)
-    try ignore (Unix.write server.stop_w (Bytes.make 1 's') 0 1)
-    with Unix.Unix_error _ -> ()
+  (* safe from signal handlers and other domains: an atomic flag and a
+     non-blocking self-pipe write *)
+  if not (Atomic.exchange server.stopped true) then wake server
 
 let install_signal_handlers server =
   let handle = Sys.Signal_handle (fun _ -> stop server) in
@@ -592,6 +634,7 @@ let run server =
     match Unix.accept lfd with
     | exception Unix.Unix_error _ -> ()
     | fd, _addr ->
+      Unix.set_nonblock fd;
       incr next_conn_id;
       Atomic.incr server.s_connections;
       Log.debug ~fields:[ ("conn", Trace.Int !next_conn_id) ] "session open";
@@ -602,6 +645,9 @@ let run server =
           c_lock = Mutex.create ();
           c_state = Reading;
           c_partial = "";
+          c_out = Queue.create ();
+          c_out_off = 0;
+          c_out_bytes = 0;
           c_inflight = 0;
           c_tickets = [];
         }
@@ -611,55 +657,177 @@ let run server =
     | 0 ->
       (* client finished sending; an unterminated trailing line is
          still a request, then the session stays open only until its
-         in-flight requests have answered *)
-      Hashtbl.remove conns conn.c_fd;
+         in-flight requests have answered and their responses flushed *)
       let tail = conn.c_partial in
       conn.c_partial <- "";
       if String.trim tail <> "" then dispatch server conn tail;
       Mutex.protect conn.c_lock (fun () ->
-          if conn.c_state = Reading then
-            if conn.c_inflight = 0 then close_conn_locked conn
-            else conn.c_state <- Draining)
+          if conn.c_state = Reading then conn.c_state <- Draining)
     | n -> feed server conn (Bytes.sub_string buf 0 n)
-    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
-      Hashtbl.remove conns conn.c_fd;
+    | exception
+        Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      ->
+      ()
+    | exception Unix.Unix_error (_, _, _) ->
+      (* any other read error — ECONNRESET, EPIPE, ... — drops the
+         session; the prune pass closes it *)
       Mutex.protect conn.c_lock (fun () -> kill_conn_locked conn)
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  (* Drain queued output into a writable socket. Non-blocking, so a
+     slow reader never stalls the loop: it just keeps write interest. *)
+  let flush_conn conn =
+    Mutex.protect conn.c_lock (fun () ->
+        if conn.c_state = Reading || conn.c_state = Draining then
+          let rec go () =
+            match Queue.peek_opt conn.c_out with
+            | None -> ()
+            | Some s -> (
+              let len = String.length s - conn.c_out_off in
+              match Unix.write_substring conn.c_fd s conn.c_out_off len with
+              | w ->
+                conn.c_out_bytes <- conn.c_out_bytes - w;
+                if w = len then begin
+                  ignore (Queue.pop conn.c_out);
+                  conn.c_out_off <- 0;
+                  go ()
+                end
+                else conn.c_out_off <- conn.c_out_off + w
+              | exception
+                  Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                ()
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+              | exception Unix.Unix_error (e, _, _) ->
+                Log.debug
+                  ~fields:[ ("conn", Trace.Int conn.c_id) ]
+                  "write failed (%s): dropping session"
+                  (Unix.error_message e);
+                kill_conn_locked conn)
+          in
+          go ())
+  in
+  (* Close and forget a session. Closing here — and only here — keeps
+     the invariant that a descriptor in the select sets is alive. *)
+  let close_conn conn =
+    Hashtbl.remove conns conn.c_fd;
+    Mutex.protect conn.c_lock (fun () ->
+        if conn.c_state <> Closed then begin
+          conn.c_state <- Closed;
+          (try Unix.close conn.c_fd with Unix.Unix_error _ -> ())
+        end);
+    Log.debug ~fields:[ ("conn", Trace.Int conn.c_id) ] "session closed"
+  in
+  (* Dead sessions, and drained ones with nothing left to answer *)
+  let prune () =
+    let closable =
+      Hashtbl.fold
+        (fun _ conn acc ->
+          let close =
+            Mutex.protect conn.c_lock (fun () ->
+                match conn.c_state with
+                | Dead | Closed -> true
+                | Draining ->
+                  conn.c_inflight = 0 && Queue.is_empty conn.c_out
+                | Reading -> false)
+          in
+          if close then conn :: acc else acc)
+        conns []
+    in
+    List.iter close_conn closable
   in
   let rec loop () =
+    prune ();
     if Atomic.get server.stopped then ()
     else begin
       let listener_fds = List.map fst server.listeners in
-      let conn_fds =
-        Hashtbl.fold (fun fd _ acc -> fd :: acc) conns []
+      let read_fds, write_fds =
+        Hashtbl.fold
+          (fun fd conn (rs, ws) ->
+            Mutex.protect conn.c_lock (fun () ->
+                let rs = if conn.c_state = Reading then fd :: rs else rs in
+                let ws =
+                  if conn.c_state <> Dead && not (Queue.is_empty conn.c_out)
+                  then fd :: ws
+                  else ws
+                in
+                (rs, ws)))
+          conns ([], [])
       in
       match
         Unix.select
-          ((server.stop_r :: listener_fds) @ conn_fds)
-          [] [] (-1.0)
+          ((server.stop_r :: listener_fds) @ read_fds)
+          write_fds [] (-1.0)
       with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-      | ready, _, _ ->
+      | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+        (* unreachable while the close-only-here invariant holds, but
+           never fatal: find any session whose descriptor went bad and
+           drop it instead of crashing the daemon *)
+        Hashtbl.iter
+          (fun fd conn ->
+            match Unix.fstat fd with
+            | _ -> ()
+            | exception Unix.Unix_error _ ->
+              Mutex.protect conn.c_lock (fun () -> kill_conn_locked conn))
+          conns;
+        loop ()
+      | ready_r, ready_w, _ ->
         List.iter
           (fun fd ->
-            if fd = server.stop_r then ()
+            if fd = server.stop_r then
+              (* swallow the wake-up bytes; [stopped] is re-read and
+                 interest sets recomputed at the top of the loop *)
+              (try ignore (Unix.read server.stop_r buf 0 512)
+               with Unix.Unix_error _ -> ())
             else if List.mem fd listener_fds then accept_from fd
             else
               match Hashtbl.find_opt conns fd with
               | Some conn -> read_from conn
               | None -> ())
-          ready;
+          ready_r;
+        List.iter
+          (fun fd ->
+            match Hashtbl.find_opt conns fd with
+            | Some conn -> flush_conn conn
+            | None -> ())
+          ready_w;
         loop ()
     end
   in
   loop ();
   (* shutdown: stop accepting, drain the in-flight work so every
-     accepted request still gets its response, then tear sessions down *)
+     accepted request still gets its response, flush what the drain
+     enqueued (bounded by a send timeout — a client that stopped
+     reading cannot wedge shutdown), then tear the sessions down *)
   List.iter (fun (fd, _) -> try Unix.close fd with _ -> ()) server.listeners;
   (match server.cfg.socket with Some p -> unlink_quiet p | None -> ());
   Executor.shutdown ~drain:true server.executor;
   Hashtbl.iter
-    (fun _ conn -> Mutex.protect conn.c_lock (fun () -> close_conn_locked conn))
+    (fun _ conn ->
+      Mutex.protect conn.c_lock (fun () ->
+          (if conn.c_state = Reading || conn.c_state = Draining then begin
+             (try
+                Unix.clear_nonblock conn.c_fd;
+                Unix.setsockopt_float conn.c_fd Unix.SO_SNDTIMEO 5.0
+              with Unix.Unix_error _ -> ());
+             try
+               while not (Queue.is_empty conn.c_out) do
+                 let s = Queue.peek conn.c_out in
+                 let w =
+                   Unix.write_substring conn.c_fd s conn.c_out_off
+                     (String.length s - conn.c_out_off)
+                 in
+                 if conn.c_out_off + w = String.length s then begin
+                   ignore (Queue.pop conn.c_out);
+                   conn.c_out_off <- 0
+                 end
+                 else conn.c_out_off <- conn.c_out_off + w
+               done
+             with Unix.Unix_error _ -> ()
+           end);
+          if conn.c_state <> Closed then begin
+            conn.c_state <- Closed;
+            (try Unix.close conn.c_fd with Unix.Unix_error _ -> ())
+          end))
     conns;
   (try Unix.close server.stop_r with _ -> ());
   (try Unix.close server.stop_w with _ -> ());

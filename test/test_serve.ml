@@ -76,6 +76,12 @@ let test_bad_requests () =
     (code {|{"id": "x", "bench": "prim1s", "certify": "yes"}|});
   Alcotest.(check string) "non-positive time limit" "bad_request"
     (code {|{"id": "x", "bench": "prim1s", "time_limit": 0}|});
+  Alcotest.(check string) "fractional seed" "bad_request"
+    (code {|{"id": "x", "bench": "prim1s", "seed": 1.5}|});
+  Alcotest.(check string) "astronomical seed" "bad_request"
+    (code {|{"id": "x", "bench": "prim1s", "seed": 1e30}|});
+  Alcotest.(check string) "negative skew" "bad_request"
+    (code {|{"id": "x", "bench": "prim1s", "skew": -0.5}|});
   (* the id still comes back on a bad request when the line parsed *)
   let r = respond {|{"id": "x", "op": "frobnicate"}|} in
   Alcotest.(check bool) "id echoed on bad request" true
@@ -373,6 +379,32 @@ let test_socket_backpressure () =
   in
   Alcotest.(check int) "stats count the rejections" 2 stats.Serve.rejected
 
+(* a client that hangs up with responses still in flight must cost the
+   daemon only that session: the worker's response hits a dead socket,
+   the select loop prunes the session, and other clients keep being
+   served (regression: a worker-side close of the fd used to race the
+   select loop into an unhandled EBADF, crashing the whole daemon) *)
+let test_socket_client_vanishes () =
+  let _, _ =
+    with_daemon ~jobs:1 (fun path ->
+        let fd = connect path in
+        send fd {|{"id": "gone", "op": "sleep", "ms": 50}|};
+        Unix.close fd;
+        (* let the sleep finish and its response hit the closed socket *)
+        Unix.sleepf 0.3;
+        let fd2 = connect path in
+        send fd2 {|{"id": "alive", "op": "ping"}|};
+        (match read_lines fd2 1 with
+        | [ line ] ->
+          let j = parse_response line in
+          Alcotest.(check bool) "daemon still serving" true (is_ok j);
+          Alcotest.(check string) "the later client's id" "alive"
+            (response_id j)
+        | ls -> Alcotest.failf "expected 1 line, got %d" (List.length ls));
+        Unix.close fd2)
+  in
+  ()
+
 (* a per-request deadline expiring inside the daemon comes back as a
    time_limit error on the wire *)
 let test_socket_deadline () =
@@ -417,6 +449,8 @@ let () =
             test_socket_malformed_then_alive;
           Alcotest.test_case "backpressure refuses overflow" `Quick
             test_socket_backpressure;
+          Alcotest.test_case "client vanishes mid-response" `Quick
+            test_socket_client_vanishes;
           Alcotest.test_case "deadline over the wire" `Quick
             test_socket_deadline;
         ] );
