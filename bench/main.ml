@@ -363,36 +363,138 @@ let percentile sorted p =
 
 (* the request mix: rotate over the four tiny paper benchmarks with a
    rotating seed offset, so consecutive requests hit different sink
-   fields and the pool actually sees heterogeneous work *)
-let load_request i =
+   fields and the pool actually sees heterogeneous work. With
+   [degrade_every > 0], every Nth request opts into the daemon's
+   degradation ladder under a deliberately tiny deadline — guaranteeing
+   degraded (heuristic-rung) answers in a chaos run. *)
+let load_request ~degrade_every i =
   let benches = [| "prim1s"; "prim2s"; "r1s"; "r3s" |] in
+  let degrade =
+    if degrade_every > 0 && i mod degrade_every = degrade_every - 1 then
+      ", \"degrade\": true, \"time_limit\": 0.002"
+    else ""
+  in
   Printf.sprintf
-    "{\"id\": \"q%d\", \"bench\": \"%s\", \"size\": \"tiny\", \"seed\": %d}"
-    i benches.(i mod 4) (i / 4 mod 8)
+    "{\"id\": \"q%d\", \"bench\": \"%s\", \"size\": \"tiny\", \"seed\": %d%s}"
+    i benches.(i mod 4) (i / 4 mod 8) degrade
+
+(* One pipelined connection of the load generator. [cs_inflight] holds
+   the ids whose responses this connection still owes us: on a
+   reconnect after ECONNRESET/EPIPE those are exactly the requests to
+   resend, because their responses may have died with the old socket. *)
+type cstate = {
+  cs_index : int;
+  mutable cs_fd : Unix.file_descr;
+  mutable cs_buf : string;  (* bytes after the last newline *)
+  cs_inflight : (string, unit) Hashtbl.t;
+}
 
 (* Open-loop load generator: [n = rps * duration] requests sent on a
    fixed schedule over [conns] pipelined connections, responses matched
    back to their send times by id. Open-loop (send times do not depend
    on completions) so a slow daemon shows up as latency, not as a
    silently lowered offered rate. Single-threaded select loop: the
-   concurrency lives in the daemon, not the client. *)
-let run_load ~addr ~rps ~duration ~conns =
+   concurrency lives in the daemon, not the client.
+
+   Fault tolerance: a connection that dies (ECONNRESET/EPIPE/EOF) is
+   reopened and its in-flight requests are resent ([`Reconnects]);
+   [overloaded]/[breaker_open] rejections are retried with jittered
+   exponential backoff honouring the server's [retry_after_ms] hint
+   ([`Retries]; only retry exhaustion counts as [`Rejected]).
+   Latencies are measured from the FIRST send, so retries and
+   reconnects show up as tail latency, not as dropped samples.
+
+   [chaos_seed] arms the client half of the chaos harness: a seeded
+   stream of malformed frames and hard connection resets (SO_LINGER 0,
+   so the daemon sees RST, not FIN). *)
+let run_load ~addr ~rps ~duration ~conns ~degrade_every ~chaos_seed =
   let n = max 1 (int_of_float (Float.round (rps *. duration))) in
-  let fds =
-    Array.init conns (fun _ ->
-        let fd =
-          Unix.socket
-            (match addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET)
-            Unix.SOCK_STREAM 0
-        in
-        Unix.connect fd addr;
-        fd)
+  let sock_domain =
+    match addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET
   in
-  let bufs = Array.make conns "" in
-  let fd_list = Array.to_list fds in
-  let send_times : (string, float) Hashtbl.t = Hashtbl.create n in
-  let latencies = ref [] in
+  let connect_new () =
+    let fd = Unix.socket sock_domain Unix.SOCK_STREAM 0 in
+    Unix.connect fd addr;
+    fd
+  in
+  let reconnects = ref 0 in
+  let retries = ref 0 in
   let ok = ref 0 and failed = ref 0 and rejected = ref 0 in
+  let degraded_ok = ref 0 in
+  let malformed_pending = ref 0 in
+  let conn_states =
+    Array.init conns (fun i ->
+        {
+          cs_index = i;
+          cs_fd = connect_new ();
+          cs_buf = "";
+          cs_inflight = Hashtbl.create 16;
+        })
+  in
+  let reqs : (string, string) Hashtbl.t = Hashtbl.create n in
+  let send_times : (string, float) Hashtbl.t = Hashtbl.create n in
+  let attempts : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  (* (due time, id) — rescanned each loop turn; stays tiny *)
+  let retryq : (float * string) list ref = ref [] in
+  let latencies = ref [] in
+  let chaos = Option.map Lubt_util.Prng.create chaos_seed in
+  (* backoff jitter decorrelates retry bursts; it needs no external
+     seed, only to not be constant *)
+  let jitter = Lubt_util.Prng.create 0x5eed in
+  let max_attempts = 5 in
+  (* Reopen a dead connection and resend what it still owed. Mutually
+     recursive with [send_on]: a resend that hits another dead socket
+     reconnects again; each round trims the failure to fresh state, so
+     the recursion terminates unless connect itself keeps failing. *)
+  let rec reconnect cs =
+    (try Unix.close cs.cs_fd with Unix.Unix_error _ -> ());
+    cs.cs_buf <- "";
+    incr reconnects;
+    let rec tryconn attempt =
+      match connect_new () with
+      | fd -> cs.cs_fd <- fd
+      | exception Unix.Unix_error _ when attempt < 3 ->
+        Unix.sleepf 0.05;
+        tryconn (attempt + 1)
+    in
+    tryconn 0;
+    let owed = Hashtbl.fold (fun id () acc -> id :: acc) cs.cs_inflight [] in
+    List.iter
+      (fun id ->
+        match Hashtbl.find_opt reqs id with
+        | Some line -> send_on cs ~resend:true id line
+        | None -> Hashtbl.remove cs.cs_inflight id)
+      owed
+  (* a short write (e.g. interrupted by a signal) would corrupt the
+     pipelined JSON-lines stream: always write whole lines *)
+  and send_on cs ~resend id line =
+    if not resend then Hashtbl.replace cs.cs_inflight id ();
+    let b = Bytes.of_string (line ^ "\n") in
+    let len = Bytes.length b in
+    let rec put off =
+      if off < len then
+        match Unix.write cs.cs_fd b off (len - off) with
+        | w -> put (off + w)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> put off
+    in
+    try put 0
+    with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.ECONNREFUSED
+                          | Unix.EBADF), _, _) ->
+      (* the id is in cs_inflight, so the reconnect resends it *)
+      reconnect cs
+  in
+  let conn_of_id id =
+    (* ids are "q<i>"; requests stick to their original connection *)
+    match int_of_string_opt (String.sub id 1 (String.length id - 1)) with
+    | Some i -> conn_states.(i mod conns)
+    | None -> conn_states.(0)
+  in
+  let forget id =
+    Hashtbl.remove send_times id;
+    Hashtbl.remove reqs id;
+    Hashtbl.remove attempts id;
+    Hashtbl.remove (conn_of_id id).cs_inflight id
+  in
   let handle_line line =
     if String.trim line <> "" then begin
       let t1 = Clock.now () in
@@ -404,8 +506,9 @@ let run_load ~addr ~rps ~duration ~conns =
           | _ -> None
         in
         let is_ok = Json.member "ok" j = Some (Json.Bool true) in
+        let err = Json.member "error" j in
         let code =
-          match Option.bind (Json.member "error" j) (Json.member "code") with
+          match Option.bind err (Json.member "code") with
           | Some (Json.Str c) -> c
           | _ -> ""
         in
@@ -413,90 +516,171 @@ let run_load ~addr ~rps ~duration ~conns =
         | Some id ->
           (match Hashtbl.find_opt send_times id with
           | Some t0 ->
-            Hashtbl.remove send_times id;
             if is_ok then begin
+              forget id;
               incr ok;
+              if Json.member "degraded" j = Some (Json.Bool true) then
+                incr degraded_ok;
               latencies := ((t1 -. t0) *. 1e3) :: !latencies
             end
-            else if code = "overloaded" then incr rejected
-            else incr failed
+            else if code = "overloaded" || code = "breaker_open" then begin
+              let a =
+                (match Hashtbl.find_opt attempts id with
+                | Some a -> a
+                | None -> 0)
+                + 1
+              in
+              if a > max_attempts then begin
+                forget id;
+                incr rejected
+              end
+              else begin
+                Hashtbl.replace attempts id a;
+                (* response arrived: the old send is settled, the id
+                   now belongs to the retry queue, not the socket *)
+                Hashtbl.remove (conn_of_id id).cs_inflight id;
+                let hint =
+                  match Option.bind err (Json.member "retry_after_ms") with
+                  | Some (Json.Num ms) when ms > 0.0 -> ms /. 1e3
+                  | _ -> 0.0
+                in
+                let backoff =
+                  0.025 *. (2.0 ** float_of_int (a - 1))
+                  *. (0.5 +. Lubt_util.Prng.float jitter 1.0)
+                in
+                let delay = Float.min 1.0 (Float.max hint backoff) in
+                incr retries;
+                retryq := (t1 +. delay, id) :: !retryq
+              end
+            end
+            else begin
+              forget id;
+              incr failed
+            end
           | None -> incr failed)
-        | None -> incr failed)
+        | None ->
+          (* the daemon answers a frame it could not parse with id
+             null; when we injected the garbage ourselves, that reply
+             is the expected ack, not a failure *)
+          if code = "bad_request" && !malformed_pending > 0 then
+            decr malformed_pending
+          else incr failed)
     end
   in
   let read_ready timeout =
+    let fd_list = Array.to_list (Array.map (fun cs -> cs.cs_fd) conn_states) in
     match Unix.select fd_list [] [] timeout with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
     | ready, _, _ ->
       let buf = Bytes.create 65536 in
-      List.iter
-        (fun fd ->
-          let k = ref 0 in
-          Array.iteri (fun i f -> if f = fd then k := i) fds;
-          match Unix.read fd buf 0 (Bytes.length buf) with
-          | 0 -> ()
-          | r ->
-            let data = bufs.(!k) ^ Bytes.sub_string buf 0 r in
-            let lines = String.split_on_char '\n' data in
-            let rec go = function
-              | [] -> ()
-              | [ last ] -> bufs.(!k) <- last
-              | l :: rest -> handle_line l; go rest
-            in
-            go lines)
-        ready
+      Array.iter
+        (fun cs ->
+          if List.mem cs.cs_fd ready then
+            match Unix.read cs.cs_fd buf 0 (Bytes.length buf) with
+            | 0 ->
+              (* server closed this session; reconnect (resending what
+                 it owed) if anything is still outstanding *)
+              if Hashtbl.length cs.cs_inflight > 0 then reconnect cs
+            | r ->
+              let data = cs.cs_buf ^ Bytes.sub_string buf 0 r in
+              let lines = String.split_on_char '\n' data in
+              let rec go = function
+                | [] -> ()
+                | [ last ] -> cs.cs_buf <- last
+                | l :: rest -> handle_line l; go rest
+              in
+              go lines
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            | exception Unix.Unix_error (_, _, _) -> reconnect cs)
+        conn_states
+  in
+  let flush_retries () =
+    let now = Clock.now () in
+    let due, later = List.partition (fun (t, _) -> t <= now) !retryq in
+    retryq := later;
+    List.iter
+      (fun (_, id) ->
+        match Hashtbl.find_opt reqs id with
+        | Some line -> send_on (conn_of_id id) ~resend:false id line
+        | None -> ())
+      due
+  in
+  (* the client half of the chaos plan, drawn per scheduled request *)
+  let chaos_inject i =
+    match chaos with
+    | None -> ()
+    | Some rng ->
+      if Lubt_util.Prng.float rng 1.0 < 0.05 then begin
+        let cs = conn_states.(Lubt_util.Prng.int rng conns) in
+        incr malformed_pending;
+        send_on cs ~resend:true
+          (Printf.sprintf "chaos%d" i)
+          "{\"op\": \"solve\", \"bench\":"
+      end;
+      if Lubt_util.Prng.float rng 1.0 < 0.04 then begin
+        let cs = conn_states.(Lubt_util.Prng.int rng conns) in
+        (* RST, not FIN: linger 0 discards the socket's queues, which
+           is the reset path SIGPIPE handling and the daemon's
+           single-closer discipline must survive *)
+        (try Unix.setsockopt_optint cs.cs_fd Unix.SO_LINGER (Some 0)
+         with Unix.Unix_error _ -> ());
+        reconnect cs
+      end
   in
   let t_start = Clock.now () in
   let sent = ref 0 in
   while !sent < n do
     let next = t_start +. (float_of_int !sent /. rps) in
     let now = Clock.now () in
+    flush_retries ();
     if now >= next then begin
-      let line = load_request !sent in
+      let line = load_request ~degrade_every !sent in
       let id = Printf.sprintf "q%d" !sent in
-      let fd = fds.(!sent mod conns) in
+      Hashtbl.replace reqs id line;
       Hashtbl.replace send_times id (Clock.now ());
-      (try
-         let b = Bytes.of_string (line ^ "\n") in
-         let len = Bytes.length b in
-         (* a short write (e.g. interrupted by a signal) would corrupt
-            the pipelined JSON-lines stream: always write whole lines *)
-         let rec put off =
-           if off < len then
-             match Unix.write fd b off (len - off) with
-             | w -> put (off + w)
-             | exception Unix.Unix_error (Unix.EINTR, _, _) -> put off
-         in
-         put 0
-       with Unix.Unix_error _ -> incr failed);
+      send_on (conn_of_id id) ~resend:false id line;
+      chaos_inject !sent;
       incr sent
     end
     else read_ready (min 0.05 (next -. now))
   done;
-  (* drain: every request was sent; wait (bounded) for the tail *)
+  (* drain: every request was sent; wait (bounded) for the tail,
+     still serving the retry queue *)
   let drain_deadline = Clock.now () +. 60.0 in
   while Hashtbl.length send_times > 0 && Clock.now () < drain_deadline do
+    flush_retries ();
     read_ready 0.1
   done;
   let wall_s = Clock.now () -. t_start in
-  Array.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) fds;
+  Array.iter
+    (fun cs -> try Unix.close cs.cs_fd with Unix.Unix_error _ -> ())
+    conn_states;
   let unanswered = Hashtbl.length send_times in
   let lat = Array.of_list !latencies in
   Array.sort Float.compare lat;
   (`Sent n, `Ok !ok, `Rejected !rejected, `Failed (!failed + unanswered),
-   `Wall wall_s, `Lat lat)
+   `Wall wall_s, `Lat lat, `Reconnects !reconnects, `Retries !retries,
+   `Degraded !degraded_ok)
 
 let run_serve args =
+  (* a daemon-side reset racing one of our writes must surface as
+     EPIPE (and a reconnect), not kill the load generator *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let rps = ref 20.0 in
   let duration = ref 5.0 in
   let conns = ref 8 in
   let jobs = ref 4 in
   let socket = ref None in
   let json_out = ref None in
+  let degrade_every = ref 0 in
+  let chaos_seed = ref None in
   let bad what =
     Printf.eprintf
       "%s\nusage: main.exe serve [--rps N] [--duration S] [--conns N] \
-       [--jobs N] [--socket PATH] [--json FILE]\n"
+       [--jobs N] [--socket PATH] [--json FILE] [--degrade-every N] \
+       [--chaos-seed N]\n"
       what;
     exit 1
   in
@@ -520,6 +704,14 @@ let run_serve args =
       | _ -> bad "--jobs: need a positive integer")
     | "--socket" :: path :: rest -> socket := Some path; parse rest
     | "--json" :: file :: rest -> json_out := Some file; parse rest
+    | "--degrade-every" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some k when k >= 0 -> degrade_every := k; parse rest
+      | _ -> bad "--degrade-every: need a non-negative integer")
+    | "--chaos-seed" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some s -> chaos_seed := Some s; parse rest
+      | _ -> bad "--chaos-seed: need an integer")
     | a :: _ -> bad (Printf.sprintf "serve: unknown argument %S" a)
   in
   parse args;
@@ -546,8 +738,9 @@ let run_serve args =
       | Ok h -> (Some h, Unix.ADDR_UNIX path))
   in
   let `Sent sent, `Ok ok, `Rejected rejected, `Failed failed, `Wall wall_s,
-      `Lat lat =
+      `Lat lat, `Reconnects reconnects, `Retries retries, `Degraded degraded =
     run_load ~addr ~rps:!rps ~duration:!duration ~conns:!conns
+      ~degrade_every:!degrade_every ~chaos_seed:!chaos_seed
   in
   (match handle with
   | Some h -> ignore (Serve.shutdown h)
@@ -557,14 +750,17 @@ let run_serve args =
   and p99 = percentile lat 99.0 in
   let throughput = float_of_int ok /. wall_s in
   Printf.printf
-    "serve load: %d sent at %.0f rps over %d conns — %d ok, %d rejected, \
-     %d failed, %.1fs wall\n\
+    "serve load: %d sent at %.0f rps over %d conns — %d ok (%d degraded), \
+     %d rejected, %d failed, %d reconnects, %d retries, %.1fs wall\n\
      latency ms: p50 %.2f  p95 %.2f  p99 %.2f   throughput %.1f req/s\n%!"
-    sent !rps !conns ok rejected failed wall_s p50 p95 p99 throughput;
+    sent !rps !conns ok degraded rejected failed reconnects retries wall_s
+    p50 p95 p99 throughput;
   (match !json_out with
   | Some path ->
     (* latency quantiles join the lubt-bench schema as ms entries, so
-       [bench diff] gates serve latency like any other benchmark *)
+       [bench diff] gates serve latency like any other benchmark; the
+       robustness counters ride along as count-valued entries (new
+       entries are reported, never gated, by [bench diff]) *)
     let entry name ms =
       { Protocol.bench_name = name; ms_per_run = ms;
         solver = None; ebf_result = None }
@@ -574,7 +770,10 @@ let run_serve args =
         entry "serve_latency_p95" p95;
         entry "serve_latency_p99" p99;
         entry "serve_ms_per_request"
-          (if throughput > 0.0 then 1e3 /. throughput else nan) ]
+          (if throughput > 0.0 then 1e3 /. throughput else nan);
+        entry "serve_reconnects_count" (float_of_int reconnects);
+        entry "serve_retries_count" (float_of_int retries);
+        entry "serve_degraded_count" (float_of_int degraded) ]
     in
     let oc = open_out path in
     output_string oc (Protocol.bench_json ~jobs:!jobs ~size:"tiny" entries);
@@ -595,6 +794,7 @@ let usage_and_exit () =
      \                    [--abs-floor-ms MS] [--warn-only]\n\
      \       main.exe serve [--rps N] [--duration S] [--conns N] [--jobs N]\n\
      \                      [--socket PATH] [--json FILE]\n\
+     \                      [--degrade-every N] [--chaos-seed N]\n\
      commands: %s (all of them when none given)\n"
     (String.concat "|" known_commands);
   exit 1

@@ -621,12 +621,32 @@ let batch_cmd =
 (* serve                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let serve socket port host jobs max_pending default_time_limit log_level =
+let serve socket port host jobs max_pending default_time_limit watchdog
+    breaker_p95_ms breaker_queue breaker_cooldown chaos_seed chaos_kill_rate
+    chaos_delay_rate chaos_delay_ms log_level =
   Log.set_level log_level;
   if socket = None && port = None then begin
     prerr_endline "lubt serve: give --socket PATH and/or --port PORT";
     exit 2
   end;
+  if
+    chaos_kill_rate < 0.0 || chaos_kill_rate > 1.0 || chaos_delay_rate < 0.0
+    || chaos_delay_rate > 1.0 || chaos_delay_ms < 0.0
+  then begin
+    prerr_endline
+      "lubt serve: chaos rates must be in [0,1] and --chaos-delay-ms >= 0";
+    exit 2
+  end;
+  let chaos =
+    match chaos_seed with
+    | None -> None
+    | Some seed ->
+      Some
+        (Pool.Executor.chaos_plan ~kill_rate:chaos_kill_rate
+           ~delay_rate:chaos_delay_rate
+           ~delay_s:(chaos_delay_ms /. 1e3)
+           seed)
+  in
   let cfg =
     {
       Serve.socket;
@@ -636,6 +656,12 @@ let serve socket port host jobs max_pending default_time_limit log_level =
       max_pending;
       default_time_limit =
         (if default_time_limit <= 0.0 then infinity else default_time_limit);
+      watchdog = (if watchdog <= 0.0 then infinity else watchdog);
+      breaker_p95_ms =
+        (if breaker_p95_ms <= 0.0 then infinity else breaker_p95_ms);
+      breaker_queue = max 0 breaker_queue;
+      breaker_cooldown = (if breaker_cooldown <= 0.0 then 1.0 else breaker_cooldown);
+      chaos;
     }
   in
   match Serve.create cfg with
@@ -648,9 +674,11 @@ let serve socket port host jobs max_pending default_time_limit log_level =
     (* stdout stays machine-readable: one summary object, like batch *)
     Printf.printf
       "{\"connections\": %d, \"served\": %d, \"rejected\": %d, \
-       \"failed\": %d}\n"
+       \"failed\": %d, \"degraded\": %d, \"restarts\": %d, \
+       \"watchdog_fires\": %d, \"breaker_trips\": %d}\n"
       stats.Serve.connections stats.Serve.served stats.Serve.rejected
-      stats.Serve.failed
+      stats.Serve.failed stats.Serve.degraded stats.Serve.restarts
+      stats.Serve.watchdog_fires stats.Serve.breaker_trips
 
 let serve_cmd =
   let socket =
@@ -702,17 +730,88 @@ let serve_cmd =
              $(b,time_limit) of their own (default: none). An expired \
              solve answers with a $(b,time_limit) error.")
   in
+  let watchdog =
+    Arg.(
+      value & opt float 0.0
+      & info [ "watchdog" ] ~docv:"SECONDS"
+          ~doc:
+            "Hard per-request deadline (default: none). A request \
+             running longer has its worker domain deposed and replaced; \
+             the request answers with a $(b,watchdog_timeout) error and \
+             the restart is counted in the stats.")
+  in
+  let breaker_p95_ms =
+    Arg.(
+      value & opt float 0.0
+      & info [ "breaker-p95-ms" ] ~docv:"MS"
+          ~doc:
+            "Circuit breaker: when the p95 latency of recently completed \
+             requests reaches $(docv), new solves are rejected fast with \
+             $(b,breaker_open) + $(b,retry_after_ms) for the cooldown \
+             period (default: disabled).")
+  in
+  let breaker_queue =
+    Arg.(
+      value & opt int 0
+      & info [ "breaker-queue" ] ~docv:"N"
+          ~doc:
+            "Circuit breaker: open when the executor queue depth reaches \
+             $(docv) (default: disabled).")
+  in
+  let breaker_cooldown =
+    Arg.(
+      value & opt float 1.0
+      & info [ "breaker-cooldown" ] ~docv:"SECONDS"
+          ~doc:"How long the breaker stays open once tripped (default 1).")
+  in
+  let chaos_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos-seed" ] ~docv:"SEED"
+          ~doc:
+            "Arm deterministic service-level fault injection: accepted \
+             tasks are killed mid-solve or delayed according to a seeded \
+             stream (see --chaos-kill-rate/--chaos-delay-rate). For \
+             chaos tests and CI smokes only.")
+  in
+  let chaos_kill_rate =
+    Arg.(
+      value & opt float 0.1
+      & info [ "chaos-kill-rate" ] ~docv:"P"
+          ~doc:
+            "With --chaos-seed: probability a task kills its worker \
+             domain mid-request (default 0.1).")
+  in
+  let chaos_delay_rate =
+    Arg.(
+      value & opt float 0.2
+      & info [ "chaos-delay-rate" ] ~docv:"P"
+          ~doc:
+            "With --chaos-seed: probability a task gets injected latency \
+             (default 0.2).")
+  in
+  let chaos_delay_ms =
+    Arg.(
+      value & opt float 20.0
+      & info [ "chaos-delay-ms" ] ~docv:"MS"
+          ~doc:"With --chaos-seed: the injected latency (default 20).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Long-lived solve daemon: JSON-lines requests over a Unix \
-          socket and/or TCP, answered by a pool of worker domains with \
-          bounded-queue backpressure and per-request deadlines; \
-          responses reuse the $(b,solve --json) report shape. SIGTERM \
-          or SIGINT drains in-flight requests and exits cleanly.")
+          socket and/or TCP, answered by a supervised pool of worker \
+          domains with bounded-queue backpressure, per-request \
+          deadlines, a hard watchdog, a circuit breaker and an opt-in \
+          graceful-degradation ladder; responses reuse the \
+          $(b,solve --json) report shape. SIGTERM or SIGINT drains \
+          in-flight requests and exits cleanly.")
     Term.(
       const serve $ socket $ port $ host $ jobs $ max_pending
-      $ default_time_limit $ log_level_t)
+      $ default_time_limit $ watchdog $ breaker_p95_ms $ breaker_queue
+      $ breaker_cooldown $ chaos_seed $ chaos_kill_rate $ chaos_delay_rate
+      $ chaos_delay_ms $ log_level_t)
 
 (* ------------------------------------------------------------------ *)
 (* svg                                                                  *)

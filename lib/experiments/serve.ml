@@ -21,6 +21,11 @@ type config = {
   jobs : int;
   max_pending : int;
   default_time_limit : float;
+  watchdog : float;
+  breaker_p95_ms : float;
+  breaker_queue : int;
+  breaker_cooldown : float;
+  chaos : Executor.chaos option;
 }
 
 let default_config =
@@ -31,6 +36,11 @@ let default_config =
     jobs = 4;
     max_pending = 64;
     default_time_limit = infinity;
+    watchdog = infinity;
+    breaker_p95_ms = infinity;
+    breaker_queue = 0;
+    breaker_cooldown = 1.0;
+    chaos = None;
   }
 
 type stats = {
@@ -38,6 +48,10 @@ type stats = {
   served : int;
   rejected : int;
   failed : int;
+  degraded : int;
+  restarts : int;
+  watchdog_fires : int;
+  breaker_trips : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -74,6 +88,7 @@ type solve_req = {
   sq_eager : bool;
   sq_certify : bool;
   sq_time_limit : float option;
+  sq_degrade : bool;
 }
 
 type op = Ping | Sleep of float  (* seconds *) | Solve of solve_req
@@ -180,6 +195,7 @@ let parse_op j =
       | Some t when t <= 0.0 -> Error "\"time_limit\" must be positive"
       | other -> Ok other
     in
+    let* degrade = mem_bool ~what:"degrade" ~default:false j in
     Ok
       (Solve
          {
@@ -187,6 +203,7 @@ let parse_op j =
            sq_eager = eager;
            sq_certify = certify;
            sq_time_limit = time_limit;
+           sq_degrade = degrade;
          })
   | Some "ping" -> Ok Ping
   | Some "sleep" -> (
@@ -212,11 +229,17 @@ let parse_request line =
 (* Responses                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let error_response ~id ~code msg =
+let error_response ?retry_after_ms ~id ~code msg =
+  let retry =
+    match retry_after_ms with
+    | None -> ""
+    | Some ms ->
+      Printf.sprintf ", \"retry_after_ms\": %s" (Protocol.json_float ms)
+  in
   Printf.sprintf
     "{\"id\": %s, \"ok\": false, \"error\": {\"code\": \"%s\", \"message\": \
-     \"%s\"}}"
-    id code (Protocol.json_escape msg)
+     \"%s\"%s}}"
+    id code (Protocol.json_escape msg) retry
 
 let ok_envelope ~id ~status ~wall_ms fields =
   Printf.sprintf
@@ -255,58 +278,131 @@ let bench_workload spec skew_rel =
   let inst = Instance.with_bounds inst0 ~lower ~upper in
   (inst, b.Protocol.bst.Bst.topology)
 
+(* The degraded-response members: which rung answered, plus the usual
+   report when the rung produced one (the heuristic rung has no LP
+   report; it renders cost/validated directly). *)
+let ladder_fields (o : Ladder.outcome) =
+  let validated = Result.is_ok (Routed.validate o.Ladder.routed) in
+  let prefix =
+    Printf.sprintf "\"degraded\": %b, \"quality\": \"%s\"" o.Ladder.degraded
+      (Ladder.rung_to_string o.Ladder.rung)
+  in
+  match o.Ladder.report with
+  | Some report -> prefix ^ ", " ^ solve_report_fields report ~validated
+  | None ->
+    Printf.sprintf "%s, \"cost\": %s, \"validated\": %b, \"certified\": false"
+      prefix
+      (Protocol.json_float (Routed.cost o.Ladder.routed))
+      validated
+
+let ladder_response ~id ~t0 (o : Ladder.outcome) =
+  let wall_ms = (Clock.now () -. t0) *. 1e3 in
+  ( not o.Ladder.verified,
+    o.Ladder.degraded,
+    ok_envelope ~id
+      ~status:(if o.Ladder.degraded then "degraded" else "optimal")
+      ~wall_ms (ladder_fields o) )
+
+(* A solve request's instance and topology; shared by the full solve
+   path and the inline degraded path. *)
+let materialize_workload (q : solve_req) =
+  match q.sq_workload with
+  | Inline (inst, Some tree) -> (inst, tree)
+  | Inline (inst, None) -> (inst, baseline_topology inst)
+  | Bench (spec, skew_rel) -> bench_workload spec skew_rel
+
 let execute_solve ~default_time_limit ~id (q : solve_req) =
   let t0 = Clock.now () in
-  let inst, tree =
-    match q.sq_workload with
-    | Inline (inst, Some tree) -> (inst, tree)
-    | Inline (inst, None) -> (inst, baseline_topology inst)
-    | Bench (spec, skew_rel) -> bench_workload spec skew_rel
+  let inst, tree = materialize_workload q in
+  let time_limit =
+    match q.sq_time_limit with Some t -> t | None -> default_time_limit
   in
   let options =
     {
       Ebf.default_options with
       Ebf.lazy_steiner = not q.sq_eager;
       check = (if q.sq_certify then Certify.Full else Certify.Off);
-      time_limit =
-        (match q.sq_time_limit with
-        | Some t -> t
-        | None -> default_time_limit);
+      time_limit;
     }
   in
-  match Lubt.solve ~options inst tree with
-  | Ok report ->
-    let validated = Result.is_ok (Routed.validate report.Lubt.routed) in
-    let wall_ms = (Clock.now () -. t0) *. 1e3 in
-    Log.debug
-      ~fields:[ ("wall_ms", Trace.Float wall_ms) ]
-      "request solved";
-    ( not validated,
-      ok_envelope ~id ~status:"optimal" ~wall_ms
-        (solve_report_fields report ~validated) )
-  | Error Lubt.No_solution ->
-    (true, error_response ~id ~code:"infeasible" (Lubt.error_to_string Lubt.No_solution))
-  | Error (Lubt.Solver_failure { status; _ } as e) ->
-    let code =
-      match status with
-      | Status.Time_limit -> "time_limit"
-      | _ -> "solver_failure"
+  if q.sq_degrade then begin
+    (* degradation ladder: under an absolute deadline derived from the
+       request budget, step down until some rung answers *)
+    let opts =
+      {
+        Ladder.default_options with
+        Ladder.base = options;
+        deadline =
+          (if time_limit = infinity then None else Some (t0 +. time_limit));
+      }
     in
-    (true, error_response ~id ~code (Lubt.error_to_string e))
-  | Error (Lubt.Embedding_failure _ as e) ->
-    (true, error_response ~id ~code:"embedding_failure" (Lubt.error_to_string e))
+    match Ladder.solve opts inst tree with
+    | Ok outcome -> ladder_response ~id ~t0 outcome
+    | Error Ladder.Infeasible ->
+      ( true,
+        false,
+        error_response ~id ~code:"infeasible"
+          (Lubt.error_to_string Lubt.No_solution) )
+    | Error (Ladder.Exhausted _ as e) ->
+      ( true,
+        false,
+        error_response ~id ~code:"degraded_failed" (Ladder.error_to_string e)
+      )
+  end
+  else
+    match Lubt.solve ~options inst tree with
+    | Ok report ->
+      let validated = Result.is_ok (Routed.validate report.Lubt.routed) in
+      let wall_ms = (Clock.now () -. t0) *. 1e3 in
+      Log.debug ~fields:[ ("wall_ms", Trace.Float wall_ms) ] "request solved";
+      ( not validated,
+        false,
+        ok_envelope ~id ~status:"optimal" ~wall_ms
+          (Printf.sprintf "\"degraded\": false, %s"
+             (solve_report_fields report ~validated)) )
+    | Error Lubt.No_solution ->
+      ( true,
+        false,
+        error_response ~id ~code:"infeasible"
+          (Lubt.error_to_string Lubt.No_solution) )
+    | Error (Lubt.Solver_failure { status; _ } as e) ->
+      let code =
+        match status with
+        | Status.Time_limit -> "time_limit"
+        | _ -> "solver_failure"
+      in
+      (true, false, error_response ~id ~code (Lubt.error_to_string e))
+    | Error (Lubt.Embedding_failure _ as e) ->
+      ( true,
+        false,
+        error_response ~id ~code:"embedding_failure" (Lubt.error_to_string e)
+      )
 
-(* Execute one parsed request. Returns (failed, response line); never
-   raises — an escaping exception here would otherwise eat a response
-   and leave its client hanging. *)
+(* The floor rung run inline (no LP, no worker): what a saturated pool
+   answers with when the client opted into degradation. *)
+let execute_degraded_inline ~id (q : solve_req) =
+  let t0 = Clock.now () in
+  match
+    let inst, _ = materialize_workload q in
+    Ladder.heuristic inst
+  with
+  | Ok outcome -> Some (ladder_response ~id ~t0 outcome)
+  | Error _ -> None
+  | exception _ -> None
+
+(* Execute one parsed request. Returns (failed, degraded, response
+   line); never raises — an escaping exception here would otherwise eat
+   a response and leave its client hanging. *)
 let execute ~default_time_limit (rq : request) =
   let id = rq.rq_id in
   match rq.rq_op with
-  | Ping -> (false, Printf.sprintf "{\"id\": %s, \"ok\": true, \"pong\": true}" id)
+  | Ping ->
+    (false, false, Printf.sprintf "{\"id\": %s, \"ok\": true, \"pong\": true}" id)
   | Sleep s ->
     let t0 = Clock.now () in
     Unix.sleepf s;
     ( false,
+      false,
       Printf.sprintf
         "{\"id\": %s, \"ok\": true, \"status\": \"slept\", \"wall_ms\": %s}"
         id
@@ -314,15 +410,16 @@ let execute ~default_time_limit (rq : request) =
   | Solve q -> (
     try execute_solve ~default_time_limit ~id q with
     | exn ->
-      (true, error_response ~id ~code:"internal" (Printexc.to_string exn)))
+      (true, false, error_response ~id ~code:"internal" (Printexc.to_string exn)))
 
 let response_of_line ~default_time_limit line =
   match parse_request line with
-  | Error (id, msg) -> (true, error_response ~id ~code:"bad_request" msg)
+  | Error (id, msg) -> (true, false, error_response ~id ~code:"bad_request" msg)
   | Ok rq -> execute ~default_time_limit rq
 
 let response_of_request ?(default_time_limit = infinity) line =
-  snd (response_of_line ~default_time_limit line)
+  let _, _, resp = response_of_line ~default_time_limit line in
+  resp
 
 (* ------------------------------------------------------------------ *)
 (* Sessions                                                            *)
@@ -355,6 +452,12 @@ type conn = {
    queue itself keeps workers from ever blocking in [Unix.write]. *)
 let max_out_bytes = 8 * 1024 * 1024
 
+(* Completed-request latencies for the admission controller, most
+   recent [lat_capacity] of them. Written by worker domains, read by
+   the select loop's breaker check: one small lock, held for a few
+   array slots. *)
+let lat_capacity = 128
+
 type server = {
   cfg : config;
   executor : Executor.t;
@@ -366,7 +469,64 @@ type server = {
   s_served : int Atomic.t;
   s_rejected : int Atomic.t;
   s_failed : int Atomic.t;
+  s_degraded : int Atomic.t;
+  s_breaker_trips : int Atomic.t;
+  lat_lock : Mutex.t;
+  lat_ring : float array;  (* wall_ms of completed requests *)
+  mutable lat_count : int;  (* total ever recorded *)
+  mutable breaker_until : float;  (* loop-thread only; Clock.now axis *)
 }
+
+let record_latency server wall_ms =
+  Mutex.protect server.lat_lock (fun () ->
+      server.lat_ring.(server.lat_count mod lat_capacity) <- wall_ms;
+      server.lat_count <- server.lat_count + 1)
+
+(* p95 over the retained window; NaN while the window is empty (a NaN
+   never trips the [>=] threshold, so a cold server admits). *)
+let p95_ms server =
+  Mutex.protect server.lat_lock (fun () ->
+      let n = min server.lat_count lat_capacity in
+      if n = 0 then nan
+      else begin
+        let a = Array.sub server.lat_ring 0 n in
+        Array.sort compare a;
+        a.(min (n - 1) (int_of_float (ceil (0.95 *. float_of_int n)) - 1))
+      end)
+
+(* The circuit breaker: called on the select loop before submitting a
+   solve. Once open it stays open for [breaker_cooldown] seconds and
+   rejections carry the remaining wait as a Retry-After-style hint.
+   Both thresholds default to "never" (p95 [infinity], queue [0]). *)
+let breaker_check server =
+  let now = Clock.now () in
+  if now < server.breaker_until then Some (server.breaker_until -. now)
+  else begin
+    let cfg = server.cfg in
+    let depth = Executor.pending server.executor in
+    let queue_trip = cfg.breaker_queue > 0 && depth >= cfg.breaker_queue in
+    let p95 = if cfg.breaker_p95_ms < infinity then p95_ms server else nan in
+    let p95_trip = p95 >= cfg.breaker_p95_ms in
+    if queue_trip || p95_trip then begin
+      server.breaker_until <- now +. cfg.breaker_cooldown;
+      Atomic.incr server.s_breaker_trips;
+      Log.warn
+        ~fields:
+          [
+            ("queue_depth", Trace.Int depth);
+            ("p95_ms", Trace.Float p95);
+          ]
+        "circuit breaker open for %.3gs (%s)" cfg.breaker_cooldown
+        (if queue_trip then "queue depth over threshold"
+         else "p95 latency over threshold");
+      if Trace.enabled () then
+        Trace.instant "serve.breaker_open"
+          ~args:
+            [ ("queue_depth", Trace.Int depth); ("p95_ms", Trace.Float p95) ];
+      Some cfg.breaker_cooldown
+    end
+    else None
+  end
 
 (* One byte on the self-pipe wakes the select loop so it reconsiders
    interest sets and prunes dead sessions. The write end is
@@ -442,8 +602,28 @@ let finish_task server conn ticket_cell =
 
 let bump counter = Atomic.incr counter
 
-(* Dispatch one request line. Cheap ops (ping, malformed) are answered
-   on the session thread; solves and sleeps go to the worker pool. *)
+(* The ping payload doubles as the health probe: queue depth and worker
+   state for admission decisions on the client side, supervision and
+   degradation counters for monitoring. *)
+let health_response server ~id =
+  let ex = server.executor in
+  Printf.sprintf
+    "{\"id\": %s, \"ok\": true, \"pong\": true, \"health\": {\"pending\": \
+     %d, \"running\": %d, \"workers\": %d, \"restarts\": %d, \
+     \"watchdog_fires\": %d, \"breaker_open\": %b, \"p95_ms\": %s, \
+     \"served\": %d, \"degraded\": %d, \"rejected\": %d}}"
+    id (Executor.pending ex) (Executor.running ex) (Executor.workers ex)
+    (Executor.restarts ex)
+    (Executor.watchdog_fires ex)
+    (Clock.now () < server.breaker_until)
+    (Protocol.json_float (p95_ms server))
+    (Atomic.get server.s_served)
+    (Atomic.get server.s_degraded)
+    (Atomic.get server.s_rejected)
+
+(* Dispatch one request line. Cheap ops (ping, malformed, breaker and
+   backpressure rejections, the inline degraded answer) are handled on
+   the session thread; solves and sleeps go to the worker pool. *)
 let dispatch server conn line =
   if String.trim line <> "" then
     match parse_request line with
@@ -456,20 +636,45 @@ let dispatch server conn line =
       ignore (write_line server conn (error_response ~id ~code:"bad_request" msg))
     | Ok { rq_op = Ping; rq_id; _ } ->
       bump server.s_served;
-      ignore
-        (write_line server conn
-           (Printf.sprintf "{\"id\": %s, \"ok\": true, \"pong\": true}" rq_id))
+      ignore (write_line server conn (health_response server ~id:rq_id))
     | Ok rq ->
       let id_text = rq.rq_id_text in
+      let breaker =
+        match rq.rq_op with
+        (* sleep occupies a worker exactly like a solve, so admission
+           control covers both; ping stays exempt — it is the health
+           probe clients use to decide when to retry *)
+        | Solve _ | Sleep _ -> breaker_check server
+        | Ping -> None
+      in
+      (match breaker with
+      | Some wait_s ->
+        bump server.s_rejected;
+        Log.warn
+          ~fields:[ ("conn", Trace.Int conn.c_id); ("req", Trace.Str id_text) ]
+          "rejected: breaker_open";
+        ignore
+          (write_line server conn
+             (error_response ~id:rq.rq_id ~code:"breaker_open"
+                ~retry_after_ms:(wait_s *. 1e3)
+                (Printf.sprintf
+                   "circuit breaker open (overload); retry in %.0f ms"
+                   (wait_s *. 1e3))))
+      | None ->
       Mutex.protect conn.c_lock (fun () ->
           match conn.c_state with
           | Dead | Closed -> ()
           | Reading | Draining -> begin
             let ticket_cell = ref None in
+            (* exactly-once response resolution: the task claims its
+               ticket before answering; the supervisor's [on_abandon]
+               answers instead when the claim is lost to a crash or
+               watchdog deposal. Whoever wins also runs the epilogue
+               ([finish_task]) — never both. *)
             let task () =
               let t0 = Clock.now () in
               Trace.with_context [ ("req", Trace.Str id_text) ] (fun () ->
-                  let failed, resp =
+                  let failed, degraded, resp =
                     if Trace.enabled () then
                       Trace.span "serve.request" (fun () ->
                           execute
@@ -479,21 +684,63 @@ let dispatch server conn line =
                       execute
                         ~default_time_limit:server.cfg.default_time_limit rq
                   in
-                  bump server.s_served;
-                  if failed then bump server.s_failed;
-                  ignore (write_line server conn resp);
-                  Log.info
-                    ~fields:
-                      [
-                        ("conn", Trace.Int conn.c_id);
-                        ("ok", Trace.Bool (not failed));
-                        ( "wall_ms",
-                          Trace.Float ((Clock.now () -. t0) *. 1e3) );
-                      ]
-                    "request served");
+                  let ticket =
+                    Mutex.protect conn.c_lock (fun () -> !ticket_cell)
+                  in
+                  let won =
+                    match ticket with
+                    | Some tk -> Executor.claim tk
+                    | None -> true
+                  in
+                  if won then begin
+                    let wall_ms = (Clock.now () -. t0) *. 1e3 in
+                    bump server.s_served;
+                    if failed then bump server.s_failed;
+                    if degraded then begin
+                      bump server.s_degraded;
+                      if Trace.enabled () then
+                        Trace.instant "serve.degraded"
+                          ~args:[ ("req", Trace.Str id_text) ]
+                    end;
+                    record_latency server wall_ms;
+                    ignore (write_line server conn resp);
+                    Log.info
+                      ~fields:
+                        [
+                          ("conn", Trace.Int conn.c_id);
+                          ("ok", Trace.Bool (not failed));
+                          ("wall_ms", Trace.Float wall_ms);
+                        ]
+                      "request served";
+                    finish_task server conn ticket_cell
+                  end)
+            in
+            let on_abandon reason =
+              let code, msg =
+                match reason with
+                | Executor.Crashed e ->
+                  ("worker_crashed", "worker domain died mid-request: " ^ e)
+                | Executor.Timed_out elapsed ->
+                  ( "watchdog_timeout",
+                    Printf.sprintf
+                      "request exceeded the %.3gs watchdog deadline (ran \
+                       %.3fs); worker replaced"
+                      server.cfg.watchdog elapsed )
+                | Executor.Dropped ->
+                  ("dropped", "server shut down before the request ran")
+              in
+              bump server.s_served;
+              bump server.s_failed;
+              Log.warn
+                ~fields:
+                  [ ("conn", Trace.Int conn.c_id); ("req", Trace.Str id_text) ]
+                "request abandoned: %s" code;
+              ignore
+                (write_line server conn
+                   (error_response ~id:rq.rq_id ~code msg));
               finish_task server conn ticket_cell
             in
-            match Executor.submit server.executor task with
+            match Executor.submit ~on_abandon server.executor task with
             | Ok ticket ->
               (* the submit happens under [c_lock], which the task's
                  epilogue also takes: the cell is filled before any
@@ -502,24 +749,51 @@ let dispatch server conn line =
               conn.c_tickets <- ticket :: conn.c_tickets;
               conn.c_inflight <- conn.c_inflight + 1
             | Error reject ->
-              bump server.s_rejected;
-              let code, msg =
-                match reject with
-                | Executor.Overloaded depth ->
-                  ( "overloaded",
-                    Printf.sprintf
-                      "%d requests already pending (max %d); retry later"
-                      depth server.cfg.max_pending )
-                | Executor.Shutting_down -> ("shutting_down", "server is shutting down")
+              let degraded_inline =
+                match (reject, rq.rq_op) with
+                | Executor.Overloaded _, Solve q when q.sq_degrade ->
+                  execute_degraded_inline ~id:rq.rq_id q
+                | _ -> None
               in
-              Log.warn
-                ~fields:
-                  [ ("conn", Trace.Int conn.c_id); ("req", Trace.Str id_text) ]
-                "rejected: %s" code;
-              (* already under [c_lock]: enqueue directly; the loop
-                 (which is running this dispatch) flushes it next turn *)
-              ignore (enqueue_locked conn (error_response ~id:rq.rq_id ~code msg))
-          end)
+              (match degraded_inline with
+              | Some (failed, degraded, resp) ->
+                bump server.s_served;
+                if failed then bump server.s_failed;
+                if degraded then begin
+                  bump server.s_degraded;
+                  if Trace.enabled () then
+                    Trace.instant "serve.degraded"
+                      ~args:[ ("req", Trace.Str id_text) ]
+                end;
+                Log.info
+                  ~fields:
+                    [
+                      ("conn", Trace.Int conn.c_id);
+                      ("req", Trace.Str id_text);
+                    ]
+                  "pool saturated: answered with the inline heuristic rung";
+                ignore (enqueue_locked conn resp)
+              | None ->
+                bump server.s_rejected;
+                let code, msg =
+                  match reject with
+                  | Executor.Overloaded depth ->
+                    ( "overloaded",
+                      Printf.sprintf
+                        "%d requests already pending (max %d); retry later"
+                        depth server.cfg.max_pending )
+                  | Executor.Shutting_down ->
+                    ("shutting_down", "server is shutting down")
+                in
+                Log.warn
+                  ~fields:
+                    [ ("conn", Trace.Int conn.c_id); ("req", Trace.Str id_text) ]
+                  "rejected: %s" code;
+                (* already under [c_lock]: enqueue directly; the loop
+                   (which is running this dispatch) flushes it next turn *)
+                ignore
+                  (enqueue_locked conn (error_response ~id:rq.rq_id ~code msg)))
+          end))
 
 (* Feed freshly-read bytes through the line splitter. *)
 let feed server conn chunk =
@@ -586,7 +860,8 @@ let create cfg =
     Unix.set_nonblock stop_w;
     let executor =
       Executor.create ~jobs:(max 1 cfg.jobs)
-        ~max_pending:(max 0 cfg.max_pending) ()
+        ~max_pending:(max 0 cfg.max_pending) ~watchdog:cfg.watchdog
+        ?chaos:cfg.chaos ()
     in
     Ok
       {
@@ -600,6 +875,12 @@ let create cfg =
         s_served = Atomic.make 0;
         s_rejected = Atomic.make 0;
         s_failed = Atomic.make 0;
+        s_degraded = Atomic.make 0;
+        s_breaker_trips = Atomic.make 0;
+        lat_lock = Mutex.create ();
+        lat_ring = Array.make lat_capacity 0.0;
+        lat_count = 0;
+        breaker_until = neg_infinity;
       }
 
 let stop server =
@@ -800,7 +1081,11 @@ let run server =
      reading cannot wedge shutdown), then tear the sessions down *)
   List.iter (fun (fd, _) -> try Unix.close fd with _ -> ()) server.listeners;
   (match server.cfg.socket with Some p -> unlink_quiet p | None -> ());
+  (* read the supervision counters before the executor is torn down;
+     the drain itself may still add restarts, so read them after *)
   Executor.shutdown ~drain:true server.executor;
+  let restarts = Executor.restarts server.executor in
+  let watchdog_fires = Executor.watchdog_fires server.executor in
   Hashtbl.iter
     (fun _ conn ->
       Mutex.protect conn.c_lock (fun () ->
@@ -837,8 +1122,22 @@ let run server =
       served = Atomic.get server.s_served;
       rejected = Atomic.get server.s_rejected;
       failed = Atomic.get server.s_failed;
+      degraded = Atomic.get server.s_degraded;
+      restarts;
+      watchdog_fires;
+      breaker_trips = Atomic.get server.s_breaker_trips;
     }
   in
+  if Trace.enabled () then
+    Trace.counter "serve.stats"
+      [
+        ("served", float_of_int stats.served);
+        ("rejected", float_of_int stats.rejected);
+        ("failed", float_of_int stats.failed);
+        ("degraded", float_of_int stats.degraded);
+        ("restarts", float_of_int stats.restarts);
+        ("breaker_trips", float_of_int stats.breaker_trips);
+      ];
   Log.info
     ~fields:
       [
@@ -846,6 +1145,10 @@ let run server =
         ("served", Trace.Int stats.served);
         ("rejected", Trace.Int stats.rejected);
         ("failed", Trace.Int stats.failed);
+        ("degraded", Trace.Int stats.degraded);
+        ("restarts", Trace.Int stats.restarts);
+        ("watchdog_fires", Trace.Int stats.watchdog_fires);
+        ("breaker_trips", Trace.Int stats.breaker_trips);
       ]
     "server stopped";
   stats

@@ -35,7 +35,13 @@
     - [certify] — a-posteriori certification (default [true]: serve
       answers are certified unless the client opts out);
     - [time_limit] — per-request wall-clock budget in seconds,
-      overriding the daemon's [--default-time-limit].
+      overriding the daemon's [--default-time-limit];
+    - [degrade] — opt into the {!Ladder} (default [false]): under
+      deadline pressure or a saturated pool the request is answered by
+      the best rung that still fits (certified → uncertified →
+      reduced-round → BRBC heuristic) instead of failing. A degraded
+      success carries ["degraded": true] and ["quality"] naming the
+      rung; non-degrade successes carry ["degraded": false].
 
     A success response reuses the [lubt solve --json] report shape,
     wrapped in the request envelope:
@@ -54,12 +60,24 @@
     v}
 
     with [code] one of [bad_request], [overloaded], [shutting_down],
-    [infeasible], [time_limit], [solver_failure], [embedding_failure]
-    or [internal]. A malformed or failing request never terminates the
+    [infeasible], [time_limit], [solver_failure], [embedding_failure],
+    [degraded_failed] (every ladder rung failed), [worker_crashed] (the
+    worker domain running the request died; the daemon replaced it),
+    [watchdog_timeout] (the request overran the [--watchdog] hard
+    deadline; its worker was deposed and replaced), [dropped] (shutdown
+    cancelled the queued request), [breaker_open] (admission control —
+    the error object additionally carries [retry_after_ms]) or
+    [internal]. A malformed or failing request never terminates the
     daemon or its connection: every line gets a reply, in completion
     order (responses are matched to requests by [id], not by
     position — concurrent requests on one connection may complete out
     of order).
+
+    [ping] responses carry a [health] object — queue depth, running and
+    live worker counts, supervision counters ([restarts],
+    [watchdog_fires]), breaker state and the served/degraded/rejected
+    totals — so clients can make admission decisions without a separate
+    endpoint.
 
     {2 Scheduling and observability}
 
@@ -82,17 +100,41 @@ type config = {
   default_time_limit : float;
       (** per-request wall-clock budget when the request names none
           (default [infinity] = no deadline) *)
+  watchdog : float;
+      (** hard per-request deadline in seconds (default [infinity] =
+          off): a request running longer has its worker deposed and
+          replaced ({!Lubt_util.Pool.Executor}) and is answered with
+          [watchdog_timeout] *)
+  breaker_p95_ms : float;
+      (** circuit breaker: open when the p95 of the last completed
+          requests reaches this many milliseconds (default [infinity]
+          = never) *)
+  breaker_queue : int;
+      (** circuit breaker: open when the executor queue depth reaches
+          this bound (default [0] = never) *)
+  breaker_cooldown : float;
+      (** seconds the breaker stays open once tripped (default 1.0);
+          also the [retry_after_ms] hint sent with the rejection *)
+  chaos : Lubt_util.Pool.Executor.chaos option;
+      (** deterministic service-level fault injection (worker kills,
+          task latency) for tests and chaos smokes; default [None] *)
 }
 
 val default_config : config
 (** No listeners ([create] requires at least one of [socket]/[port]),
-    [jobs = 4], [max_pending = 64], no default deadline. *)
+    [jobs = 4], [max_pending = 64], no default deadline, watchdog and
+    breaker off, no chaos. *)
 
 type stats = {
   connections : int;  (** sessions accepted over the server's lifetime *)
   served : int;  (** requests answered, successfully or with an error *)
-  rejected : int;  (** requests refused by backpressure *)
+  rejected : int;
+      (** requests refused by backpressure or the circuit breaker *)
   failed : int;  (** requests answered with [ok: false] *)
+  degraded : int;  (** successes answered by a rung below the top one *)
+  restarts : int;  (** worker domains respawned (crash or watchdog) *)
+  watchdog_fires : int;  (** requests failed by the watchdog deadline *)
+  breaker_trips : int;  (** times the circuit breaker opened *)
 }
 
 type server

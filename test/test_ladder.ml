@@ -1,0 +1,166 @@
+(* Graceful-degradation ladder (Lubt_experiments.Ladder).
+
+   Each test arranges for a specific rung to be the one that answers —
+   via the [tweak] hook that sabotages the rungs above it — and asserts
+   the outcome's rung, [degraded] flag and [Embed.verify] pass. *)
+
+module Point = Lubt_geom.Point
+module Instance = Lubt_core.Instance
+module Tree = Lubt_topo.Tree
+module Ebf = Lubt_core.Ebf
+module Certify = Lubt_lp.Certify
+module Clock = Lubt_obs.Clock
+module Ladder = Lubt_experiments.Ladder
+
+let pt = Point.make
+
+(* a 4-sink star with a source: feasible, tiny, and BRBC-routable *)
+let star () =
+  let sinks =
+    [| pt 0.0 100.0; pt 100.0 0.0; pt 100.0 200.0; pt 200.0 100.0 |]
+  in
+  let inst =
+    Instance.uniform_bounds ~source:(pt 0.0 0.0) ~sinks ~lower:0.0
+      ~upper:1000.0 ()
+  in
+  let tree =
+    Tree.create ~parents:[| -1; 0; 0; 0; 0 |] ~sinks:[| 1; 2; 3; 4 |] ()
+  in
+  (inst, tree)
+
+let certified_base = { Ebf.default_options with Ebf.check = Certify.Full }
+
+(* sabotage: a vanishing time budget makes an LP rung fail cleanly *)
+let starve rungs r (o : Ebf.options) =
+  if List.mem r rungs then { o with Ebf.time_limit = 1e-9 } else o
+
+let opts ?(starved = []) () =
+  {
+    Ladder.default_options with
+    Ladder.base = certified_base;
+    tweak = starve starved;
+  }
+
+let check_outcome ~rung ~degraded (o : Ladder.outcome) =
+  Alcotest.(check string) "winning rung" (Ladder.rung_to_string rung)
+    (Ladder.rung_to_string o.Ladder.rung);
+  Alcotest.(check bool) "degraded flag" degraded o.Ladder.degraded;
+  Alcotest.(check bool) "Embed.verify passed" true o.Ladder.verified
+
+let run o inst tree =
+  match Ladder.solve o inst tree with
+  | Ok outcome -> outcome
+  | Error e -> Alcotest.fail (Ladder.error_to_string e)
+
+let test_top_rung_answers () =
+  let inst, tree = star () in
+  let o = run (opts ()) inst tree in
+  check_outcome ~rung:Ladder.Certified ~degraded:false o;
+  Alcotest.(check bool) "has a report" true (o.Ladder.report <> None);
+  Alcotest.(check int) "no failed attempts" 0
+    (List.length o.Ladder.attempts)
+
+let test_uncertified_rung () =
+  let inst, tree = star () in
+  let o = run (opts ~starved:[ Ladder.Certified ] ()) inst tree in
+  check_outcome ~rung:Ladder.Uncertified ~degraded:true o;
+  Alcotest.(check int) "one failed attempt above" 1
+    (List.length o.Ladder.attempts)
+
+let test_reduced_rung () =
+  let inst, tree = star () in
+  let o =
+    run (opts ~starved:[ Ladder.Certified; Ladder.Uncertified ] ()) inst tree
+  in
+  check_outcome ~rung:Ladder.Reduced ~degraded:true o;
+  Alcotest.(check bool) "reduced rung still reports" true
+    (o.Ladder.report <> None)
+
+let test_heuristic_rung () =
+  let inst, tree = star () in
+  let o =
+    run
+      (opts ~starved:[ Ladder.Certified; Ladder.Uncertified; Ladder.Reduced ]
+         ())
+      inst tree
+  in
+  check_outcome ~rung:Ladder.Heuristic ~degraded:true o;
+  Alcotest.(check bool) "no LP report" true (o.Ladder.report = None);
+  Alcotest.(check int) "three failed attempts above" 3
+    (List.length o.Ladder.attempts)
+
+(* when [base.check = Off] the top rung IS Uncertified, so winning
+   there is not degraded *)
+let test_top_rung_without_certification () =
+  let inst, tree = star () in
+  let o =
+    run { (opts ()) with Ladder.base = Ebf.default_options } inst tree
+  in
+  check_outcome ~rung:Ladder.Uncertified ~degraded:false o
+
+(* an expired deadline skips every LP rung outright and answers from
+   the heuristic floor *)
+let test_expired_deadline_goes_to_floor () =
+  let inst, tree = star () in
+  let o =
+    run
+      { (opts ()) with Ladder.deadline = Some (Clock.now () -. 1.0) }
+      inst tree
+  in
+  check_outcome ~rung:Ladder.Heuristic ~degraded:true o
+
+(* an infeasible LP stops the ladder: degradation must not paper over a
+   proof that no LUBT exists (Figure 1's chain, upper bound 6) *)
+let test_infeasible_stops_ladder () =
+  let sinks = [| pt 3.0 0.0; pt 0.0 3.0 |] in
+  let inst =
+    Instance.uniform_bounds ~source:(pt 0.0 0.0) ~sinks ~lower:0.0 ~upper:6.0
+      ()
+  in
+  let chain = Tree.create ~parents:[| -1; 0; 1 |] ~sinks:[| 1; 2 |] () in
+  match Ladder.solve (opts ()) inst chain with
+  | Ok o ->
+    Alcotest.fail
+      ("infeasible instance answered by rung "
+      ^ Ladder.rung_to_string o.Ladder.rung)
+  | Error Ladder.Infeasible -> ()
+  | Error (Ladder.Exhausted _ as e) ->
+    Alcotest.fail (Ladder.error_to_string e)
+
+(* the heuristic floor standalone: what serve answers with inline when
+   the pool is saturated *)
+let test_heuristic_standalone () =
+  let inst, _ = star () in
+  (match Ladder.heuristic inst with
+  | Ok o -> check_outcome ~rung:Ladder.Heuristic ~degraded:true o
+  | Error e -> Alcotest.fail (Ladder.error_to_string e));
+  (* no source: BRBC has no root to route from *)
+  let sourceless =
+    Instance.uniform_bounds
+      ~sinks:[| pt 0.0 1.0; pt 1.0 0.0 |]
+      ~lower:0.0 ~upper:10.0 ()
+  in
+  match Ladder.heuristic sourceless with
+  | Ok _ -> Alcotest.fail "heuristic routed an instance with no source"
+  | Error (Ladder.Exhausted _) -> ()
+  | Error Ladder.Infeasible -> Alcotest.fail "unexpected Infeasible"
+
+let () =
+  Alcotest.run "ladder"
+    [
+      ( "ladder",
+        [
+          Alcotest.test_case "certified top rung" `Quick test_top_rung_answers;
+          Alcotest.test_case "uncertified rung" `Quick test_uncertified_rung;
+          Alcotest.test_case "reduced rung" `Quick test_reduced_rung;
+          Alcotest.test_case "heuristic rung" `Quick test_heuristic_rung;
+          Alcotest.test_case "top rung with check=Off" `Quick
+            test_top_rung_without_certification;
+          Alcotest.test_case "expired deadline -> floor" `Quick
+            test_expired_deadline_goes_to_floor;
+          Alcotest.test_case "infeasible stops the ladder" `Quick
+            test_infeasible_stops_ladder;
+          Alcotest.test_case "heuristic standalone" `Quick
+            test_heuristic_standalone;
+        ] );
+    ]

@@ -302,6 +302,188 @@ let test_cli_solve_json () =
   Sys.remove out;
   Unix.rmdir dir
 
+(* ------------------------------------------------------------------ *)
+(* executor supervision                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Executor = Pool.Executor
+
+let wait_for ?(timeout = 10.0) what pred =
+  let t0 = Unix.gettimeofday () in
+  while (not (pred ())) && Unix.gettimeofday () -. t0 < timeout do
+    Unix.sleepf 0.005
+  done;
+  Alcotest.(check bool) (what ^ " (before timeout)") true (pred ())
+
+let test_exec_claim () =
+  let ex = Executor.create ~jobs:1 () in
+  let inner = Atomic.make None in
+  let cell = Atomic.make None in
+  let tk =
+    match
+      Executor.submit ex (fun () ->
+          wait_for "ticket visible to task" (fun () ->
+              Atomic.get cell <> None);
+          match Atomic.get cell with
+          | Some tk ->
+            Atomic.set inner (Some (Executor.claim tk));
+            (* a second claim of the same ticket must lose *)
+            Alcotest.(check bool) "reclaim inside task" false
+              (Executor.claim tk)
+          | None -> ())
+    with
+    | Ok tk ->
+      Atomic.set cell (Some tk);
+      tk
+    | Error _ -> Alcotest.fail "submit refused"
+  in
+  wait_for "task claimed" (fun () -> Atomic.get inner <> None);
+  Alcotest.(check (option bool)) "first claim wins" (Some true)
+    (Atomic.get inner);
+  Alcotest.(check bool) "claim after completion" false (Executor.claim tk);
+  Alcotest.(check bool) "not abandoned" false (Executor.abandoned tk);
+  Executor.shutdown ex
+
+(* the submit/shutdown race contract: every ticket accepted concurrently
+   with a draining shutdown either runs or gets its on_abandon — none
+   may vanish *)
+let test_exec_drain_race () =
+  for _round = 1 to 8 do
+    let ex = Executor.create ~jobs:2 ~max_pending:4096 () in
+    let executed = Atomic.make 0 in
+    let abandoned = Atomic.make 0 in
+    let accepted = Atomic.make 0 in
+    let stop = Atomic.make false in
+    let racers =
+      List.init 4 (fun _ ->
+          Domain.spawn (fun () ->
+              while not (Atomic.get stop) do
+                match
+                  Executor.submit
+                    ~on_abandon:(fun _ -> Atomic.incr abandoned)
+                    ex
+                    (fun () -> Atomic.incr executed)
+                with
+                | Ok _ -> Atomic.incr accepted
+                | Error _ -> Atomic.set stop true
+              done))
+    in
+    (* shut down while the racers are mid-burst *)
+    Unix.sleepf 0.002;
+    Executor.shutdown ~drain:true ex;
+    Atomic.set stop true;
+    List.iter Domain.join racers;
+    Alcotest.(check int)
+      "accepted = executed + abandoned"
+      (Atomic.get accepted)
+      (Atomic.get executed + Atomic.get abandoned);
+    Alcotest.(check int) "drain shutdown abandons nothing" 0
+      (Atomic.get abandoned)
+  done
+
+let test_exec_no_drain_drops () =
+  let ex = Executor.create ~jobs:1 ~max_pending:64 () in
+  let started = Atomic.make false in
+  let executed = Atomic.make 0 in
+  let dropped = Atomic.make 0 in
+  let ok = function Ok _ -> () | Error _ -> Alcotest.fail "submit refused" in
+  ok
+    (Executor.submit ex (fun () ->
+         Atomic.set started true;
+         Unix.sleepf 0.15;
+         Atomic.incr executed));
+  wait_for "head task running" (fun () -> Atomic.get started);
+  for _ = 1 to 5 do
+    ok
+      (Executor.submit
+         ~on_abandon:(fun reason ->
+           match reason with
+           | Executor.Dropped -> Atomic.incr dropped
+           | _ -> ())
+         ex
+         (fun () -> Atomic.incr executed))
+  done;
+  Executor.shutdown ~drain:false ex;
+  Alcotest.(check int) "running task finished" 1 (Atomic.get executed);
+  Alcotest.(check int) "queued tasks told they were dropped" 5
+    (Atomic.get dropped)
+
+let test_exec_chaos_kill () =
+  (* kill_rate 1: every accepted task dies with its worker; the
+     supervisor must contain each crash, respawn, and fail only that
+     ticket *)
+  let chaos = Executor.chaos_plan ~kill_rate:1.0 ~delay_rate:0.0 17 in
+  let ex = Executor.create ~jobs:2 ~chaos () in
+  let crashed = Atomic.make 0 in
+  let executed = Atomic.make 0 in
+  let n = 6 in
+  let tickets =
+    List.init n (fun _ ->
+        match
+          Executor.submit
+            ~on_abandon:(fun reason ->
+              match reason with
+              | Executor.Crashed _ -> Atomic.incr crashed
+              | _ -> ())
+            ex
+            (fun () -> Atomic.incr executed)
+        with
+        | Ok tk -> tk
+        | Error _ -> Alcotest.fail "submit refused")
+  in
+  wait_for "every ticket abandoned as crashed" (fun () ->
+      Atomic.get crashed = n);
+  Alcotest.(check int) "no task body ever ran" 0 (Atomic.get executed);
+  List.iter
+    (fun tk ->
+      Alcotest.(check bool) "abandoned ticket" true (Executor.abandoned tk);
+      Alcotest.(check bool) "claim lost" false (Executor.claim tk))
+    tickets;
+  Alcotest.(check bool)
+    (Printf.sprintf "restarts >= %d (got %d)" n (Executor.restarts ex))
+    true
+    (Executor.restarts ex >= n);
+  Alcotest.(check int) "pool kept its worker count" 2 (Executor.workers ex);
+  Executor.shutdown ex
+
+let test_exec_watchdog () =
+  let ex = Executor.create ~jobs:1 ~watchdog:0.05 () in
+  let cell = Atomic.make None in
+  let timed_out = Atomic.make nan in
+  let zombie_claim = Atomic.make None in
+  (match
+     Executor.submit
+       ~on_abandon:(fun reason ->
+         match reason with
+         | Executor.Timed_out elapsed -> Atomic.set timed_out elapsed
+         | _ -> ())
+       ex
+       (fun () ->
+         Unix.sleepf 0.3;
+         match Atomic.get cell with
+         | Some tk -> Atomic.set zombie_claim (Some (Executor.claim tk))
+         | None -> ())
+   with
+  | Ok tk -> Atomic.set cell (Some tk)
+  | Error _ -> Alcotest.fail "submit refused");
+  wait_for "watchdog fired" (fun () ->
+      not (Float.is_nan (Atomic.get timed_out)));
+  Alcotest.(check bool) "elapsed at deposal >= deadline" true
+    (Atomic.get timed_out >= 0.05);
+  Alcotest.(check int) "watchdog_fires" 1 (Executor.watchdog_fires ex);
+  Alcotest.(check bool) "restart counted" true (Executor.restarts ex >= 1);
+  (* the replacement worker serves new tasks while the zombie sleeps *)
+  let served = Atomic.make false in
+  (match Executor.submit ex (fun () -> Atomic.set served true) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "replacement refused work");
+  wait_for "replacement worker serves" (fun () -> Atomic.get served);
+  (* the deposed task finishes eventually and must lose its claim *)
+  wait_for "zombie finished" (fun () -> Atomic.get zombie_claim <> None);
+  Alcotest.(check (option bool)) "zombie's claim lost" (Some false)
+    (Atomic.get zombie_claim);
+  Executor.shutdown ex
+
 let () =
   Alcotest.run "pool"
     [
@@ -323,6 +505,17 @@ let () =
           Alcotest.test_case "jobs invariance (20-instance corpus)" `Slow
             test_batch_corpus;
           Alcotest.test_case "error isolation" `Quick test_batch_error_isolation;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "claim exactly once" `Quick test_exec_claim;
+          Alcotest.test_case "submit/shutdown drain race" `Quick
+            test_exec_drain_race;
+          Alcotest.test_case "no-drain drops queued" `Quick
+            test_exec_no_drain_drops;
+          Alcotest.test_case "chaos kill supervision" `Quick
+            test_exec_chaos_kill;
+          Alcotest.test_case "watchdog deposal" `Quick test_exec_watchdog;
         ] );
       ( "json",
         [

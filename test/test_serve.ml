@@ -199,10 +199,20 @@ let temp_socket () =
   Filename.concat (Filename.get_temp_dir_name ())
     (Printf.sprintf "lubt-test-%d-%d.sock" (Unix.getpid ()) (Random.int 100000))
 
-let with_daemon ?(jobs = 2) ?(max_pending = 64) f =
+let with_daemon ?(jobs = 2) ?(max_pending = 64) ?(watchdog = infinity)
+    ?(breaker_queue = 0) ?(breaker_cooldown = 1.0) ?chaos f =
   let path = temp_socket () in
   let cfg =
-    { Serve.default_config with Serve.socket = Some path; jobs; max_pending }
+    {
+      Serve.default_config with
+      Serve.socket = Some path;
+      jobs;
+      max_pending;
+      watchdog;
+      breaker_queue;
+      breaker_cooldown;
+      chaos;
+    }
   in
   match Serve.spawn cfg with
   | Error msg -> Alcotest.fail msg
@@ -423,6 +433,180 @@ let test_socket_deadline () =
   in
   ()
 
+(* ------------------------------------------------------------------ *)
+(* Fault tolerance: health, degradation, breaker, watchdog, chaos      *)
+(* ------------------------------------------------------------------ *)
+
+module Executor = Lubt_util.Pool.Executor
+
+(* ping carries the health object clients use for admission decisions *)
+let test_socket_ping_health () =
+  let _, _ =
+    with_daemon (fun path ->
+        let fd = connect path in
+        send fd {|{"id": "h", "op": "ping"}|};
+        (match read_lines fd 1 with
+        | [ line ] ->
+          let j = parse_response line in
+          Alcotest.(check bool) "ok" true (is_ok j);
+          let h = member_exn "health" j in
+          List.iter
+            (fun k ->
+              Alcotest.(check bool) ("health has " ^ k) true
+                (Json.member k h <> None))
+            [
+              "pending"; "running"; "workers"; "restarts"; "watchdog_fires";
+              "breaker_open"; "p95_ms"; "served"; "degraded"; "rejected";
+            ];
+          Alcotest.(check bool) "breaker closed" true
+            (member_exn "breaker_open" h = Json.Bool false)
+        | ls -> Alcotest.failf "expected 1 line, got %d" (List.length ls));
+        Unix.close fd)
+  in
+  ()
+
+(* a degrade-opted request under a vanishing deadline is answered by a
+   lower rung instead of failing, and says so *)
+let test_socket_degraded () =
+  let _, stats =
+    with_daemon (fun path ->
+        let fd = connect path in
+        send fd
+          {|{"id": "d", "bench": "prim1s", "size": "tiny", "degrade": true, "time_limit": 1e-9}|};
+        (match read_lines fd 1 with
+        | [ line ] ->
+          let j = parse_response line in
+          Alcotest.(check bool) "ok despite the dead deadline" true (is_ok j);
+          Alcotest.(check bool) "marked degraded" true
+            (member_exn "degraded" j = Json.Bool true);
+          Alcotest.(check bool) "status degraded" true
+            (member_exn "status" j = Json.Str "degraded");
+          (match member_exn "quality" j with
+          | Json.Str q ->
+            Alcotest.(check bool) ("known rung: " ^ q) true
+              (List.mem q [ "uncertified"; "reduced"; "heuristic" ])
+          | _ -> Alcotest.fail "quality is not a string");
+          Alcotest.(check bool) "positive cost" true
+            (match Json.num (member_exn "cost" j) with
+            | Some c -> Float.is_finite c && c > 0.0
+            | None -> false)
+        | ls -> Alcotest.failf "expected 1 line, got %d" (List.length ls));
+        (* without the opt-in the same deadline still fails *)
+        send fd
+          {|{"id": "n", "bench": "prim1s", "size": "tiny", "time_limit": 1e-9}|};
+        (match read_lines fd 1 with
+        | [ line ] ->
+          let j = parse_response line in
+          Alcotest.(check bool) "not ok without opt-in" false (is_ok j)
+        | ls -> Alcotest.failf "expected 1 line, got %d" (List.length ls));
+        Unix.close fd)
+  in
+  Alcotest.(check int) "stats count the degradation" 1 stats.Serve.degraded
+
+(* queue-depth breaker: once the queue reaches the bound the daemon
+   rejects fast with breaker_open and a retry_after_ms hint *)
+let test_socket_breaker () =
+  let _, stats =
+    with_daemon ~jobs:1 ~max_pending:8 ~breaker_queue:1 ~breaker_cooldown:0.2
+      (fun path ->
+        let fd = connect path in
+        send fd {|{"id": "slow", "op": "sleep", "ms": 400}|};
+        Unix.sleepf 0.1;
+        send fd {|{"id": "queued", "op": "sleep", "ms": 1}|};
+        Unix.sleepf 0.05;
+        send fd {|{"id": "shed", "op": "sleep", "ms": 1}|};
+        let lines = read_lines fd 3 in
+        let shed =
+          List.filter_map
+            (fun l ->
+              let j = parse_response l in
+              if is_ok j then None else Some j)
+            lines
+        in
+        (match shed with
+        | [ j ] ->
+          Alcotest.(check string) "breaker_open code" "breaker_open"
+            (error_code j);
+          Alcotest.(check string) "rejected id" "shed" (response_id j);
+          let hint =
+            match Json.member "error" j with
+            | Some e -> Json.member "retry_after_ms" e
+            | None -> None
+          in
+          (match hint with
+          | Some h ->
+            Alcotest.(check bool) "positive retry_after_ms" true
+              (match Json.num h with Some ms -> ms > 0.0 | None -> false)
+          | None -> Alcotest.fail "no retry_after_ms hint")
+        | l -> Alcotest.failf "expected 1 rejection, got %d" (List.length l));
+        Unix.close fd)
+  in
+  Alcotest.(check bool) "stats count the trip" true
+    (stats.Serve.breaker_trips >= 1);
+  Alcotest.(check int) "stats count the rejection" 1 stats.Serve.rejected
+
+(* the watchdog deposes a stuck request's worker and answers the
+   request with a structured watchdog_timeout *)
+let test_socket_watchdog () =
+  let _, stats =
+    with_daemon ~jobs:1 ~watchdog:0.08 (fun path ->
+        let fd = connect path in
+        send fd {|{"id": "stuck", "op": "sleep", "ms": 500}|};
+        (match read_lines fd 1 with
+        | [ line ] ->
+          let j = parse_response line in
+          Alcotest.(check bool) "not ok" false (is_ok j);
+          Alcotest.(check string) "watchdog_timeout code" "watchdog_timeout"
+            (error_code j)
+        | ls -> Alcotest.failf "expected 1 line, got %d" (List.length ls));
+        (* the replacement worker serves the next request *)
+        send fd {|{"id": "next", "op": "sleep", "ms": 1}|};
+        (match read_lines fd 1 with
+        | [ line ] ->
+          Alcotest.(check bool) "replacement serves" true
+            (is_ok (parse_response line))
+        | ls -> Alcotest.failf "expected 1 line, got %d" (List.length ls));
+        Unix.close fd)
+  in
+  Alcotest.(check int) "stats: one watchdog fire" 1 stats.Serve.watchdog_fires;
+  Alcotest.(check bool) "stats: restart counted" true
+    (stats.Serve.restarts >= 1)
+
+(* seeded chaos killing every worker mid-solve: each request fails with
+   worker_crashed, the daemon replaces the workers and stays up *)
+let test_socket_chaos_crash () =
+  let chaos = Executor.chaos_plan ~kill_rate:1.0 ~delay_rate:0.0 11 in
+  let n = 4 in
+  let _, stats =
+    with_daemon ~jobs:2 ~chaos (fun path ->
+        let fd = connect path in
+        for k = 1 to n do
+          send fd (Printf.sprintf {|{"id": "c%d", "op": "sleep", "ms": 1}|} k)
+        done;
+        let lines = read_lines fd n in
+        Alcotest.(check int) "every request answered" n (List.length lines);
+        List.iter
+          (fun l ->
+            let j = parse_response l in
+            Alcotest.(check bool) "not ok" false (is_ok j);
+            Alcotest.(check string) "worker_crashed code" "worker_crashed"
+              (error_code j))
+          lines;
+        (* the session thread is untouched: ping still answers *)
+        send fd {|{"id": "p", "op": "ping"}|};
+        (match read_lines fd 1 with
+        | [ line ] ->
+          Alcotest.(check bool) "daemon alive" true
+            (is_ok (parse_response line))
+        | ls -> Alcotest.failf "expected 1 line, got %d" (List.length ls));
+        Unix.close fd)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "restarts >= %d (got %d)" n stats.Serve.restarts)
+    true
+    (stats.Serve.restarts >= n);
+  Alcotest.(check int) "every crash counted failed" n stats.Serve.failed
+
 let () =
   Random.self_init ();
   Alcotest.run "serve"
@@ -453,5 +637,17 @@ let () =
             test_socket_client_vanishes;
           Alcotest.test_case "deadline over the wire" `Quick
             test_socket_deadline;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "ping health object" `Quick
+            test_socket_ping_health;
+          Alcotest.test_case "degraded over the wire" `Quick
+            test_socket_degraded;
+          Alcotest.test_case "breaker sheds load" `Quick test_socket_breaker;
+          Alcotest.test_case "watchdog over the wire" `Quick
+            test_socket_watchdog;
+          Alcotest.test_case "chaos crash contained" `Quick
+            test_socket_chaos_crash;
         ] );
     ]
