@@ -94,6 +94,35 @@ let or_die = function
     Log.err "%s" msg;
     exit 1
 
+(* Cross-request warm-start cache plumbing, shared by solve, batch and
+   serve. The in-process tier is on by default (it is cheap and pays
+   off whenever one process solves related instances); --no-cache turns
+   it off and --cache-dir adds the on-disk tier that persists bases
+   across processes and daemon restarts. *)
+let cache_dir_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist warm-start basis snapshots under $(docv) (created if \
+           missing), so later runs — including a restarted daemon — \
+           warm-start from bases this run certified. Snapshots are \
+           checksummed; a corrupt or stale file is rejected and the \
+           solve runs cold.")
+
+let no_cache_t =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Disable the warm-start basis cache entirely (every solve \
+           runs cold; implies --cache-dir is ignored).")
+
+let make_cache ~no_cache ~cache_dir =
+  if no_cache then None
+  else Some (Lubt_lp.Basis_cache.create ?dir:cache_dir ())
+
 let log_level_t =
   let level_conv =
     let parse s =
@@ -231,7 +260,7 @@ let print_solver_stats (ebf : Ebf.result) =
     ebf.Ebf.round_stats
 
 let solve inst_path topo_path eager stats certify time_limit fault_seed
-    pricing no_warm_start json trace convergence log_level =
+    pricing no_warm_start json trace convergence cache_dir no_cache log_level =
   Log.set_level log_level;
   if trace <> None then Trace.start ();
   let conv_sink =
@@ -304,6 +333,7 @@ let solve inst_path topo_path eager stats certify time_limit fault_seed
       check = (if certify then Lubt_lp.Certify.Full else Lubt_lp.Certify.Off);
       time_limit = (if time_limit <= 0.0 then infinity else time_limit);
       warm_start = not no_warm_start;
+      cache = make_cache ~no_cache ~cache_dir;
       lp_params;
       probe;
     }
@@ -474,7 +504,7 @@ let solve_cmd =
     Term.(
       const solve $ inst_path $ topo_path $ eager $ stats $ certify
       $ time_limit $ fault_seed $ pricing $ no_warm_start $ json $ trace
-      $ convergence $ log_level_t)
+      $ convergence $ cache_dir_t $ no_cache_t $ log_level_t)
 
 (* ------------------------------------------------------------------ *)
 (* batch                                                                *)
@@ -502,7 +532,8 @@ let fresh_trace_path dir =
     in
     go 1
 
-let batch size jobs seed per_bench skew no_certify out trace_dir =
+let batch size jobs seed per_bench skew no_certify out trace_dir cache_dir
+    no_cache =
   (match trace_dir with
   | Some dir ->
     mkdir_p dir;
@@ -512,7 +543,20 @@ let batch size jobs seed per_bench skew no_certify out trace_dir =
   Log.info
     ~fields:[ ("cores", Trace.Int (Pool.default_jobs ())) ]
     "batch: %d instances, %d jobs" (List.length specs) jobs;
-  let s = Batch.run ~jobs ~certify:(not no_certify) specs in
+  let cache = make_cache ~no_cache ~cache_dir in
+  let s = Batch.run ~jobs ~certify:(not no_certify) ?cache specs in
+  (match cache with
+  | Some c ->
+    let cs = Lubt_lp.Basis_cache.stats c in
+    Log.info
+      ~fields:
+        [
+          ("hits", Trace.Int cs.Lubt_lp.Basis_cache.hits);
+          ("misses", Trace.Int cs.Lubt_lp.Basis_cache.misses);
+        ]
+      "warm-start cache: %.0f%% hit rate"
+      (100.0 *. Lubt_lp.Basis_cache.hit_rate cs)
+  | None -> ());
   let oc = match out with Some path -> open_out path | None -> stdout in
   List.iter
     (fun o -> output_string oc (Batch.outcome_json o ^ "\n"))
@@ -598,14 +642,16 @@ let batch_cmd =
              buffer, so parallel tasks render as separate tracks in \
              Perfetto.")
   in
-  let run size jobs seed per_bench skew no_certify out trace_dir log_level =
+  let run size jobs seed per_bench skew no_certify out trace_dir cache_dir
+      no_cache log_level =
     Log.set_level log_level;
     let jobs = if jobs = 0 then Pool.default_jobs () else jobs in
     if jobs < 0 || per_bench < 1 then begin
       Log.err "--jobs must be >= 0 and --per-bench >= 1";
       exit 1
     end;
-    batch size jobs seed per_bench skew no_certify out trace_dir
+    batch size jobs seed per_bench skew no_certify out trace_dir cache_dir
+      no_cache
   in
   Cmd.v
     (Cmd.info "batch"
@@ -615,7 +661,7 @@ let batch_cmd =
           line; non-zero exit if any instance fails")
     Term.(
       const run $ size_t $ jobs $ seed $ per_bench $ skew $ no_certify $ out
-      $ trace_dir $ log_level_t)
+      $ trace_dir $ cache_dir_t $ no_cache_t $ log_level_t)
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                                *)
@@ -623,7 +669,7 @@ let batch_cmd =
 
 let serve socket port host jobs max_pending default_time_limit watchdog
     breaker_p95_ms breaker_queue breaker_cooldown chaos_seed chaos_kill_rate
-    chaos_delay_rate chaos_delay_ms log_level =
+    chaos_delay_rate chaos_delay_ms cache_dir no_cache log_level =
   Log.set_level log_level;
   if socket = None && port = None then begin
     prerr_endline "lubt serve: give --socket PATH and/or --port PORT";
@@ -662,6 +708,7 @@ let serve socket port host jobs max_pending default_time_limit watchdog
       breaker_queue = max 0 breaker_queue;
       breaker_cooldown = (if breaker_cooldown <= 0.0 then 1.0 else breaker_cooldown);
       chaos;
+      cache = make_cache ~no_cache ~cache_dir;
     }
   in
   match Serve.create cfg with
@@ -675,10 +722,12 @@ let serve socket port host jobs max_pending default_time_limit watchdog
     Printf.printf
       "{\"connections\": %d, \"served\": %d, \"rejected\": %d, \
        \"failed\": %d, \"degraded\": %d, \"restarts\": %d, \
-       \"watchdog_fires\": %d, \"breaker_trips\": %d}\n"
+       \"watchdog_fires\": %d, \"breaker_trips\": %d, \
+       \"cache_hits\": %d, \"cache_misses\": %d}\n"
       stats.Serve.connections stats.Serve.served stats.Serve.rejected
       stats.Serve.failed stats.Serve.degraded stats.Serve.restarts
       stats.Serve.watchdog_fires stats.Serve.breaker_trips
+      stats.Serve.cache_hits stats.Serve.cache_misses
 
 let serve_cmd =
   let socket =
@@ -811,7 +860,7 @@ let serve_cmd =
       const serve $ socket $ port $ host $ jobs $ max_pending
       $ default_time_limit $ watchdog $ breaker_p95_ms $ breaker_queue
       $ breaker_cooldown $ chaos_seed $ chaos_kill_rate $ chaos_delay_rate
-      $ chaos_delay_ms $ log_level_t)
+      $ chaos_delay_ms $ cache_dir_t $ no_cache_t $ log_level_t)
 
 (* ------------------------------------------------------------------ *)
 (* svg                                                                  *)

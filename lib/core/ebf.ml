@@ -16,6 +16,7 @@ type options = {
   time_limit : float;
   check : Certify.level;
   warm_start : bool;
+  cache : Lubt_lp.Basis_cache.t option;
   probe : Simplex.probe option;
   lp_params : Simplex.params;
 }
@@ -30,9 +31,24 @@ let default_options =
     time_limit = infinity;
     check = Certify.Off;
     warm_start = true;
+    cache = None;
     probe = None;
     lp_params = { Simplex.default_params with Simplex.sparse_basis = true };
   }
+
+type cache_outcome =
+  | Cache_off
+  | Cache_miss
+  | Cache_hit_exact
+  | Cache_hit_parent
+  | Cache_rejected of string
+
+let cache_outcome_name = function
+  | Cache_off -> "off"
+  | Cache_miss -> "miss"
+  | Cache_hit_exact -> "exact"
+  | Cache_hit_parent -> "parent"
+  | Cache_rejected _ -> "rejected"
 
 type round_stat = {
   round : int;
@@ -55,6 +71,7 @@ type result = {
   round_stats : round_stat list;
   lp_stats : Simplex.stats;
   certificate : Certify.report option;
+  cache_outcome : cache_outcome;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -207,6 +224,66 @@ let knn_pairs terms k =
   done;
   pairs
 
+(* ------------------------------------------------------------------ *)
+(* Cross-request warm-start fingerprints                               *)
+(* ------------------------------------------------------------------ *)
+
+module Cache = Lubt_lp.Basis_cache
+
+(* Two-level content addressing. The structure fingerprint covers
+   everything that fixes the LP's column space and the meaning of its rows
+   — delay model, topology, objective weights, whether a source
+   participates — but NOT geometry or bounds: EBF constraint coefficients
+   are all 1.0 on path edges, so geometry only moves row bounds, and a
+   basis cached for the same structure stays dual feasible after a
+   geometric or bound edit (the ECO parent hit). The full key additionally
+   covers coordinates and the bounds signature, so equal keys mean the
+   identical LP. *)
+let fingerprints ?weights (inst : Instance.t) tree =
+  let h = Cache.Fingerprint.create () in
+  Cache.Fingerprint.add_string h "lubt-ebf/linear";
+  let n = Tree.num_nodes tree in
+  Cache.Fingerprint.add_int h n;
+  for i = 0 to n - 1 do
+    Cache.Fingerprint.add_int h (Tree.parent tree i);
+    Cache.Fingerprint.add_int h (if Tree.forced_zero tree i then 1 else 0)
+  done;
+  Array.iter (Cache.Fingerprint.add_int h) (Tree.sinks tree);
+  (match weights with
+  | None -> Cache.Fingerprint.add_int h 0
+  | Some ws ->
+    Cache.Fingerprint.add_int h 1;
+    Array.iter (Cache.Fingerprint.add_float h) ws);
+  Cache.Fingerprint.add_int h
+    (match inst.Instance.source with Some _ -> 1 | None -> 0);
+  let structure = Cache.Fingerprint.digest h in
+  (* the accumulator keeps absorbing: the full key extends the structure *)
+  Array.iter
+    (fun (p : Point.t) ->
+      Cache.Fingerprint.add_float h p.Point.x;
+      Cache.Fingerprint.add_float h p.Point.y)
+    inst.Instance.sinks;
+  (match inst.Instance.source with
+  | Some p ->
+    Cache.Fingerprint.add_float h p.Point.x;
+    Cache.Fingerprint.add_float h p.Point.y
+  | None -> ());
+  Array.iter (Cache.Fingerprint.add_float h) inst.Instance.lower;
+  Array.iter (Cache.Fingerprint.add_float h) inst.Instance.upper;
+  (structure, Cache.Fingerprint.digest h)
+
+(* sink positions (instance indices) that contribute delay rows, in the
+   order [add_delay_rows] emits them — the warm path must reproduce this
+   exact row layout, so the cached layout is compared against it *)
+let delay_row_sinks (inst : Instance.t) =
+  let acc = ref [] in
+  Array.iteri
+    (fun k _ ->
+      if inst.Instance.lower.(k) > 0.0 || inst.Instance.upper.(k) < infinity
+      then acc := k :: !acc)
+    inst.Instance.sinks;
+  Array.of_list (List.rev !acc)
+
 let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
   check_tree_matches inst tree;
   let terms = Array.of_list (terminals inst tree) in
@@ -219,39 +296,100 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
     max 1.0 (Instance.diameter inst +. Instance.radius inst)
   in
   let eager = (not options.lazy_steiner) || t <= 12 in
-  let seed_pairs =
-    if eager then begin
-      let all = Hashtbl.create (t * t) in
-      for i = 0 to t - 1 do
-        for j = i + 1 to t - 1 do
-          Hashtbl.replace all (i, j) ()
-        done
-      done;
-      all
-    end
-    else begin
-      let pairs = knn_pairs terms options.knn in
-      (* all source-sink rows: cheap and almost always binding *)
-      (match inst.Instance.source with
-      | Some _ ->
-        for j = 1 to t - 1 do
-          Hashtbl.replace pairs (0, j) ()
-        done
-      | None -> ());
-      pairs
-    end
-  in
   let row_of_pair (i, j) =
     let a, pa = terms.(i) and b, pb = terms.(j) in
     let d = Point.dist pa pb in
     (path_coeffs tree a b, d)
   in
-  Hashtbl.iter
-    (fun key () ->
-      Hashtbl.replace added key ();
-      let coeffs, d = row_of_pair key in
-      if d > 0.0 then ignore (Problem.add_row prob ~lo:d ~up:infinity coeffs))
-    seed_pairs;
+  (* every Steiner row actually appended, in append order — this IS the
+     row layout a cached basis refers to, so it is recorded verbatim in
+     the snapshot stored at the end *)
+  let row_log = ref [] in
+  let delay_sinks = delay_row_sinks inst in
+  let cache_ctx =
+    match options.cache with
+    | None -> None
+    | Some c ->
+      let structure, key = fingerprints ?weights inst tree in
+      Some (c, structure, key)
+  in
+  (* Cache consult: an entry is only usable when its recorded row layout
+     can be reproduced against the current instance. Anything off — a
+     delay-row set changed by a bounds edit, an out-of-range terminal pair
+     from a corrupt or mis-keyed snapshot — is rejected (typed, counted),
+     never mapped silently; the solve then proceeds cold. *)
+  let warm_entry, cache_outcome =
+    match cache_ctx with
+    | None -> (None, Cache_off)
+    | Some (c, structure, key) -> (
+      let outcome_of = function
+        | Cache.Exact _ -> Cache_hit_exact
+        | Cache.Parent _ -> Cache_hit_parent
+        | Cache.Miss -> Cache_miss
+      in
+      match Cache.find c ~structure ~key with
+      | Cache.Miss -> (None, Cache_miss)
+      | (Cache.Exact e | Cache.Parent e) as lk ->
+        let reject reason =
+          Cache.reject c ~reason;
+          (None, Cache_rejected reason)
+        in
+        if e.Cache.e_delay <> delay_sinks then
+          reject "delay row layout differs (bounds edit changed the set)"
+        else if
+          not
+            (Array.for_all
+               (fun (i, j) -> 0 <= i && i < j && j < t)
+               e.Cache.e_pairs)
+        then reject "terminal pair out of range"
+        else (Some e, outcome_of lk))
+  in
+  (match warm_entry with
+  | Some e ->
+    (* warm path: reproduce the parent's exact row layout. Distances are
+       recomputed against the CURRENT geometry (a parent hit may have
+       moved a sink); rows the parent materialised are kept even when the
+       edited distance degenerates to zero, because dropping one would
+       shift every later row index under the cached basis. *)
+    Array.iter
+      (fun key ->
+        Hashtbl.replace added key ();
+        row_log := key :: !row_log;
+        let coeffs, d = row_of_pair key in
+        ignore (Problem.add_row prob ~lo:d ~up:infinity coeffs))
+      e.Cache.e_pairs
+  | None ->
+    let seed_pairs =
+      if eager then begin
+        let all = Hashtbl.create (t * t) in
+        for i = 0 to t - 1 do
+          for j = i + 1 to t - 1 do
+            Hashtbl.replace all (i, j) ()
+          done
+        done;
+        all
+      end
+      else begin
+        let pairs = knn_pairs terms options.knn in
+        (* all source-sink rows: cheap and almost always binding *)
+        (match inst.Instance.source with
+        | Some _ ->
+          for j = 1 to t - 1 do
+            Hashtbl.replace pairs (0, j) ()
+          done
+        | None -> ());
+        pairs
+      end
+    in
+    Hashtbl.iter
+      (fun key () ->
+        Hashtbl.replace added key ();
+        let coeffs, d = row_of_pair key in
+        if d > 0.0 then begin
+          row_log := key :: !row_log;
+          ignore (Problem.add_row prob ~lo:d ~up:infinity coeffs)
+        end)
+      seed_pairs);
   (* the EBF-level warm_start switch gates (never enables) the engine's
      own warm_start parameter, so either layer can turn the reuse off *)
   let lp_params =
@@ -261,6 +399,24 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
     }
   in
   let eng = Simplex.of_problem ~params:lp_params prob in
+  (* install the cached basis; the next solve warm-restarts the dual
+     simplex from the parent optimum. A snapshot that fails validation or
+     factorisation is rejected through the typed {!Simplex.basis_mismatch}
+     — the engine is left on its valid all-slack basis, so the run
+     continues as a cold solve over the reproduced row set. *)
+  let cache_outcome =
+    match warm_entry with
+    | None -> cache_outcome
+    | Some e -> (
+      match Simplex.install_warm_basis eng e.Cache.e_basis with
+      | Ok () -> cache_outcome
+      | Error bm ->
+        let reason = Format.asprintf "%a" Simplex.pp_basis_mismatch bm in
+        (match cache_ctx with
+        | Some (c, _, _) -> Cache.reject c ~reason
+        | None -> ());
+        Cache_rejected reason)
+  in
   Simplex.set_probe eng options.probe;
   (* One monotonic deadline shared by every phase of every round: the
      LP solves (enforced inside the engine via set_time_limit), the
@@ -396,6 +552,7 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
               if !take < options.batch then begin
                 incr take;
                 Hashtbl.replace added key ();
+                row_log := key :: !row_log;
                 let coeffs, dist = row_of_pair key in
                 Simplex.add_row eng ~lo:dist ~up:infinity coeffs;
                 (* mirror the row into the model so the materialised LP is
@@ -454,6 +611,23 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
       else (Status.Numerical_failure, Some report)
     end
   in
+  (* publish the basis for future requests: only a certified-clean optimum
+     whose engine never fell back to the tableau oracle (a fallback answer
+     leaves the engine basis untrustworthy; certification rejections have
+     already demoted the status above) *)
+  (match cache_ctx with
+  | Some (c, structure, key)
+    when status = Status.Optimal && not (Simplex.used_fallback eng) ->
+    Cache.store c
+      {
+        Cache.e_structure = structure;
+        e_key = key;
+        e_basis = Simplex.warm_basis eng;
+        e_delay = delay_sinks;
+        e_pairs = Array.of_list (List.rev !row_log);
+        e_objective = Simplex.objective eng;
+      }
+  | _ -> ());
   {
     status;
     lengths;
@@ -465,4 +639,5 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
     round_stats = List.rev !round_stats;
     lp_stats = Simplex.stats eng;
     certificate;
+    cache_outcome;
   }

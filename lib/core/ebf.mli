@@ -51,6 +51,17 @@ type options = {
           a refactorisation before each re-solve. Gates — never enables —
           [lp_params.warm_start], so setting either [false] disables the
           reuse. Per-round uptake is reported in {!round_stat}[.warm_rows]. *)
+  cache : Lubt_lp.Basis_cache.t option;
+      (** cross-request warm-start cache (default [None]). When given, the
+          solve first consults the cache under the instance's content
+          fingerprints: an exact hit (identical LP solved before) or a
+          parent hit (same structure, edited bounds/geometry — the ECO
+          case) reproduces the cached row layout and warm-restarts the
+          dual simplex from the cached basis; the final certified optimum
+          is stored back. Unusable snapshots (changed delay-row layout,
+          dimension disagreement, unfactorisable basis) are rejected with
+          a typed reason — never mapped silently — and the solve proceeds
+          cold. The outcome is reported in {!result}[.cache_outcome]. *)
   probe : Lubt_lp.Simplex.probe option;
       (** per-iteration convergence probe installed on the LP engine
           ({!Lubt_lp.Simplex.set_probe}) for the whole row-generation run
@@ -61,6 +72,22 @@ type options = {
 }
 
 val default_options : options
+
+(** What the cross-request cache contributed to a solve. *)
+type cache_outcome =
+  | Cache_off  (** no cache configured ([options.cache = None]) *)
+  | Cache_miss  (** cache consulted, nothing usable found *)
+  | Cache_hit_exact  (** identical LP: warm-started from its own optimum *)
+  | Cache_hit_parent
+      (** same structure, edited bounds/geometry: warm-started from the
+          ECO parent's optimum *)
+  | Cache_rejected of string
+      (** a served snapshot failed validation (row layout changed,
+          dimension mismatch, singular basis) and the solve ran cold; the
+          payload is the human-readable reason *)
+
+val cache_outcome_name : cache_outcome -> string
+(** Wire name: ["off"], ["miss"], ["exact"], ["parent"] or ["rejected"]. *)
 
 type round_stat = {
   round : int;  (** 1-based row-generation round *)
@@ -94,6 +121,9 @@ type result = {
   certificate : Lubt_lp.Certify.report option;
       (** certification outcome; [None] when [options.check = Off] or the
           solve did not claim optimality *)
+  cache_outcome : cache_outcome;
+      (** what the cross-request cache contributed ({!Cache_off} when no
+          cache was configured) *)
 }
 
 val formulate : ?weights:float array -> Instance.t -> Lubt_topo.Tree.t -> Lubt_lp.Problem.t

@@ -67,6 +67,80 @@ let bounds_admissible t =
     t.sinks;
   !ok
 
+module Edit = struct
+  type op =
+    | Set_bounds of { sink : int; lower : float; upper : float }
+    | Move_sink of { sink : int; dx : float; dy : float }
+    | Add_sink of { point : Point.t; lower : float; upper : float }
+    | Remove_sink of { sink : int }
+
+  let op_name = function
+    | Set_bounds _ -> "set_bounds"
+    | Move_sink _ -> "move_sink"
+    | Add_sink _ -> "add_sink"
+    | Remove_sink _ -> "remove_sink"
+
+  (* drop index [k] from an array *)
+  let remove_at arr k =
+    Array.init
+      (Array.length arr - 1)
+      (fun i -> if i < k then arr.(i) else arr.(i + 1))
+
+  let apply t op =
+    let m = Array.length t.sinks in
+    let check_sink sink =
+      if sink < 0 || sink >= m then
+        Error (Printf.sprintf "%s: sink %d out of range (instance has %d)"
+                 (op_name op) sink m)
+      else Ok ()
+    in
+    let rebuild ?(sinks = t.sinks) ?(lower = t.lower) ?(upper = t.upper) () =
+      match create ?source:t.source ~sinks ~lower ~upper () with
+      | inst -> Ok inst
+      | exception Invalid_argument msg ->
+        Error (Printf.sprintf "%s: %s" (op_name op) msg)
+    in
+    match op with
+    | Set_bounds { sink; lower; upper } -> (
+      match check_sink sink with
+      | Error _ as e -> e
+      | Ok () ->
+        let lo = Array.copy t.lower and up = Array.copy t.upper in
+        lo.(sink) <- lower;
+        up.(sink) <- upper;
+        rebuild ~lower:lo ~upper:up ())
+    | Move_sink { sink; dx; dy } -> (
+      match check_sink sink with
+      | Error _ as e -> e
+      | Ok () ->
+        let sinks = Array.copy t.sinks in
+        sinks.(sink) <- Point.add sinks.(sink) (Point.make dx dy);
+        rebuild ~sinks ())
+    | Add_sink { point; lower; upper } ->
+      rebuild
+        ~sinks:(Array.append t.sinks [| point |])
+        ~lower:(Array.append t.lower [| lower |])
+        ~upper:(Array.append t.upper [| upper |])
+        ()
+    | Remove_sink { sink } -> (
+      match check_sink sink with
+      | Error _ as e -> e
+      | Ok () ->
+        if m = 1 then Error "remove_sink: cannot remove the last sink"
+        else
+          rebuild ~sinks:(remove_at t.sinks sink)
+            ~lower:(remove_at t.lower sink) ~upper:(remove_at t.upper sink) ())
+
+  let apply_all t ops =
+    List.fold_left
+      (fun acc op -> match acc with Error _ -> acc | Ok t -> apply t op)
+      (Ok t) ops
+
+  let preserves_topology = function
+    | Set_bounds _ | Move_sink _ -> true
+    | Add_sink _ | Remove_sink _ -> false
+end
+
 let pp fmt t =
   Format.fprintf fmt "instance(%d sinks%s, radius %g)" (num_sinks t)
     (match t.source with Some _ -> ", source fixed" | None -> "")

@@ -52,3 +52,38 @@ val bounds_admissible : t -> bool
     (source given) or [u_i >= radius] (source free). *)
 
 val pp : Format.formatter -> t -> unit
+
+(** Engineering change orders: the small instance edits (a bound tightened
+    or relaxed, a sink nudged, a sink added or removed) that arrive between
+    re-solves of the same design. Edits are pure — every application
+    returns a fresh validated instance — and carry enough information for
+    the warm-start layer to decide whether the parent's cached LP basis is
+    still structurally compatible ({!Edit.preserves_topology}). *)
+module Edit : sig
+  type op =
+    | Set_bounds of { sink : int; lower : float; upper : float }
+        (** replace sink [sink]'s delay window with [lower, upper] *)
+    | Move_sink of { sink : int; dx : float; dy : float }
+        (** translate sink [sink] by [(dx, dy)] *)
+    | Add_sink of { point : Lubt_geom.Point.t; lower : float; upper : float }
+        (** append a new sink (index [num_sinks t]) *)
+    | Remove_sink of { sink : int }  (** delete sink [sink] *)
+
+  val op_name : op -> string
+  (** Wire name of the constructor ([set_bounds], [move_sink], ...), as
+      used by the serve protocol's ["eco"] request. *)
+
+  val apply : t -> op -> (t, string) result
+  (** Applies one edit. [Error] (with a human-readable reason) on an
+      out-of-range sink index, bounds violating [0 <= lower <= upper], or
+      removing the last sink; the input instance is never mutated. *)
+
+  val apply_all : t -> op list -> (t, string) result
+  (** Applies edits left to right, stopping at the first failure. *)
+
+  val preserves_topology : op -> bool
+  (** Whether the edit keeps the sink set (and hence any routing topology
+      over it) intact: [true] for [Set_bounds] and [Move_sink], [false]
+      for [Add_sink] and [Remove_sink], which change the node set and
+      force topology re-derivation. *)
+end

@@ -50,7 +50,7 @@ type summary = {
   merged : Simplex.stats;
 }
 
-let solve_one ~certify spec =
+let solve_one ~certify ~cache spec =
   let module Trace = Lubt_obs.Trace in
   let bspec =
     { (Benchmarks.find spec.size spec.bench) with Benchmarks.seed = spec.seed }
@@ -58,9 +58,11 @@ let solve_one ~certify spec =
   let t0 = Lubt_obs.Clock.now () in
   let b = Protocol.run_baseline bspec ~skew_rel:spec.skew_rel in
   let options =
-    if certify then
-      { Ebf.default_options with Ebf.check = Lubt_lp.Certify.Full }
-    else Ebf.default_options
+    {
+      Ebf.default_options with
+      Ebf.check = (if certify then Lubt_lp.Certify.Full else Lubt_lp.Certify.Off);
+      cache;
+    }
   in
   (* run_lubt raises on a non-optimal status; the pool captures that and
      the outcome below reports it as an error *)
@@ -108,12 +110,12 @@ let outcome_of_task index spec ~certify = function
       solver = None;
     }
 
-let run ?jobs ?(certify = true) specs =
+let run ?jobs ?(certify = true) ?cache specs =
   let jobs =
     match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
   in
   let t0 = Lubt_obs.Clock.now () in
-  let results = Pool.map_result ~jobs (solve_one ~certify) specs in
+  let results = Pool.map_result ~jobs (solve_one ~certify ~cache) specs in
   let wall_s = Lubt_obs.Clock.now () -. t0 in
   let outcomes =
     List.mapi

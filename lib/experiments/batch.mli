@@ -68,16 +68,21 @@ type summary = {
           {!Lubt_lp.Simplex.merge_stats} *)
 }
 
-val run : ?jobs:int -> ?certify:bool -> spec list -> summary
+val run :
+  ?jobs:int -> ?certify:bool -> ?cache:Lubt_lp.Basis_cache.t -> spec list -> summary
 (** [run ~jobs specs] solves every spec on a pool of [jobs] domains
     (default {!Lubt_util.Pool.default_jobs}; [jobs = 1] is the exact
     sequential path). Each instance runs the baseline router to get a
     topology and achieved delay window, then the lazy EBF on that
     window; with [certify] (default [true]) the solve carries a
     {!Lubt_lp.Certify.Full} a-posteriori certificate, so reported
-    objectives are certified optima. A raising instance yields an
-    [error] outcome; the sweep always completes and reports every
-    instance. *)
+    objectives are certified optima. With [cache], every instance
+    consults and populates the given warm-start cache
+    ({!Lubt_lp.Basis_cache} is mutex-guarded, so the worker domains
+    share it safely); distinct seeds hash to distinct structures, so
+    hits arise from repeated or bounds-edited instances, not across
+    unrelated ones. A raising instance yields an [error] outcome; the
+    sweep always completes and reports every instance. *)
 
 val outcome_json : outcome -> string
 (** One JSON-lines record (a single-line JSON object): [index], [id],

@@ -26,6 +26,18 @@ let noisy_counter name =
   | "phase1_ms" | "phase2_ms" | "dual_ms" -> true
   | _ -> false
 
+(* Count- and rate-valued benchmarks (serve_retries_count,
+   serve_cache_hit_rate, ...) ride in the [ms_per_run] slot but are
+   workload statistics, not timings: their drift is worth reporting,
+   but gating on them would fail CI whenever the load mix shifts —
+   e.g. a cold CI cache lowering the hit rate. *)
+let counter_entry name =
+  let has_suffix s =
+    let nl = String.length name and sl = String.length s in
+    nl >= sl && String.sub name (nl - sl) sl = s
+  in
+  has_suffix "_count" || has_suffix "_rate"
+
 let ( let* ) = Result.bind
 
 let err_ctx file = Result.map_error (fun e -> file ^ ": " ^ e)
@@ -104,7 +116,8 @@ let compare ?(threshold = 0.10) ?(abs_floor_ms = 0.05) old_json new_json =
              never a verdict, and when the baseline is zero (ratio
              meaningless) the sign of the delta alone decides. *)
           let verdict =
-            if not (Float.is_finite delta) then Unchanged
+            if counter_entry name then Unchanged
+            else if not (Float.is_finite delta) then Unchanged
             else if Float.abs delta <= abs_floor_ms then Unchanged
             else if old_ms <= 0.0 || not (Float.is_finite ratio) then
               if delta > 0.0 then Regression else Improvement
@@ -171,9 +184,13 @@ let print oc r =
           Printf.sprintf "%+7.1f%%" ((d.d_ratio -. 1.0) *. 100.0)
         else Printf.sprintf "%+.3f ms" (d.d_new_ms -. d.d_old_ms)
       in
+      let tag =
+        if counter_entry d.d_name then
+          if d.d_old_ms <> d.d_new_ms then "drift (not gated)" else ""
+        else verdict_tag d.d_verdict
+      in
       Printf.fprintf oc "%-40s %10.3f -> %10.3f ms/run  %s  %s\n"
-        d.d_name d.d_old_ms d.d_new_ms pct
-        (verdict_tag d.d_verdict);
+        d.d_name d.d_old_ms d.d_new_ms pct tag;
       List.iter
         (fun (k, ov, nv) ->
           Printf.fprintf oc "    counter %-32s %.0f -> %.0f\n" k ov nv)

@@ -13,7 +13,15 @@
     deterministic, so any counter drift is surfaced loudly — it means
     the pivot trajectory changed — while wall-clock noise does not
     produce false counter alarms. Phase timing fields ([phase1_ms],
-    [phase2_ms], [dual_ms]) are noise and are ignored. *)
+    [phase2_ms], [dual_ms]) are noise and are ignored.
+
+    Benchmarks whose name ends in [_count] or [_rate] (the serve
+    robustness counters and the warm-start cache hit rate) carry a
+    workload statistic in the [ms_per_run] slot, not a timing: they
+    are always [Unchanged] — their drift is printed as
+    ["drift (not gated)"] but can never fail the gate, since the
+    statistic legitimately shifts with the load mix (a cold cache, a
+    different chaos seed). *)
 
 type verdict =
   | Regression  (** new ms/run above old by more than the threshold *)

@@ -159,10 +159,11 @@ let ebf_result_json (e : Ebf.result) =
   Printf.sprintf
     "{\"status\": \"%s\", \"objective\": %s, \"lp_rows\": %d, \
      \"full_rows\": %d, \"lp_iterations\": %d, \"rounds\": %d, \
-     \"round_stats\": [%s]}"
+     \"cache\": \"%s\", \"round_stats\": [%s]}"
     (json_escape (Status.to_string e.Ebf.status))
     (json_float e.Ebf.objective) e.Ebf.lp_rows e.Ebf.full_rows
     e.Ebf.lp_iterations e.Ebf.rounds
+    (json_escape (Ebf.cache_outcome_name e.Ebf.cache_outcome))
     (String.concat ", " (List.map round_stat_json e.Ebf.round_stats))
 
 let bench_entry_json e =

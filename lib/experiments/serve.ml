@@ -14,6 +14,8 @@ module Log = Lubt_obs.Log
 module Trace = Lubt_obs.Trace
 module Clock = Lubt_obs.Clock
 
+module Basis_cache = Lubt_lp.Basis_cache
+
 type config = {
   socket : string option;
   port : int option;
@@ -26,6 +28,7 @@ type config = {
   breaker_queue : int;
   breaker_cooldown : float;
   chaos : Executor.chaos option;
+  cache : Basis_cache.t option;
 }
 
 let default_config =
@@ -41,6 +44,7 @@ let default_config =
     breaker_queue = 0;
     breaker_cooldown = 1.0;
     chaos = None;
+    cache = None;
   }
 
 type stats = {
@@ -52,6 +56,8 @@ type stats = {
   restarts : int;
   watchdog_fires : int;
   breaker_trips : int;
+  cache_hits : int;
+  cache_misses : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -91,7 +97,13 @@ type solve_req = {
   sq_degrade : bool;
 }
 
-type op = Ping | Sleep of float  (* seconds *) | Solve of solve_req
+type eco_req = { eq_base : solve_req; eq_edits : Instance.Edit.op list }
+
+type op =
+  | Ping
+  | Sleep of float  (* seconds *)
+  | Solve of solve_req
+  | Eco of eco_req
 
 type request = {
   rq_id : string;  (* the id member, rendered back to JSON text *)
@@ -182,29 +194,107 @@ let parse_workload j =
       if skew_rel > 0.0 then Ok (Bench (spec, skew_rel))
       else Error "\"skew\" must be positive")
 
+(* An ECO edit object: {"edit": "<kind>", ...kind-specific members}. Sink
+   indices must be integral JSON numbers; bound members default to the
+   unconstrained window [0, infinity) when omitted (JSON cannot spell
+   infinity). *)
+let parse_edit j =
+  let num_exn ~what =
+    let* v = mem_num ~what j in
+    match v with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "an edit needs %S" what)
+  in
+  let int_exn ~what =
+    let* v = num_exn ~what in
+    if Float.is_integer v && Float.abs v <= 1_073_741_823. then
+      Ok (int_of_float v)
+    else Error (Printf.sprintf "%S must be a small integer" what)
+  in
+  let bound ~what ~default =
+    let* v = mem_num ~what j in
+    match v with
+    | None -> Ok default
+    | Some v when v >= 0.0 -> Ok v
+    | Some _ -> Error (Printf.sprintf "%S must be non-negative" what)
+  in
+  let* kind = mem_str ~what:"edit" j in
+  match kind with
+  | None -> Error "an edit needs \"edit\" (set_bounds|move_sink|add_sink|remove_sink)"
+  | Some "set_bounds" ->
+    let* sink = int_exn ~what:"sink" in
+    let* lower = bound ~what:"lower" ~default:0.0 in
+    let* upper = bound ~what:"upper" ~default:infinity in
+    Ok (Instance.Edit.Set_bounds { sink; lower; upper })
+  | Some "move_sink" ->
+    let* sink = int_exn ~what:"sink" in
+    let* dx = num_exn ~what:"dx" in
+    let* dy = num_exn ~what:"dy" in
+    Ok (Instance.Edit.Move_sink { sink; dx; dy })
+  | Some "add_sink" ->
+    let* x = num_exn ~what:"x" in
+    let* y = num_exn ~what:"y" in
+    let* lower = bound ~what:"lower" ~default:0.0 in
+    let* upper = bound ~what:"upper" ~default:infinity in
+    Ok
+      (Instance.Edit.Add_sink
+         { point = Lubt_geom.Point.make x y; lower; upper })
+  | Some "remove_sink" ->
+    let* sink = int_exn ~what:"sink" in
+    Ok (Instance.Edit.Remove_sink { sink })
+  | Some other ->
+    Error
+      (Printf.sprintf
+         "unknown edit %S (set_bounds|move_sink|add_sink|remove_sink)" other)
+
+let parse_edits j =
+  match Json.member "edits" j with
+  | None -> Error "an eco request needs \"edits\""
+  | Some (Json.Arr items) ->
+    if items = [] then Error "\"edits\" must not be empty"
+    else
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          let* edit = parse_edit item in
+          Ok (edit :: acc))
+        (Ok []) items
+      |> Result.map List.rev
+  | Some _ -> Error "\"edits\" must be an array of edit objects"
+
+let parse_solve_members j =
+  let* workload = parse_workload j in
+  let* eager = mem_bool ~what:"eager" ~default:false j in
+  let* certify = mem_bool ~what:"certify" ~default:true j in
+  let* tl = mem_num ~what:"time_limit" j in
+  let* time_limit =
+    match tl with
+    | Some t when t <= 0.0 -> Error "\"time_limit\" must be positive"
+    | other -> Ok other
+  in
+  let* degrade = mem_bool ~what:"degrade" ~default:false j in
+  Ok
+    {
+      sq_workload = workload;
+      sq_eager = eager;
+      sq_certify = certify;
+      sq_time_limit = time_limit;
+      sq_degrade = degrade;
+    }
+
 let parse_op j =
   let* op_name = mem_str ~what:"op" j in
   match op_name with
   | None | Some "solve" ->
-    let* workload = parse_workload j in
-    let* eager = mem_bool ~what:"eager" ~default:false j in
-    let* certify = mem_bool ~what:"certify" ~default:true j in
-    let* tl = mem_num ~what:"time_limit" j in
-    let* time_limit =
-      match tl with
-      | Some t when t <= 0.0 -> Error "\"time_limit\" must be positive"
-      | other -> Ok other
-    in
-    let* degrade = mem_bool ~what:"degrade" ~default:false j in
-    Ok
-      (Solve
-         {
-           sq_workload = workload;
-           sq_eager = eager;
-           sq_certify = certify;
-           sq_time_limit = time_limit;
-           sq_degrade = degrade;
-         })
+    let* q = parse_solve_members j in
+    Ok (Solve q)
+  | Some "eco" ->
+    (* solve-shaped plus an edit chain: solve the edited instance,
+       warm-starting from the cached basis of the (previously solved)
+       parent whenever the edits preserve the LP structure *)
+    let* q = parse_solve_members j in
+    let* edits = parse_edits j in
+    Ok (Eco { eq_base = q; eq_edits = edits })
   | Some "ping" -> Ok Ping
   | Some "sleep" -> (
     let* ms = mem_num ~what:"ms" j in
@@ -212,7 +302,7 @@ let parse_op j =
     | Some ms when ms >= 0.0 -> Ok (Sleep (ms /. 1e3))
     | Some _ -> Error "\"ms\" must be non-negative"
     | None -> Error "a sleep request needs \"ms\"")
-  | Some op -> Error (Printf.sprintf "unknown op %S (solve|ping|sleep)" op)
+  | Some op -> Error (Printf.sprintf "unknown op %S (solve|eco|ping|sleep)" op)
 
 (* [Error (id, msg)] echoes the request's own id whenever the line at
    least parsed as JSON, so a client can match its rejection *)
@@ -311,7 +401,7 @@ let materialize_workload (q : solve_req) =
   | Inline (inst, None) -> (inst, baseline_topology inst)
   | Bench (spec, skew_rel) -> bench_workload spec skew_rel
 
-let execute_solve ~default_time_limit ~id (q : solve_req) =
+let execute_solve ~default_time_limit ~cache ~id (q : solve_req) =
   let t0 = Clock.now () in
   let inst, tree = materialize_workload q in
   let time_limit =
@@ -323,6 +413,7 @@ let execute_solve ~default_time_limit ~id (q : solve_req) =
       Ebf.lazy_steiner = not q.sq_eager;
       check = (if q.sq_certify then Certify.Full else Certify.Off);
       time_limit;
+      cache;
     }
   in
   if q.sq_degrade then begin
@@ -390,10 +481,28 @@ let execute_degraded_inline ~id (q : solve_req) =
   | Error _ -> None
   | exception _ -> None
 
+(* An eco request: apply the edit chain to the base instance, keep the
+   base topology when every edit preserves it (the warm-start sweet
+   spot), re-derive it otherwise, and hand the edited workload to the
+   plain solve path — which consults the cache, so the parent's basis
+   (stored by an earlier solve or eco) warm-starts this one. *)
+let execute_eco ~default_time_limit ~cache ~id (e : eco_req) =
+  let q = e.eq_base in
+  let inst, tree = materialize_workload q in
+  match Instance.Edit.apply_all inst e.eq_edits with
+  | Error msg -> (true, false, error_response ~id ~code:"edit_failed" msg)
+  | Ok edited ->
+    let topology =
+      if List.for_all Instance.Edit.preserves_topology e.eq_edits then tree
+      else baseline_topology edited
+    in
+    execute_solve ~default_time_limit ~cache ~id
+      { q with sq_workload = Inline (edited, Some topology) }
+
 (* Execute one parsed request. Returns (failed, degraded, response
    line); never raises — an escaping exception here would otherwise eat
    a response and leave its client hanging. *)
-let execute ~default_time_limit (rq : request) =
+let execute ~default_time_limit ~cache (rq : request) =
   let id = rq.rq_id in
   match rq.rq_op with
   | Ping ->
@@ -408,17 +517,21 @@ let execute ~default_time_limit (rq : request) =
         id
         (Protocol.json_float ((Clock.now () -. t0) *. 1e3)) )
   | Solve q -> (
-    try execute_solve ~default_time_limit ~id q with
+    try execute_solve ~default_time_limit ~cache ~id q with
+    | exn ->
+      (true, false, error_response ~id ~code:"internal" (Printexc.to_string exn)))
+  | Eco e -> (
+    try execute_eco ~default_time_limit ~cache ~id e with
     | exn ->
       (true, false, error_response ~id ~code:"internal" (Printexc.to_string exn)))
 
-let response_of_line ~default_time_limit line =
+let response_of_line ~default_time_limit ~cache line =
   match parse_request line with
   | Error (id, msg) -> (true, false, error_response ~id ~code:"bad_request" msg)
-  | Ok rq -> execute ~default_time_limit rq
+  | Ok rq -> execute ~default_time_limit ~cache rq
 
-let response_of_request ?(default_time_limit = infinity) line =
-  let _, _, resp = response_of_line ~default_time_limit line in
+let response_of_request ?(default_time_limit = infinity) ?cache line =
+  let _, _, resp = response_of_line ~default_time_limit ~cache line in
   resp
 
 (* ------------------------------------------------------------------ *)
@@ -605,13 +718,24 @@ let bump counter = Atomic.incr counter
 (* The ping payload doubles as the health probe: queue depth and worker
    state for admission decisions on the client side, supervision and
    degradation counters for monitoring. *)
+(* Cross-request cache counters as seen by this process; zeros when the
+   daemon runs cacheless so the health schema stays stable. *)
+let cache_counters server =
+  match server.cfg.cache with
+  | None -> (0, 0)
+  | Some c ->
+    let s = Basis_cache.stats c in
+    (s.Basis_cache.hits, s.Basis_cache.misses)
+
 let health_response server ~id =
   let ex = server.executor in
+  let cache_hits, cache_misses = cache_counters server in
   Printf.sprintf
     "{\"id\": %s, \"ok\": true, \"pong\": true, \"health\": {\"pending\": \
      %d, \"running\": %d, \"workers\": %d, \"restarts\": %d, \
      \"watchdog_fires\": %d, \"breaker_open\": %b, \"p95_ms\": %s, \
-     \"served\": %d, \"degraded\": %d, \"rejected\": %d}}"
+     \"served\": %d, \"degraded\": %d, \"rejected\": %d, \
+     \"cache_hits\": %d, \"cache_misses\": %d}}"
     id (Executor.pending ex) (Executor.running ex) (Executor.workers ex)
     (Executor.restarts ex)
     (Executor.watchdog_fires ex)
@@ -620,6 +744,7 @@ let health_response server ~id =
     (Atomic.get server.s_served)
     (Atomic.get server.s_degraded)
     (Atomic.get server.s_rejected)
+    cache_hits cache_misses
 
 (* Dispatch one request line. Cheap ops (ping, malformed, breaker and
    backpressure rejections, the inline degraded answer) are handled on
@@ -644,7 +769,7 @@ let dispatch server conn line =
         (* sleep occupies a worker exactly like a solve, so admission
            control covers both; ping stays exempt — it is the health
            probe clients use to decide when to retry *)
-        | Solve _ | Sleep _ -> breaker_check server
+        | Solve _ | Eco _ | Sleep _ -> breaker_check server
         | Ping -> None
       in
       (match breaker with
@@ -679,10 +804,12 @@ let dispatch server conn line =
                       Trace.span "serve.request" (fun () ->
                           execute
                             ~default_time_limit:
-                              server.cfg.default_time_limit rq)
+                              server.cfg.default_time_limit
+                            ~cache:server.cfg.cache rq)
                     else
                       execute
-                        ~default_time_limit:server.cfg.default_time_limit rq
+                        ~default_time_limit:server.cfg.default_time_limit
+                        ~cache:server.cfg.cache rq
                   in
                   let ticket =
                     Mutex.protect conn.c_lock (fun () -> !ticket_cell)
@@ -753,6 +880,18 @@ let dispatch server conn line =
                 match (reject, rq.rq_op) with
                 | Executor.Overloaded _, Solve q when q.sq_degrade ->
                   execute_degraded_inline ~id:rq.rq_id q
+                | Executor.Overloaded _, Eco e when e.eq_base.sq_degrade -> (
+                  (* the heuristic rung must answer for the EDITED
+                     instance, not the base it was derived from *)
+                  match
+                    let inst, _ = materialize_workload e.eq_base in
+                    Instance.Edit.apply_all inst e.eq_edits
+                  with
+                  | Ok edited ->
+                    execute_degraded_inline ~id:rq.rq_id
+                      { e.eq_base with sq_workload = Inline (edited, None) }
+                  | Error _ -> None
+                  | exception _ -> None)
                 | _ -> None
               in
               (match degraded_inline with
@@ -1116,6 +1255,7 @@ let run server =
     conns;
   (try Unix.close server.stop_r with _ -> ());
   (try Unix.close server.stop_w with _ -> ());
+  let cache_hits, cache_misses = cache_counters server in
   let stats =
     {
       connections = Atomic.get server.s_connections;
@@ -1126,6 +1266,8 @@ let run server =
       restarts;
       watchdog_fires;
       breaker_trips = Atomic.get server.s_breaker_trips;
+      cache_hits;
+      cache_misses;
     }
   in
   if Trace.enabled () then
@@ -1137,6 +1279,8 @@ let run server =
         ("degraded", float_of_int stats.degraded);
         ("restarts", float_of_int stats.restarts);
         ("breaker_trips", float_of_int stats.breaker_trips);
+        ("cache_hits", float_of_int stats.cache_hits);
+        ("cache_misses", float_of_int stats.cache_misses);
       ];
   Log.info
     ~fields:
@@ -1149,6 +1293,8 @@ let run server =
         ("restarts", Trace.Int stats.restarts);
         ("watchdog_fires", Trace.Int stats.watchdog_fires);
         ("breaker_trips", Trace.Int stats.breaker_trips);
+        ("cache_hits", Trace.Int stats.cache_hits);
+        ("cache_misses", Trace.Int stats.cache_misses);
       ]
     "server stopped";
   stats

@@ -22,8 +22,10 @@
     Fields:
     - [id] — any JSON value, echoed verbatim in the response
       (default [null]);
-    - [op] — ["solve"] (default), ["ping"], or ["sleep"] (a
-      load-testing aid; occupies a worker for [ms] milliseconds);
+    - [op] — ["solve"] (default), ["eco"] (an incremental re-solve: a
+      solve-shaped request plus an [edits] array, see below), ["ping"],
+      or ["sleep"] (a load-testing aid; occupies a worker for [ms]
+      milliseconds);
     - workload — either [instance] (the {!Lubt_data.Io} instance text,
       with optional [topology] tree text; the baseline router produces
       a topology when absent) or [bench] (a {!Lubt_data.Benchmarks}
@@ -43,6 +45,30 @@
       success carries ["degraded": true] and ["quality"] naming the
       rung; non-degrade successes carry ["degraded": false].
 
+    An ["eco"] request carries every solve field plus a non-empty
+    [edits] array describing an engineering change order against the
+    request's workload. Each element is an object discriminated by its
+    [edit] member:
+
+    {v
+    {"edit": "set_bounds", "sink": 2, "lower": 1.5, "upper": 4.0}
+    {"edit": "move_sink", "sink": 0, "dx": -3.0, "dy": 1.0}
+    {"edit": "add_sink", "x": 10.0, "y": 4.0, "lower": 0, "upper": 9.0}
+    {"edit": "remove_sink", "sink": 1}
+    v}
+
+    [lower]/[upper] default to the unconstrained window ([0] and
+    infinity — JSON cannot spell the latter, so an absent [upper] means
+    unbounded). The edits are applied in order to the base instance and
+    the edited instance is solved; when every edit preserves the sink
+    set ([set_bounds], [move_sink]) the base topology is reused, which
+    is exactly the case the cross-request warm-start cache
+    ({!Lubt_lp.Basis_cache}) accelerates — solve the base first, then
+    send [eco] requests, and the daemon warm-restarts the dual simplex
+    from the parent's cached basis. An edit chain that fails to apply
+    (sink index out of range, inverted bounds, removing the last sink)
+    is answered with error code [edit_failed].
+
     A success response reuses the [lubt solve --json] report shape,
     wrapped in the request envelope:
 
@@ -60,7 +86,8 @@
     v}
 
     with [code] one of [bad_request], [overloaded], [shutting_down],
-    [infeasible], [time_limit], [solver_failure], [embedding_failure],
+    [infeasible], [edit_failed] (an [eco] edit chain could not be
+    applied), [time_limit], [solver_failure], [embedding_failure],
     [degraded_failed] (every ladder rung failed), [worker_crashed] (the
     worker domain running the request died; the daemon replaced it),
     [watchdog_timeout] (the request overran the [--watchdog] hard
@@ -75,9 +102,10 @@
 
     [ping] responses carry a [health] object — queue depth, running and
     live worker counts, supervision counters ([restarts],
-    [watchdog_fires]), breaker state and the served/degraded/rejected
-    totals — so clients can make admission decisions without a separate
-    endpoint.
+    [watchdog_fires]), breaker state, the served/degraded/rejected
+    totals and the warm-start cache counters ([cache_hits],
+    [cache_misses]; zeros when the daemon runs cacheless) — so clients
+    can make admission decisions without a separate endpoint.
 
     {2 Scheduling and observability}
 
@@ -118,12 +146,18 @@ type config = {
   chaos : Lubt_util.Pool.Executor.chaos option;
       (** deterministic service-level fault injection (worker kills,
           task latency) for tests and chaos smokes; default [None] *)
+  cache : Lubt_lp.Basis_cache.t option;
+      (** cross-request warm-start cache shared by every request the
+          daemon serves (default [None] = cacheless). The store is
+          mutex-guarded, so the executor's worker domains share it
+          safely; give it a disk tier ({!Lubt_lp.Basis_cache.create})
+          to survive daemon restarts. *)
 }
 
 val default_config : config
 (** No listeners ([create] requires at least one of [socket]/[port]),
     [jobs = 4], [max_pending = 64], no default deadline, watchdog and
-    breaker off, no chaos. *)
+    breaker off, no chaos, no cache. *)
 
 type stats = {
   connections : int;  (** sessions accepted over the server's lifetime *)
@@ -135,6 +169,12 @@ type stats = {
   restarts : int;  (** worker domains respawned (crash or watchdog) *)
   watchdog_fires : int;  (** requests failed by the watchdog deadline *)
   breaker_trips : int;  (** times the circuit breaker opened *)
+  cache_hits : int;
+      (** warm-start cache hits (exact + parent) over the server's
+          lifetime; 0 when cacheless *)
+  cache_misses : int;
+      (** warm-start cache misses over the server's lifetime; 0 when
+          cacheless *)
 }
 
 type server
@@ -186,8 +226,11 @@ val solve_report_fields : Lubt_core.Lubt.report -> validated:bool -> string
 val solve_report_json : Lubt_core.Lubt.report -> validated:bool -> string
 (** The complete [lubt solve --json] stdout object. *)
 
-val response_of_request : ?default_time_limit:float -> string -> string
+val response_of_request :
+  ?default_time_limit:float -> ?cache:Lubt_lp.Basis_cache.t -> string -> string
 (** [response_of_request line] parses and executes one request line
     synchronously and returns the exact response line the daemon would
-    write (the [wall_ms] member necessarily differs run to run). The
-    pure core of the daemon, used by the protocol round-trip tests. *)
+    write (the [wall_ms] member necessarily differs run to run). With
+    [cache], solves consult and populate the given warm-start cache
+    exactly as a daemon configured with it would. The pure core of the
+    daemon, used by the protocol round-trip tests. *)

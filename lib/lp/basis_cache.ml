@@ -1,0 +1,406 @@
+(* Content-addressed warm-basis store: an in-memory LRU tier with an
+   optional on-disk tier, keyed by caller-computed fingerprints. The store
+   is deliberately dumb about what the fingerprints mean — callers (the
+   EBF layer) hash their own canonical encodings — so the LP library does
+   not depend on instance or topology types. *)
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprinting                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Fingerprint = struct
+  type h = { mutable acc : int64 }
+
+  let offset = 0xcbf29ce484222325L
+
+  let prime = 0x100000001b3L
+
+  let create () = { acc = offset }
+
+  let add_byte h b =
+    h.acc <- Int64.mul (Int64.logxor h.acc (Int64.of_int (b land 0xff))) prime
+
+  let add_int64 h v =
+    for shift = 0 to 7 do
+      add_byte h (Int64.to_int (Int64.shift_right_logical v (8 * shift)))
+    done
+
+  let add_int h v = add_int64 h (Int64.of_int v)
+
+  let add_float h v = add_int64 h (Int64.bits_of_float v)
+
+  let add_string h s =
+    add_int h (String.length s);
+    String.iter (fun c -> add_byte h (Char.code c)) s
+
+  let digest h = Printf.sprintf "%016Lx" h.acc
+end
+
+(* ------------------------------------------------------------------ *)
+(* Entries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type entry = {
+  e_structure : string;
+  e_key : string;
+  e_basis : Simplex.warm_basis;
+  e_delay : int array;
+  e_pairs : (int * int) array;
+  e_objective : float;
+}
+
+type lookup = Exact of entry | Parent of entry | Miss
+
+type stats = {
+  hits : int;
+  misses : int;
+  stores : int;
+  evictions : int;
+  rejects : int;
+}
+
+let hit_rate s =
+  let total = s.hits + s.misses in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total
+
+(* LRU slot: the recency tick is bumped on every touch; eviction removes
+   the minimum tick (O(capacity) scan — capacities are small). *)
+type slot = { entry : entry; mutable tick : int }
+
+type t = {
+  lock : Mutex.t;
+  capacity : int;
+  dir : string option;
+  table : (string, slot) Hashtbl.t;  (* full key -> slot *)
+  latest : (string, string) Hashtbl.t;  (* structure -> latest full key *)
+  mutable clock : int;
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_stores : int;
+  mutable s_evictions : int;
+  mutable s_rejects : int;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let default_capacity = 128
+
+let rec mkdir_p path =
+  if path <> "" && path <> "/" && path <> "." && not (Sys.file_exists path)
+  then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?(capacity = default_capacity) ?dir () =
+  let capacity = max 1 capacity in
+  (match dir with Some d -> mkdir_p d | None -> ());
+  {
+    lock = Mutex.create ();
+    capacity;
+    dir;
+    table = Hashtbl.create (2 * capacity);
+    latest = Hashtbl.create (2 * capacity);
+    clock = 0;
+    s_hits = 0;
+    s_misses = 0;
+    s_stores = 0;
+    s_evictions = 0;
+    s_rejects = 0;
+  }
+
+let capacity t = t.capacity
+
+let dir t = t.dir
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.s_hits;
+        misses = t.s_misses;
+        stores = t.s_stores;
+        evictions = t.s_evictions;
+        rejects = t.s_rejects;
+      })
+
+(* ------------------------------------------------------------------ *)
+(* Disk tier                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* One snapshot per file, versioned text with a trailing FNV checksum.
+   Writes are temp-file + rename, so readers never observe a torn file;
+   any parse, dimension or checksum anomaly rejects the file as corrupt
+   (counted in [rejects]) instead of serving a wrong basis. *)
+
+let format_tag = "lubt-basis/1"
+
+let basis_file dir key = Filename.concat dir (Printf.sprintf "b%s.dat" key)
+
+let index_file dir structure =
+  Filename.concat dir (Printf.sprintf "i%s.latest" structure)
+
+let ints_line arr = String.concat " " (List.map string_of_int (Array.to_list arr))
+
+let encode_entry e =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  line "%s" format_tag;
+  line "structure %s" e.e_structure;
+  line "key %s" e.e_key;
+  line "vars %d" e.e_basis.Simplex.wb_nvars;
+  line "rows %d" e.e_basis.Simplex.wb_nrows;
+  line "objective %016Lx" (Int64.bits_of_float e.e_objective);
+  line "basic %s" (ints_line e.e_basis.Simplex.wb_basic);
+  line "nonbasic %s" e.e_basis.Simplex.wb_nonbasic;
+  line "delay %s" (ints_line e.e_delay);
+  line "pairs %s"
+    (String.concat " "
+       (List.concat_map
+          (fun (i, j) -> [ string_of_int i; string_of_int j ])
+          (Array.to_list e.e_pairs)));
+  let h = Fingerprint.create () in
+  Fingerprint.add_string h (Buffer.contents b);
+  line "checksum %s" (Fingerprint.digest h);
+  Buffer.contents b
+
+exception Corrupt
+
+let parse_entry text =
+  let lines = String.split_on_char '\n' text in
+  (* the encoder terminates every line, so a well-formed file splits into
+     the 11 payload/checksum lines plus one trailing empty string *)
+  match lines with
+  | [ tag; structure; key; vars; rows; objective; basic; nonbasic; delay;
+      pairs; checksum; "" ] -> (
+    try
+      let field name line =
+        let prefix = name ^ " " in
+        let pl = String.length prefix in
+        if String.length line >= pl && String.sub line 0 pl = prefix then
+          String.sub line pl (String.length line - pl)
+        else raise Corrupt
+      in
+      if tag <> format_tag then raise Corrupt;
+      (* checksum covers everything up to (and including) the newline that
+         precedes the checksum line *)
+      let payload_len = String.length text - String.length checksum - 1 in
+      if payload_len <= 0 then raise Corrupt;
+      let h = Fingerprint.create () in
+      Fingerprint.add_string h (String.sub text 0 payload_len);
+      if field "checksum" checksum <> Fingerprint.digest h then raise Corrupt;
+      let ints s =
+        let s = String.trim s in
+        if s = "" then [||]
+        else
+          Array.of_list (List.map int_of_string (String.split_on_char ' ' s))
+      in
+      let structure = field "structure" structure in
+      let key = field "key" key in
+      let nvars = int_of_string (field "vars" vars) in
+      let nrows = int_of_string (field "rows" rows) in
+      let objective =
+        Int64.float_of_bits (Int64.of_string ("0x" ^ field "objective" objective))
+      in
+      let basic = ints (field "basic" basic) in
+      let nonbasic = field "nonbasic" nonbasic in
+      let delay = ints (field "delay" delay) in
+      let flat = ints (field "pairs" pairs) in
+      if Array.length flat mod 2 <> 0 then raise Corrupt;
+      let pairs =
+        Array.init (Array.length flat / 2) (fun k -> (flat.(2 * k), flat.((2 * k) + 1)))
+      in
+      if Array.length basic <> nrows then raise Corrupt;
+      if String.length nonbasic <> nvars + nrows then raise Corrupt;
+      Some
+        {
+          e_structure = structure;
+          e_key = key;
+          e_basis =
+            {
+              Simplex.wb_nvars = nvars;
+              wb_nrows = nrows;
+              wb_basic = basic;
+              wb_nonbasic = nonbasic;
+            };
+          e_delay = delay;
+          e_pairs = pairs;
+          e_objective = objective;
+        }
+    with Corrupt | Failure _ -> None)
+  | _ -> None
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        if len > 16 * 1024 * 1024 then None
+        else Some (really_input_string ic len))
+
+(* Atomic publish: the content lands under a temp name in the same
+   directory, then renames over the target. Failures are swallowed — the
+   disk tier is an accelerator, never a correctness dependency. *)
+let write_file path content =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc content);
+    Sys.rename tmp path
+  with
+  | () -> ()
+  | exception (Sys_error _ | Unix.Unix_error _) ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Lubt_obs.Log.warn
+      ~fields:[ ("path", Lubt_obs.Trace.Str path) ]
+      "basis cache: disk write failed"
+
+(* read + parse with corruption accounting; caller holds the lock *)
+let disk_entry_locked t path =
+  match read_file path with
+  | None -> None
+  | Some text -> (
+    match parse_entry text with
+    | Some e -> Some e
+    | None ->
+      t.s_rejects <- t.s_rejects + 1;
+      Lubt_obs.Log.warn
+        ~fields:[ ("path", Lubt_obs.Trace.Str path) ]
+        "basis cache: rejected corrupt snapshot";
+      None)
+
+let disk_latest_key dir structure =
+  match read_file (index_file dir structure) with
+  | Some s ->
+    let s = String.trim s in
+    if s = "" then None else Some s
+  | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* In-memory LRU                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let touch_locked t slot =
+  t.clock <- t.clock + 1;
+  slot.tick <- t.clock
+
+let evict_locked t =
+  if Hashtbl.length t.table > t.capacity then begin
+    let victim = ref None in
+    Hashtbl.iter
+      (fun key slot ->
+        match !victim with
+        | Some (_, best) when best <= slot.tick -> ()
+        | _ -> victim := Some (key, slot.tick))
+      t.table;
+    match !victim with
+    | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      t.s_evictions <- t.s_evictions + 1
+    | None -> ()
+  end
+
+let insert_locked t e =
+  (match Hashtbl.find_opt t.table e.e_key with
+  | Some slot when slot.entry == e -> touch_locked t slot
+  | _ ->
+    Hashtbl.replace t.table e.e_key { entry = e; tick = 0 };
+    touch_locked t (Hashtbl.find t.table e.e_key);
+    evict_locked t);
+  Hashtbl.replace t.latest e.e_structure e.e_key
+
+let store t e =
+  locked t (fun () ->
+      t.s_stores <- t.s_stores + 1;
+      insert_locked t e);
+  (* disk writes happen outside the lock: the content is immutable and a
+     torn race between two writers of the same key is resolved by the
+     atomic rename (last writer wins with a complete file) *)
+  match t.dir with
+  | None -> ()
+  | Some d ->
+    write_file (basis_file d e.e_key) (encode_entry e);
+    write_file (index_file d e.e_structure) (e.e_key ^ "\n")
+
+let find t ~structure ~key =
+  locked t (fun () ->
+      let promote e = insert_locked t e in
+      let exact =
+        match Hashtbl.find_opt t.table key with
+        | Some slot ->
+          touch_locked t slot;
+          Some slot.entry
+        | None -> (
+          match t.dir with
+          | None -> None
+          | Some d -> (
+            match disk_entry_locked t (basis_file d key) with
+            | Some e when e.e_key = key && e.e_structure = structure ->
+              promote e;
+              Some e
+            | Some _ ->
+              (* a snapshot stored under the wrong name: fingerprint and
+                 content disagree, never serve it *)
+              t.s_rejects <- t.s_rejects + 1;
+              None
+            | None -> None))
+      in
+      match exact with
+      | Some e ->
+        t.s_hits <- t.s_hits + 1;
+        Exact e
+      | None -> (
+        let parent_key =
+          match Hashtbl.find_opt t.latest structure with
+          | Some k when k <> key -> Some k
+          | Some _ -> None
+          | None -> (
+            match t.dir with
+            | None -> None
+            | Some d -> (
+              match disk_latest_key d structure with
+              | Some k when k <> key -> Some k
+              | _ -> None))
+        in
+        let parent =
+          match parent_key with
+          | None -> None
+          | Some k -> (
+            match Hashtbl.find_opt t.table k with
+            | Some slot when slot.entry.e_structure = structure ->
+              touch_locked t slot;
+              Some slot.entry
+            | Some _ -> None
+            | None -> (
+              match t.dir with
+              | None -> None
+              | Some d -> (
+                match disk_entry_locked t (basis_file d k) with
+                | Some e when e.e_key = k && e.e_structure = structure ->
+                  insert_locked t e;
+                  Some e
+                | Some _ ->
+                  t.s_rejects <- t.s_rejects + 1;
+                  None
+                | None -> None)))
+        in
+        match parent with
+        | Some e ->
+          t.s_hits <- t.s_hits + 1;
+          Parent e
+        | None ->
+          t.s_misses <- t.s_misses + 1;
+          Miss))
+
+let reject t ~reason =
+  locked t (fun () -> t.s_rejects <- t.s_rejects + 1);
+  Lubt_obs.Log.warn
+    ~fields:[ ("reason", Lubt_obs.Trace.Str reason) ]
+    "basis cache: snapshot rejected by caller"

@@ -1705,6 +1705,141 @@ let set_time_limit t seconds = t.time_budget <- seconds
 let used_fallback t = t.fallback <> None
 
 (* ------------------------------------------------------------------ *)
+(* Warm-basis snapshots                                                *)
+(* ------------------------------------------------------------------ *)
+
+type warm_basis = {
+  wb_nvars : int;
+  wb_nrows : int;
+  wb_basic : int array;
+  wb_nonbasic : string;
+}
+
+type basis_mismatch = {
+  bm_expected_vars : int;
+  bm_expected_rows : int;
+  bm_got_vars : int;
+  bm_got_rows : int;
+  bm_reason : string;
+}
+
+let pp_basis_mismatch fmt bm =
+  Format.fprintf fmt "basis mismatch: %s (engine %dx%d, snapshot %dx%d)"
+    bm.bm_reason bm.bm_expected_rows bm.bm_expected_vars bm.bm_got_rows
+    bm.bm_got_vars
+
+let warm_basis t =
+  let total = t.n + t.m in
+  let statuses = Bytes.create total in
+  for j = 0 to total - 1 do
+    Bytes.set statuses j
+      (match t.vstat.(j) with
+      | Basic _ -> 'b'
+      | At_lower -> 'l'
+      | At_upper -> 'u'
+      | Free_zero -> 'f')
+  done;
+  {
+    wb_nvars = t.n;
+    wb_nrows = t.m;
+    wb_basic = Array.sub t.basic 0 t.m;
+    wb_nonbasic = Bytes.unsafe_to_string statuses;
+  }
+
+(* The always-valid fallback start: every auxiliary variable basic in its
+   own row (B = -I), structurals at their [initial_vstat] bound. This is
+   exactly the basis [of_problem] builds, so reinstalling it after a failed
+   warm install returns the engine to a known-good cold state. *)
+let install_slack_basis t =
+  for j = 0 to t.n - 1 do
+    t.vstat.(j) <- initial_vstat t.lo.(j) t.up.(j)
+  done;
+  for i = 0 to t.m - 1 do
+    t.basic.(i) <- t.n + i;
+    t.vstat.(t.n + i) <- Basic i
+  done;
+  if t.cur_sparse then t.needs_factor <- true;
+  refactor t
+
+let install_warm_basis t wb =
+  let mismatch reason =
+    Error
+      {
+        bm_expected_vars = t.n;
+        bm_expected_rows = t.m;
+        bm_got_vars = wb.wb_nvars;
+        bm_got_rows = wb.wb_nrows;
+        bm_reason = reason;
+      }
+  in
+  let total = t.n + t.m in
+  if wb.wb_nvars <> t.n then mismatch "structural variable count differs"
+  else if wb.wb_nrows <> t.m then mismatch "row count differs"
+  else if Array.length wb.wb_basic <> t.m then
+    mismatch "basic array length disagrees with row count"
+  else if String.length wb.wb_nonbasic <> total then
+    mismatch "status string length disagrees with variable count"
+  else begin
+    (* validate before mutating anything: indices in range, no duplicate
+       basic variable, statuses consistent with the basic set *)
+    let seen = Array.make total false in
+    let bad = ref None in
+    let fail reason = if !bad = None then bad := Some reason in
+    Array.iter
+      (fun b ->
+        if b < 0 || b >= total then fail "basic variable index out of range"
+        else if seen.(b) then fail "duplicate basic variable"
+        else begin
+          seen.(b) <- true;
+          if wb.wb_nonbasic.[b] <> 'b' then
+            fail "basic variable not marked basic in status string"
+        end)
+      wb.wb_basic;
+    String.iteri
+      (fun j c ->
+        match c with
+        | 'b' -> if not seen.(j) then fail "stray basic status marker"
+        | 'l' | 'u' | 'f' -> ()
+        | _ -> fail "unknown status marker")
+      wb.wb_nonbasic;
+    match !bad with
+    | Some reason -> mismatch reason
+    | None ->
+      for j = 0 to total - 1 do
+        t.vstat.(j) <-
+          (match wb.wb_nonbasic.[j] with
+          | 'l' when t.lo.(j) > neg_infinity -> At_lower
+          | 'u' when t.up.(j) < infinity -> At_upper
+          | 'l' | 'u' ->
+            (* the bound this status rested on is no longer finite (an ECO
+               edit relaxed it): coerce to a valid nonbasic state *)
+            initial_vstat t.lo.(j) t.up.(j)
+          | 'f' -> Free_zero
+          | _ -> Free_zero (* 'b': overwritten below *))
+      done;
+      Array.iteri
+        (fun r b ->
+          t.basic.(r) <- b;
+          t.vstat.(b) <- Basic r)
+        wb.wb_basic;
+      t.fallback <- None;
+      t.last_status <- Status.Iteration_limit;
+      if t.cur_sparse then t.needs_factor <- true;
+      (* factorise now: [of_problem] only auto-refactors the sparse backend,
+         and the dense path assumes the -I start otherwise. A singular warm
+         basis is the snapshot's fault, not the engine's — reinstall the
+         all-slack basis and report the mismatch. *)
+      (match refactor t with
+      | () -> Ok ()
+      | exception e -> (
+        match recoverable e with
+        | Some reason ->
+          install_slack_basis t;
+          mismatch (Printf.sprintf "warm basis not factorisable: %s" reason)
+        | None -> raise e))
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Extraction                                                          *)
 (* ------------------------------------------------------------------ *)
 

@@ -257,6 +257,58 @@ val add_row : t -> lo:float -> up:float -> (int * float) list -> unit
     [basis_extensions]) so the re-solve skips the refactorisation;
     otherwise the basis is refactorised at the next [solve]. *)
 
+type warm_basis = {
+  wb_nvars : int;  (** structural variable count of the source engine *)
+  wb_nrows : int;  (** row count of the source engine *)
+  wb_basic : int array;
+      (** row [r] was occupied by variable [wb_basic.(r)] (auxiliary
+          variables use the [nvars + row] convention) *)
+  wb_nonbasic : string;
+      (** one status marker per variable over [wb_nvars + wb_nrows]:
+          ['b'] basic, ['l'] at lower bound, ['u'] at upper bound,
+          ['f'] free at zero *)
+}
+(** A self-contained snapshot of a basis: which variable occupies each row
+    and the bound status of every nonbasic variable. Plain data — it holds
+    no factorisation and no pointer into the engine, so it can be stored,
+    serialised and installed into a {e different} engine of the same shape
+    (the cross-request cache {!Basis_cache} does both). *)
+
+type basis_mismatch = {
+  bm_expected_vars : int;  (** structural variables of the target engine *)
+  bm_expected_rows : int;  (** rows of the target engine *)
+  bm_got_vars : int;  (** structural variables recorded in the snapshot *)
+  bm_got_rows : int;  (** rows recorded in the snapshot *)
+  bm_reason : string;  (** human-readable cause *)
+}
+(** Why {!install_warm_basis} refused (or failed to factorise) a snapshot.
+    Dimension disagreements — the classic stale-cache hazard when an ECO
+    edit added or removed a sink — are always rejected through this type,
+    never mapped silently. *)
+
+val pp_basis_mismatch : Format.formatter -> basis_mismatch -> unit
+(** One-line rendering of a {!basis_mismatch} for logs and error JSON. *)
+
+val warm_basis : t -> warm_basis
+(** Snapshots the engine's current basis. Callers that intend to reuse the
+    snapshot should take it only after [solve] returned {!Status.Optimal}
+    with {!used_fallback}[ = false] — a fallback answer leaves the engine
+    basis untrustworthy. *)
+
+val install_warm_basis : t -> warm_basis -> (unit, basis_mismatch) result
+(** Installs a snapshot taken from an engine of identical shape (same
+    variable and row counts; typically the same model with edited bounds).
+    The snapshot is validated first — dimensions, index ranges, duplicate
+    basic variables, status consistency — and rejected with [Error] before
+    any engine state changes. Statuses resting on bounds that are no longer
+    finite are coerced to a valid nonbasic state. On success the basis is
+    factorised immediately and the next [solve] warm-starts from it (for
+    bound-only edits the basis stays dual feasible, so re-optimisation is a
+    short dual-simplex run). A snapshot that passes validation but proves
+    singular to factorise also returns [Error], after the engine has been
+    restored to its all-slack cold-start basis — an [Error] therefore
+    always leaves the engine in a valid, solvable state. *)
+
 val nrows : t -> int
 (** Number of constraint rows currently loaded (including rows appended
     with {!add_row}). *)

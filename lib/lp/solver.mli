@@ -2,17 +2,33 @@
     solve it, and package the solution. *)
 
 val solve :
-  ?params:Simplex.params -> ?check:Certify.level -> Problem.t -> Status.solution
+  ?params:Simplex.params ->
+  ?check:Certify.level ->
+  ?cache:Basis_cache.t ->
+  Problem.t ->
+  Status.solution
 (** [solve prob] solves and packages the model. With [check] (default
     {!Certify.Off}) an [Optimal] claim is certified a posteriori by
     {!Certify.check}; if certification rejects it, the independent
     {!Tableau} oracle is consulted, and only when the oracle's answer also
     fails does the status degrade to [Numerical_failure]. A solution served
     by the engine's own tableau fallback is certified at [Primal] level
-    (it carries no duals). *)
+    (it carries no duals).
+
+    With [cache], the model is content-addressed (coefficients fix the
+    structure fingerprint, bounds complete the key — see {!Basis_cache})
+    and a cached basis of the identical or bounds-edited model
+    warm-restarts the solve; snapshots failing validation are rejected
+    with a typed {!Simplex.basis_mismatch} and the solve runs cold. The
+    final basis is stored back only when the solve ended [Optimal] without
+    the tableau fallback and (when [check] is on) certified clean. *)
 
 val solve_exn :
-  ?params:Simplex.params -> ?check:Certify.level -> Problem.t -> Status.solution
+  ?params:Simplex.params ->
+  ?check:Certify.level ->
+  ?cache:Basis_cache.t ->
+  Problem.t ->
+  Status.solution
 (** Like {!solve}, but raises [Failure] unless the status is [Optimal].
     The message carries the status, the objective reached and the
     iteration count, so callers logging the failure see where the solve

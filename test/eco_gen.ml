@@ -1,0 +1,63 @@
+(** Seeded generators for ECO (engineering change order) edit chains.
+
+    The warm-start differential suite ([test_cache.ml]) and the serve
+    protocol tests need streams of random instance edits whose
+    application is guaranteed to succeed — each edit is drawn against
+    the {e current} instance, so sink indices are always in range and
+    bounds always satisfy [0 <= lower <= upper]. The generators are
+    {!Lubt_util.Prng}-driven, so a chain is fully determined by its
+    seed and can be replayed on failure. *)
+
+module Instance = Lubt_core.Instance
+module Prng = Lubt_util.Prng
+module Point = Lubt_geom.Point
+
+(* A delay window that keeps the instance admissible with high
+   probability: the upper bound clears the radius, the lower bound
+   stays inside it. Kept strictly positive/finite so the sink's delay
+   row survives the edit — the layout-preserving case the cache's
+   Parent path accelerates. *)
+let random_window rng inst =
+  let r = Instance.radius inst in
+  let lower = 0.01 +. Prng.float rng (0.5 *. r) in
+  let upper = r *. (1.0 +. Prng.float rng 1.0) in
+  (lower, max upper (lower +. 0.01))
+
+(* One random edit against [inst]. With [topology_preserving] only
+   bound and geometry edits are drawn (the sink set — and hence any
+   routing tree over it — survives, which is the warm-start sweet
+   spot); otherwise sink insertions and removals join the mix. *)
+let random_edit ?(topology_preserving = false) rng inst =
+  let m = Instance.num_sinks inst in
+  let sink = Prng.int rng m in
+  let kinds = if topology_preserving then 2 else 4 in
+  match Prng.int rng kinds with
+  | 0 ->
+    let lower, upper = random_window rng inst in
+    Instance.Edit.Set_bounds { sink; lower; upper }
+  | 1 ->
+    let nudge () = Prng.float rng 8.0 -. 4.0 in
+    Instance.Edit.Move_sink { sink; dx = nudge (); dy = nudge () }
+  | 2 ->
+    let coord () = Prng.float rng 100.0 in
+    let lower, upper = random_window rng inst in
+    Instance.Edit.Add_sink
+      { point = Point.make (coord ()) (coord ()); lower; upper }
+  | _ -> Instance.Edit.Remove_sink { sink }
+
+(* A chain of [len] edits, drawn and applied one at a time so every
+   edit is valid against its predecessor's output. Returns the ops (in
+   application order) and the final instance. *)
+let random_chain ?(topology_preserving = false) ~len rng inst =
+  let rec go acc cur k =
+    if k = 0 then (List.rev acc, cur)
+    else
+      let op = random_edit ~topology_preserving rng cur in
+      match Instance.Edit.apply cur op with
+      | Ok next -> go (op :: acc) next (k - 1)
+      | Error msg ->
+        (* unreachable by construction; fail loudly, not silently *)
+        invalid_arg
+          (Printf.sprintf "eco_gen: generated edit failed to apply: %s" msg)
+  in
+  go [] inst len

@@ -8,7 +8,9 @@ module Point = Lubt_geom.Point
 module Instance = Lubt_core.Instance
 module Tree = Lubt_topo.Tree
 module Ebf = Lubt_core.Ebf
+module Lubt = Lubt_core.Lubt
 module Certify = Lubt_lp.Certify
+module Basis_cache = Lubt_lp.Basis_cache
 module Clock = Lubt_obs.Clock
 module Ladder = Lubt_experiments.Ladder
 
@@ -40,6 +42,23 @@ let opts ?(starved = []) () =
     Ladder.base = certified_base;
     tweak = starve starved;
   }
+
+(* same ladder, but with a shared warm-start cache in the base options;
+   every LP rung inherits it through [Ladder.base] *)
+let cached_opts ?starved cache =
+  {
+    (opts ?starved ()) with
+    Ladder.base = { certified_base with Ebf.cache = Some cache };
+  }
+
+let is_hit = function
+  | Ebf.Cache_hit_exact | Ebf.Cache_hit_parent -> true
+  | Ebf.Cache_off | Ebf.Cache_miss | Ebf.Cache_rejected _ -> false
+
+let report_cache_outcome (o : Ladder.outcome) =
+  match o.Ladder.report with
+  | Some r -> r.Lubt.ebf.Ebf.cache_outcome
+  | None -> Alcotest.fail "winning rung produced no report"
 
 let check_outcome ~rung ~degraded (o : Ladder.outcome) =
   Alcotest.(check string) "winning rung" (Ladder.rung_to_string rung)
@@ -145,6 +164,75 @@ let test_heuristic_standalone () =
   | Error (Ladder.Exhausted _) -> ()
   | Error Ladder.Infeasible -> Alcotest.fail "unexpected Infeasible"
 
+(* every degradation rung consults the warm-start cache: a solve that
+   lands on a given rung misses (and stores) on the first request, then
+   answers the identical repeat request from the cache — whichever rung
+   wins, since all of them inherit [base.cache] *)
+let test_every_rung_consults_cache () =
+  let inst, tree = star () in
+  List.iter
+    (fun (starved, rung) ->
+      let name = Ladder.rung_to_string rung in
+      let cache = Basis_cache.create () in
+      let o = cached_opts ~starved cache in
+      let cold = run o inst tree in
+      Alcotest.(check string) (name ^ ": cold winning rung") name
+        (Ladder.rung_to_string cold.Ladder.rung);
+      let s = Basis_cache.stats cache in
+      Alcotest.(check bool)
+        (name ^ ": cache consulted on the cold solve")
+        true
+        (s.Basis_cache.misses >= 1);
+      Alcotest.(check int) (name ^ ": no hits yet") 0 s.Basis_cache.hits;
+      let warm = run o inst tree in
+      Alcotest.(check string) (name ^ ": warm winning rung") name
+        (Ladder.rung_to_string warm.Ladder.rung);
+      Alcotest.(check bool)
+        (name ^ ": warm solve answered from the cache")
+        true
+        (is_hit (report_cache_outcome warm));
+      let s' = Basis_cache.stats cache in
+      Alcotest.(check bool) (name ^ ": hit recorded") true
+        (s'.Basis_cache.hits >= 1))
+    [
+      ([], Ladder.Certified);
+      ([ Ladder.Certified ], Ladder.Uncertified);
+      ([ Ladder.Certified; Ladder.Uncertified ], Ladder.Reduced);
+    ]
+
+(* a cache hit on the certified rung never changes the answer's quality:
+   same rung, same degraded flag, a passing certificate, and the same
+   certified objective as an uncached solve *)
+let test_cache_hit_preserves_quality () =
+  let inst, tree = star () in
+  let reference = run (opts ()) inst tree in
+  let cache = Basis_cache.create () in
+  let cached = cached_opts cache in
+  let cold = run cached inst tree in
+  let warm = run cached inst tree in
+  Alcotest.(check bool) "warm run hit the cache" true
+    (is_hit (report_cache_outcome warm));
+  check_outcome ~rung:Ladder.Certified ~degraded:false warm;
+  List.iter
+    (fun (tag, o) ->
+      Alcotest.(check string) (tag ^ ": same rung as uncached")
+        (Ladder.rung_to_string reference.Ladder.rung)
+        (Ladder.rung_to_string o.Ladder.rung);
+      Alcotest.(check bool)
+        (tag ^ ": same degraded flag as uncached")
+        reference.Ladder.degraded o.Ladder.degraded)
+    [ ("cold", cold); ("warm", warm) ];
+  match (reference.Ladder.report, warm.Ladder.report) with
+  | Some a, Some b ->
+    let oa = a.Lubt.ebf.Ebf.objective and ob = b.Lubt.ebf.Ebf.objective in
+    Alcotest.(check bool) "same certified objective" true
+      (Float.abs (oa -. ob) <= 1e-9 *. (1.0 +. Float.abs oa));
+    Alcotest.(check bool) "warm certificate passes" true
+      (match b.Lubt.ebf.Ebf.certificate with
+      | Some c -> c.Certify.ok
+      | None -> false)
+  | _ -> Alcotest.fail "certified rung produced no report"
+
 let () =
   Alcotest.run "ladder"
     [
@@ -162,5 +250,9 @@ let () =
             test_infeasible_stops_ladder;
           Alcotest.test_case "heuristic standalone" `Quick
             test_heuristic_standalone;
+          Alcotest.test_case "every rung consults the cache" `Quick
+            test_every_rung_consults_cache;
+          Alcotest.test_case "cache hit preserves quality" `Quick
+            test_cache_hit_preserves_quality;
         ] );
     ]

@@ -15,6 +15,7 @@ module Ebf = Lubt_core.Ebf
 module Io = Lubt_data.Io
 module Benchmarks = Lubt_data.Benchmarks
 module Point = Lubt_geom.Point
+module Basis_cache = Lubt_lp.Basis_cache
 
 let member_exn what j =
   match Json.member what j with
@@ -164,6 +165,135 @@ let test_deadline_expiry () =
   Alcotest.(check bool) "not ok" false (is_ok r);
   Alcotest.(check string) "time_limit code" "time_limit" (error_code r);
   Alcotest.(check bool) "id echoed" true (member_exn "id" r = Json.Str "t")
+
+(* ------------------------------------------------------------------ *)
+(* ECO requests (op "eco"): incremental re-solve over the cache        *)
+(* ------------------------------------------------------------------ *)
+
+let respond_cached cache line =
+  parse_response (Serve.response_of_request ~cache line)
+
+(* the JSON instance literal shared by the eco tests: the 4-sink star,
+   escaped through the Io text format *)
+let inline_instance_text () =
+  let sinks =
+    [| Point.make 0.0 100.0; Point.make 100.0 0.0;
+       Point.make 100.0 200.0; Point.make 200.0 100.0 |]
+  in
+  let inst =
+    Instance.uniform_bounds ~source:(Point.make 0.0 0.0) ~sinks ~lower:0.0
+      ~upper:500.0 ()
+  in
+  "\"" ^ Protocol.json_escape (Io.instance_to_string inst) ^ "\""
+
+let ebf_cache_name r =
+  match Json.member "cache" (member_exn "ebf" r) with
+  | Some (Json.Str s) -> s
+  | _ -> Alcotest.failf "ebf record lacks a cache member: %s" (Json.to_string r)
+
+(* solve, then eco re-solve of the edited instance through one shared
+   cache: the eco answer must warm-start from the base solve's basis *)
+let test_eco_roundtrip () =
+  let text = inline_instance_text () in
+  let eco_line =
+    Printf.sprintf
+      {|{"id": "e1", "op": "eco", "instance": %s, "edits": [{"edit": "set_bounds", "sink": 2, "lower": 1.0, "upper": 450.0}, {"edit": "move_sink", "sink": 0, "dx": 3.0, "dy": -2.0}]}|}
+      text
+  in
+  let cache = Basis_cache.create () in
+  let base =
+    respond_cached cache (Printf.sprintf {|{"id": "b", "instance": %s}|} text)
+  in
+  Alcotest.(check bool) "base solve ok" true (is_ok base);
+  Alcotest.(check string) "base solve is a cold miss" "miss"
+    (ebf_cache_name base);
+  let eco = respond_cached cache eco_line in
+  Alcotest.(check bool) "eco ok" true (is_ok eco);
+  Alcotest.(check bool) "id echoed" true (member_exn "id" eco = Json.Str "e1");
+  Alcotest.(check bool) "validated" true
+    (member_exn "validated" eco = Json.Bool true);
+  let name = ebf_cache_name eco in
+  Alcotest.(check bool) ("eco warm-started from the cache: " ^ name) true
+    (name = "exact" || name = "parent");
+  let s = Basis_cache.stats cache in
+  Alcotest.(check bool) "hit counted" true (s.Basis_cache.hits >= 1);
+  (* the same request without a cache still answers, reporting it ran
+     cold — eco does not require a cache to be correct *)
+  let cold = respond eco_line in
+  Alcotest.(check bool) "cacheless eco ok" true (is_ok cold);
+  Alcotest.(check string) "cacheless eco reports cache off" "off"
+    (ebf_cache_name cold)
+
+(* malformed edit payloads are request errors; a well-formed edit that
+   cannot apply is an [edit_failed], never a crashed session *)
+let test_eco_malformed_edits () =
+  let text = inline_instance_text () in
+  let code line = error_code (respond line) in
+  let eco edits =
+    Printf.sprintf {|{"id": "m", "op": "eco", "instance": %s, "edits": %s}|}
+      text edits
+  in
+  Alcotest.(check string) "missing edits member" "bad_request"
+    (code (Printf.sprintf {|{"id": "m", "op": "eco", "instance": %s}|} text));
+  List.iter
+    (fun (what, edits) ->
+      Alcotest.(check string) what "bad_request" (code (eco edits)))
+    [
+      ("empty edits", {|[]|});
+      ("edits not an array", {|{"edit": "set_bounds"}|});
+      ("edit without a kind", {|[{"sink": 1}]|});
+      ("unknown edit kind", {|[{"edit": "frobnicate", "sink": 1}]|});
+      ( "fractional sink index",
+        {|[{"edit": "set_bounds", "sink": 1.5, "lower": 1.0, "upper": 2.0}]|}
+      );
+      ( "negative lower bound",
+        {|[{"edit": "set_bounds", "sink": 1, "lower": -1.0, "upper": 2.0}]|}
+      );
+      ("move without dx", {|[{"edit": "move_sink", "sink": 1, "dy": 1.0}]|});
+    ];
+  Alcotest.(check string) "out-of-range sink applies as edit_failed"
+    "edit_failed"
+    (code (eco {|[{"edit": "remove_sink", "sink": 99}]|}))
+
+(* daemon restart over a --cache-dir disk tier: a brand-new in-memory
+   cache over the same directory warm-starts from the persisted
+   snapshot; a genuinely cold cache answers correctly from scratch *)
+let test_eco_restart_cache () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lubt-serve-cache-%d-%d" (Unix.getpid ())
+         (Random.int 100000))
+  in
+  let rm_rf () =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Sys.rmdir dir
+    end
+  in
+  Fun.protect ~finally:rm_rf (fun () ->
+      let text = inline_instance_text () in
+      let solve_line = Printf.sprintf {|{"id": "s", "instance": %s}|} text in
+      let c1 = Basis_cache.create ~dir () in
+      let r1 = respond_cached c1 solve_line in
+      Alcotest.(check bool) "first daemon's solve ok" true (is_ok r1);
+      (* "restart": same directory, fresh in-memory tier *)
+      let c2 = Basis_cache.create ~dir () in
+      let r2 = respond_cached c2 solve_line in
+      Alcotest.(check bool) "restarted daemon's solve ok" true (is_ok r2);
+      Alcotest.(check string) "snapshot survives the restart" "exact"
+        (ebf_cache_name r2);
+      Alcotest.(check bool) "disk hit counted" true
+        ((Basis_cache.stats c2).Basis_cache.hits >= 1);
+      (* cold-cache restart path: no directory carried over — a clean
+         miss, identical answer *)
+      let c3 = Basis_cache.create () in
+      let r3 = respond_cached c3 solve_line in
+      Alcotest.(check bool) "cold restart solve ok" true (is_ok r3);
+      Alcotest.(check string) "cold restart is a miss" "miss"
+        (ebf_cache_name r3))
 
 (* the renderer shared with [lubt solve --json] emits checker-clean
    JSON whose members match the serve response's payload *)
@@ -457,6 +587,7 @@ let test_socket_ping_health () =
             [
               "pending"; "running"; "workers"; "restarts"; "watchdog_fires";
               "breaker_open"; "p95_ms"; "served"; "degraded"; "rejected";
+              "cache_hits"; "cache_misses";
             ];
           Alcotest.(check bool) "breaker closed" true
             (member_exn "breaker_open" h = Json.Bool false)
@@ -622,6 +753,11 @@ let () =
           Alcotest.test_case "inline instance" `Quick
             test_inline_instance_solve;
           Alcotest.test_case "deadline expiry" `Quick test_deadline_expiry;
+          Alcotest.test_case "eco round-trip" `Quick test_eco_roundtrip;
+          Alcotest.test_case "eco malformed edits" `Quick
+            test_eco_malformed_edits;
+          Alcotest.test_case "eco cache across daemon restart" `Quick
+            test_eco_restart_cache;
           Alcotest.test_case "shared report renderer" `Quick
             test_report_renderer_shared;
         ] );
