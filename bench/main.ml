@@ -380,13 +380,12 @@ let run_timing ?(seed = 0) ?(jobs = 1) ?(no_scaling = false) json_out =
 module Serve = Lubt_experiments.Serve
 module Json = Lubt_obs.Json
 module Clock = Lubt_obs.Clock
+module Metrics = Lubt_obs.Metrics
 
-let percentile sorted p =
-  let n = Array.length sorted in
-  if n = 0 then nan
-  else
-    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1 in
-    sorted.(max 0 (min (n - 1) rank))
+(* nearest-rank percentile over a sorted sample array; the shared
+   definition in Stats is property-tested against the bucketed
+   histogram quantile the daemon reports *)
+let percentile = Lubt_util.Stats.percentile
 
 (* the request mix: rotate over the four tiny paper benchmarks with a
    rotating seed offset, so consecutive requests hit different sink
@@ -690,6 +689,84 @@ let run_load ~addr ~rps ~duration ~conns ~degrade_every ~chaos_seed =
    `Wall wall_s, `Lat lat, `Reconnects !reconnects, `Retries !retries,
    `Degraded !degraded_ok)
 
+(* Scrape the daemon's own per-op latency histograms through the
+   [metrics] op and merge them into one server-side distribution — the
+   client-vs-server cross-check. Server-side quantiles exclude client
+   queueing and socket buffering, so they lower-bound the measured
+   ones. Returns [None] when the daemon is unreachable or predates the
+   op. *)
+let scrape_server_latency addr =
+  let sock_domain =
+    match addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET
+  in
+  match Unix.socket sock_domain Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ -> None
+  | fd -> (
+    let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+    match
+      Fun.protect ~finally (fun () ->
+          Unix.connect fd addr;
+          let line = "{\"id\": \"m\", \"op\": \"metrics\"}\n" in
+          ignore (Unix.write_substring fd line 0 (String.length line));
+          let buf = Bytes.create 65536 in
+          let b = Buffer.create 4096 in
+          let rec recv () =
+            if not (String.contains (Buffer.contents b) '\n') then
+              match Unix.read fd buf 0 (Bytes.length buf) with
+              | 0 -> ()
+              | n ->
+                Buffer.add_subbytes b buf 0 n;
+                recv ()
+          in
+          recv ();
+          let text = Buffer.contents b in
+          match String.index_opt text '\n' with
+          | Some i -> String.sub text 0 i
+          | None -> text)
+    with
+    | exception Unix.Unix_error _ -> None
+    | reply -> (
+      match Json.parse reply with
+      | Error _ -> None
+      | Ok j ->
+        let samples =
+          match Json.member "metrics" j with Some (Json.Arr l) -> l | _ -> []
+        in
+        let floats_of key s =
+          match Json.member key s with
+          | Some (Json.Arr l) ->
+            Some (Array.of_list (List.filter_map Json.num l))
+          | _ -> None
+        in
+        let num_of key s =
+          match Option.bind (Json.member key s) Json.num with
+          | Some v -> v
+          | None -> 0.0
+        in
+        List.fold_left
+          (fun acc s ->
+            if
+              Json.member "name" s
+              = Some (Json.Str "lubt_serve_request_latency_ms")
+            then
+              match (floats_of "bounds" s, floats_of "counts" s) with
+              | Some bounds, Some counts ->
+                let snap =
+                  {
+                    Metrics.h_bounds = bounds;
+                    h_counts = Array.map int_of_float counts;
+                    h_sum = num_of "sum" s;
+                    h_count = int_of_float (num_of "count" s);
+                  }
+                in
+                Some
+                  (match acc with
+                  | None -> snap
+                  | Some a -> Metrics.merge_histogram a snap)
+              | _ -> acc
+            else acc)
+          None samples))
+
 let run_serve args =
   (* a daemon-side reset racing one of our writes must surface as
      EPIPE (and a reconnect), not kill the load generator *)
@@ -773,6 +850,9 @@ let run_serve args =
     run_load ~addr ~rps:!rps ~duration:!duration ~conns:!conns
       ~degrade_every:!degrade_every ~chaos_seed:!chaos_seed
   in
+  (* scrape while the daemon is still up: its own latency histograms
+     are the server half of the client-vs-server cross-check *)
+  let server_lat = scrape_server_latency addr in
   (* the warm-start hit rate is only observable when we hosted the
      daemon ourselves; against an external --socket daemon it is nan
      (reported as null, and bench diff never gates _rate entries) *)
@@ -788,6 +868,15 @@ let run_serve args =
   let p50 = percentile lat 50.0
   and p95 = percentile lat 95.0
   and p99 = percentile lat 99.0 in
+  let sp50, sp95, sp99, server_samples =
+    match server_lat with
+    | Some h when h.Metrics.h_count > 0 ->
+      ( Metrics.quantile h 0.5,
+        Metrics.quantile h 0.95,
+        Metrics.quantile h 0.99,
+        h.Metrics.h_count )
+    | _ -> (nan, nan, nan, 0)
+  in
   let throughput = float_of_int ok /. wall_s in
   Printf.printf
     "serve load: %d sent at %.0f rps over %d conns — %d ok (%d degraded), \
@@ -797,6 +886,11 @@ let run_serve args =
     sent !rps !conns ok degraded rejected failed reconnects retries wall_s
     p50 p95 p99 throughput
     (100.0 *. (if Float.is_nan cache_hit_rate then 0.0 else cache_hit_rate));
+  if server_samples > 0 then
+    Printf.printf
+      "server-side latency ms (daemon histogram, %d samples): p50 %.2f  \
+       p95 %.2f  p99 %.2f\n%!"
+      server_samples sp50 sp95 sp99;
   (match !json_out with
   | Some path ->
     (* latency quantiles join the lubt-bench schema as ms entries, so
@@ -811,6 +905,9 @@ let run_serve args =
       [ entry "serve_latency_p50" p50;
         entry "serve_latency_p95" p95;
         entry "serve_latency_p99" p99;
+        entry "serve_server_latency_p50" sp50;
+        entry "serve_server_latency_p95" sp95;
+        entry "serve_server_latency_p99" sp99;
         entry "serve_ms_per_request"
           (if throughput > 0.0 then 1e3 /. throughput else nan);
         entry "serve_reconnects_count" (float_of_int reconnects);
@@ -832,9 +929,10 @@ let known_commands =
 let usage_and_exit () =
   Printf.eprintf
     "usage: main.exe [COMMAND...] [--tiny|--scaled|--full] [--json FILE]\n\
-     [--seed N] [--jobs N] [--no-scaling] [--trace FILE]\n\
+     [--seed N] [--jobs N] [--no-scaling] [--trace FILE] [--metrics]\n\
      \       main.exe diff OLD.json NEW.json [--threshold PCT]\n\
-     \                    [--abs-floor-ms MS] [--warn-only]\n\
+     \                    [--abs-floor-ms MS] [--slo-threshold PCT]\n\
+     \                    [--slo-floor-ms MS] [--warn-only]\n\
      \       main.exe serve [--rps N] [--duration S] [--conns N] [--jobs N]\n\
      \                      [--socket PATH] [--json FILE]\n\
      \                      [--degrade-every N] [--chaos-seed N]\n\
@@ -849,10 +947,34 @@ let usage_and_exit () =
 let run_diff args =
   let threshold = ref 10.0 in
   let abs_floor_ms = ref 0.05 in
+  let slo_threshold = ref 50.0 in
+  let slo_floor_ms = ref 1.0 in
   let warn_only = ref false in
   let files = ref [] in
   let rec parse = function
     | [] -> ()
+    | [ "--slo-threshold" ] ->
+      Printf.eprintf "--slo-threshold requires a percentage argument\n";
+      usage_and_exit ()
+    | "--slo-threshold" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some t when t >= 0.0 ->
+        slo_threshold := t;
+        parse rest
+      | _ ->
+        Printf.eprintf "--slo-threshold: not a non-negative number: %S\n" v;
+        usage_and_exit ())
+    | [ "--slo-floor-ms" ] ->
+      Printf.eprintf "--slo-floor-ms requires a milliseconds argument\n";
+      usage_and_exit ()
+    | "--slo-floor-ms" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some f when f >= 0.0 ->
+        slo_floor_ms := f;
+        parse rest
+      | _ ->
+        Printf.eprintf "--slo-floor-ms: not a non-negative number: %S\n" v;
+        usage_and_exit ())
     | [ "--threshold" ] ->
       Printf.eprintf "--threshold requires a percentage argument\n";
       usage_and_exit ()
@@ -890,7 +1012,9 @@ let run_diff args =
   | [ old_path; new_path ] -> (
     match
       Bench_diff.compare_files ~threshold:(!threshold /. 100.0)
-        ~abs_floor_ms:!abs_floor_ms old_path new_path
+        ~abs_floor_ms:!abs_floor_ms
+        ~slo_threshold:(!slo_threshold /. 100.0)
+        ~slo_floor_ms:!slo_floor_ms old_path new_path
     with
     | Error e ->
       Printf.eprintf "bench diff: %s\n" e;
@@ -953,6 +1077,12 @@ let () =
         usage_and_exit ())
     | "--no-scaling" :: rest ->
       no_scaling := true;
+      parse rest
+    (* enable the metrics registry for the run: the A/B lever for
+       measuring instrumentation overhead (EXPERIMENTS.md "Metrics
+       overhead") — without it every site is one atomic load *)
+    | "--metrics" :: rest ->
+      Metrics.enable ();
       parse rest
     | [ "--trace" ] ->
       Printf.eprintf "--trace requires a FILE argument\n";
@@ -1018,8 +1148,9 @@ let () =
   match !trace_out with
   | Some path ->
     let events = Trace.events () in
+    let dropped = Trace.dropped () in
     Trace.stop ();
-    Chrome_trace.write path events;
+    Chrome_trace.write ~dropped path events;
     Printf.eprintf "wrote trace to %s (%d events, %d dropped)\n%!" path
-      (List.length events) (Trace.dropped ())
+      (List.length events) dropped
   | None -> ()

@@ -148,7 +148,7 @@ let write_trace path =
   let events = Trace.events () in
   let dropped = Trace.dropped () in
   Trace.stop ();
-  Chrome_trace.write path events;
+  Chrome_trace.write ~dropped path events;
   Log.info
     ~fields:
       [ ("events", Trace.Int (List.length events));
@@ -247,6 +247,8 @@ let print_solver_stats (ebf : Ebf.result) =
   (match ebf.Ebf.certificate with
   | Some report -> Format.eprintf "%a@." Lubt_lp.Certify.pp report
   | None -> ());
+  Printf.eprintf "warm-start cache: %s\n"
+    (Ebf.cache_outcome_name ebf.Ebf.cache_outcome);
   prerr_endline "lazy-loop rounds:";
   List.iter
     (fun (r : Ebf.round_stat) ->
@@ -667,9 +669,10 @@ let batch_cmd =
 (* serve                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let serve socket port host jobs max_pending default_time_limit watchdog
-    breaker_p95_ms breaker_queue breaker_cooldown chaos_seed chaos_kill_rate
-    chaos_delay_rate chaos_delay_ms cache_dir no_cache log_level =
+let serve socket port host metrics_port jobs max_pending default_time_limit
+    watchdog breaker_p95_ms breaker_queue breaker_cooldown chaos_seed
+    chaos_kill_rate chaos_delay_rate chaos_delay_ms cache_dir no_cache
+    log_level =
   Log.set_level log_level;
   if socket = None && port = None then begin
     prerr_endline "lubt serve: give --socket PATH and/or --port PORT";
@@ -709,6 +712,7 @@ let serve socket port host jobs max_pending default_time_limit watchdog
       breaker_cooldown = (if breaker_cooldown <= 0.0 then 1.0 else breaker_cooldown);
       chaos;
       cache = make_cache ~no_cache ~cache_dir;
+      metrics_port;
     }
   in
   match Serve.create cfg with
@@ -752,6 +756,17 @@ let serve_cmd =
       & opt string "127.0.0.1"
       & info [ "host" ] ~docv:"ADDR"
           ~doc:"TCP bind address (default loopback only).")
+  in
+  let metrics_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:
+            "Expose Prometheus text metrics over HTTP at \
+             $(b,GET /metrics) on $(docv) (bound to --host; default: no \
+             metrics listener). The JSON-lines $(b,metrics) op serves \
+             the same registry snapshot either way.")
   in
   let jobs =
     Arg.(
@@ -857,7 +872,7 @@ let serve_cmd =
           $(b,solve --json) report shape. SIGTERM or SIGINT drains \
           in-flight requests and exits cleanly.")
     Term.(
-      const serve $ socket $ port $ host $ jobs $ max_pending
+      const serve $ socket $ port $ host $ metrics_port $ jobs $ max_pending
       $ default_time_limit $ watchdog $ breaker_p95_ms $ breaker_queue
       $ breaker_cooldown $ chaos_seed $ chaos_kill_rate $ chaos_delay_rate
       $ chaos_delay_ms $ cache_dir_t $ no_cache_t $ log_level_t)

@@ -6,6 +6,19 @@ module Status = Lubt_lp.Status
 module Certify = Lubt_lp.Certify
 module Trace = Lubt_obs.Trace
 module Clock = Lubt_obs.Clock
+module Metrics = Lubt_obs.Metrics
+
+let m_rounds =
+  Metrics.counter ~help:"Row-generation rounds across all EBF solves"
+    "lubt_ebf_rounds_total"
+
+(* violated pairs seen per scan, as a count histogram: scan work scales
+   with the violation set, so the distribution shows whether lazy row
+   generation is converging in few fat rounds or many thin ones *)
+let m_scan_violations =
+  Metrics.histogram ~help:"Violated Steiner pairs found per violation scan"
+    ~buckets:(Metrics.Buckets.log ~lo:1.0 ~hi:1e6 ~count:22)
+    "lubt_ebf_scan_violations"
 
 type options = {
   lazy_steiner : bool;
@@ -440,6 +453,7 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
      O(1) LCA path lengths, add the worst, re-optimise (dual simplex) *)
   let round_stats = ref [] in
   let rec loop rounds =
+    Metrics.incr m_rounds;
     let solve_t0 = Clock.now () in
     if expired () then begin
       (* budget gone before this round's solve: report the expiry with
@@ -518,6 +532,9 @@ let solve ?(options = default_options) ?weights (inst : Instance.t) tree =
          done
        with Exit -> ());
       let scan_seconds = Clock.now () -. scan_t0 in
+      if Metrics.enabled () then
+        Metrics.observe m_scan_violations
+          (float_of_int (List.length !violations));
       if Trace.enabled () then
         Trace.complete ~t0:scan_t0 "ebf.scan"
           ~args:

@@ -14,6 +14,8 @@ type entry_delta = {
 type report = {
   r_threshold : float;
   r_abs_floor_ms : float;
+  r_slo_threshold : float;
+  r_slo_floor_ms : float;
   r_deltas : entry_delta list;
   r_only_old : string list;
   r_only_new : string list;
@@ -26,17 +28,23 @@ let noisy_counter name =
   | "phase1_ms" | "phase2_ms" | "dual_ms" -> true
   | _ -> false
 
+let has_suffix name s =
+  let nl = String.length name and sl = String.length s in
+  nl >= sl && String.sub name (nl - sl) sl = s
+
 (* Count- and rate-valued benchmarks (serve_retries_count,
    serve_cache_hit_rate, ...) ride in the [ms_per_run] slot but are
    workload statistics, not timings: their drift is worth reporting,
    but gating on them would fail CI whenever the load mix shifts —
    e.g. a cold CI cache lowering the hit rate. *)
-let counter_entry name =
-  let has_suffix s =
-    let nl = String.length name and sl = String.length s in
-    nl >= sl && String.sub name (nl - sl) sl = s
-  in
-  has_suffix "_count" || has_suffix "_rate"
+let counter_entry name = has_suffix name "_count" || has_suffix name "_rate"
+
+(* Latency-quantile entries (serve_latency_p95, ...) are SLO entries:
+   tail latencies are real service contracts but far noisier than
+   steady-state ms/run, so they gate under their own wider threshold
+   and higher absolute floor. *)
+let slo_entry name =
+  has_suffix name "_p50" || has_suffix name "_p95" || has_suffix name "_p99"
 
 let ( let* ) = Result.bind
 
@@ -47,10 +55,20 @@ let get file what conv j =
   | Some v -> Ok v
   | None -> Error (Printf.sprintf "%s: missing or mistyped %S member" file what)
 
+(* The writer serialises non-finite floats as [null] (JSON has no
+   inf/nan literals), and rate entries are legitimately nan when the
+   statistic is unobservable — e.g. the warm-start hit rate against an
+   external daemon. Read them back as nan; the non-finite-delta guard
+   in [compare] keeps them out of every verdict. *)
+let num_or_null j =
+  match Json.num j with
+  | Some _ as v -> v
+  | None -> if j = Json.Null then Some nan else None
+
 (* one benchmark entry -> (name, ms_per_run, flat counter list) *)
 let parse_entry file j =
   let* name = get file "name" Json.str j in
-  let* ms = get file "ms_per_run" Json.num j in
+  let* ms = get file "ms_per_run" num_or_null j in
   let counters =
     match Json.member "solver" j with
     | Some (Json.Obj fields) ->
@@ -94,7 +112,8 @@ let diff_counters old_cs new_cs =
       | _ -> None)
     old_cs
 
-let compare ?(threshold = 0.10) ?(abs_floor_ms = 0.05) old_json new_json =
+let compare ?(threshold = 0.10) ?(abs_floor_ms = 0.05) ?(slo_threshold = 0.50)
+    ?(slo_floor_ms = 1.0) old_json new_json =
   let* old_entries = parse_bench "old" old_json in
   let* new_entries = parse_bench "new" new_json in
   let find name entries =
@@ -116,6 +135,12 @@ let compare ?(threshold = 0.10) ?(abs_floor_ms = 0.05) old_json new_json =
              never a verdict, and when the baseline is zero (ratio
              meaningless) the sign of the delta alone decides. *)
           let verdict =
+            (* SLO entries gate like timings, under their own wider
+               threshold and higher floor *)
+            let threshold, abs_floor_ms =
+              if slo_entry name then (slo_threshold, slo_floor_ms)
+              else (threshold, abs_floor_ms)
+            in
             if counter_entry name then Unchanged
             else if not (Float.is_finite delta) then Unchanged
             else if Float.abs delta <= abs_floor_ms then Unchanged
@@ -147,6 +172,8 @@ let compare ?(threshold = 0.10) ?(abs_floor_ms = 0.05) old_json new_json =
     {
       r_threshold = threshold;
       r_abs_floor_ms = abs_floor_ms;
+      r_slo_threshold = slo_threshold;
+      r_slo_floor_ms = slo_floor_ms;
       r_deltas = deltas;
       r_only_old = only_old;
       r_only_new = only_new;
@@ -157,10 +184,12 @@ let read_file path =
   | s -> Ok s
   | exception Sys_error e -> Error e
 
-let compare_files ?threshold ?abs_floor_ms old_path new_path =
+let compare_files ?threshold ?abs_floor_ms ?slo_threshold ?slo_floor_ms
+    old_path new_path =
   let* old_json = read_file old_path in
   let* new_json = read_file new_path in
-  compare ?threshold ?abs_floor_ms old_json new_json
+  compare ?threshold ?abs_floor_ms ?slo_threshold ?slo_floor_ms old_json
+    new_json
 
 let regressions r =
   List.filter (fun d -> d.d_verdict = Regression) r.r_deltas
@@ -174,8 +203,10 @@ let verdict_tag = function
 
 let print oc r =
   Printf.fprintf oc
-    "bench diff (threshold %.1f%%, floor %.3f ms): %d benchmarks compared\n"
+    "bench diff (threshold %.1f%%, floor %.3f ms; SLO threshold %.1f%%, \
+     floor %.3f ms): %d benchmarks compared\n"
     (r.r_threshold *. 100.0) r.r_abs_floor_ms
+    (r.r_slo_threshold *. 100.0) r.r_slo_floor_ms
     (List.length r.r_deltas);
   List.iter
     (fun d ->
@@ -186,7 +217,16 @@ let print oc r =
       in
       let tag =
         if counter_entry d.d_name then
-          if d.d_old_ms <> d.d_new_ms then "drift (not gated)" else ""
+          if
+            d.d_old_ms <> d.d_new_ms
+            && not (Float.is_nan d.d_old_ms && Float.is_nan d.d_new_ms)
+          then "drift (not gated)"
+          else ""
+        else if slo_entry d.d_name then
+          match d.d_verdict with
+          | Regression -> "SLO REGRESSION"
+          | Improvement -> "SLO improvement"
+          | Unchanged -> ""
         else verdict_tag d.d_verdict
       in
       Printf.fprintf oc "%-40s %10.3f -> %10.3f ms/run  %s  %s\n"

@@ -21,7 +21,15 @@
     are always [Unchanged] — their drift is printed as
     ["drift (not gated)"] but can never fail the gate, since the
     statistic legitimately shifts with the load mix (a cold cache, a
-    different chaos seed). *)
+    different chaos seed).
+
+    Benchmarks whose name ends in [_p50], [_p95] or [_p99] (the serve
+    latency quantiles, client- and server-side) are {b SLO entries}:
+    tail latencies are service contracts worth gating, but they are
+    far noisier than steady-state ms/run, so they use their own wider
+    relative threshold and higher absolute floor ([slo_threshold],
+    [slo_floor_ms]). An SLO breach is a [Regression] like any other
+    (it fails the gate) and prints as ["SLO REGRESSION"]. *)
 
 type verdict =
   | Regression  (** new ms/run above old by more than the threshold *)
@@ -43,13 +51,16 @@ type entry_delta = {
 type report = {
   r_threshold : float;  (** the gate, as a fraction (0.10 = 10%) *)
   r_abs_floor_ms : float;  (** the absolute-delta floor, milliseconds *)
+  r_slo_threshold : float;  (** the SLO-entry gate, as a fraction *)
+  r_slo_floor_ms : float;  (** the SLO absolute-delta floor, ms *)
   r_deltas : entry_delta list;  (** benchmarks present in both files *)
   r_only_old : string list;  (** benchmarks missing from the new file *)
   r_only_new : string list;  (** benchmarks missing from the old file *)
 }
 
 val compare :
-  ?threshold:float -> ?abs_floor_ms:float -> string -> string ->
+  ?threshold:float -> ?abs_floor_ms:float -> ?slo_threshold:float ->
+  ?slo_floor_ms:float -> string -> string ->
   (report, string) result
 (** [compare old_json new_json] parses two bench-JSON strings and
     diffs them. [threshold] is the relative timing gate (default
@@ -58,11 +69,16 @@ val compare :
     [Unchanged], and when the old entry is zero or non-finite — where
     the ratio degenerates to [inf]/[nan] — the verdict falls back to
     the sign of the absolute delta instead of failing spuriously.
-    [Error] reports a parse or schema problem with the offending file
-    named. *)
+    [slo_threshold] (default [0.50] = 50%) and [slo_floor_ms] (default
+    [1.0]) play the same two roles for SLO entries ([_p50]/[_p95]/
+    [_p99] suffixes). A [null] ms/run (the bench writer's encoding of
+    nan — e.g. an unobservable hit rate against an external daemon)
+    parses as nan and can never produce a verdict. [Error] reports a
+    parse or schema problem with the offending file named. *)
 
 val compare_files :
-  ?threshold:float -> ?abs_floor_ms:float -> string -> string ->
+  ?threshold:float -> ?abs_floor_ms:float -> ?slo_threshold:float ->
+  ?slo_floor_ms:float -> string -> string ->
   (report, string) result
 (** [compare_files old_path new_path] reads and {!compare}s two files. *)
 

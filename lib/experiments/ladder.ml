@@ -13,6 +13,19 @@ module Brbc = Lubt_bst.Brbc
 module Clock = Lubt_obs.Clock
 module Certify = Lubt_lp.Certify
 module Status = Lubt_lp.Status
+module Metrics = Lubt_obs.Metrics
+
+(* which rung answered, as a labelled counter family: the service-level
+   quality mix (how often requests degrade, and to where) in one scrape *)
+let m_rung name =
+  Metrics.counter ~help:"Ladder answers by winning rung"
+    ~labels:[ ("rung", name) ]
+    "lubt_ladder_answers_total"
+
+let m_rung_certified = m_rung "certified"
+let m_rung_uncertified = m_rung "uncertified"
+let m_rung_reduced = m_rung "reduced"
+let m_rung_heuristic = m_rung "heuristic"
 
 type rung = Certified | Uncertified | Reduced | Heuristic
 
@@ -21,6 +34,14 @@ let rung_to_string = function
   | Uncertified -> "uncertified"
   | Reduced -> "reduced"
   | Heuristic -> "heuristic"
+
+let count_rung rung =
+  Metrics.incr
+    (match rung with
+    | Certified -> m_rung_certified
+    | Uncertified -> m_rung_uncertified
+    | Reduced -> m_rung_reduced
+    | Heuristic -> m_rung_heuristic)
 
 type outcome = {
   report : Lubt.report option;
@@ -87,6 +108,7 @@ let heuristic ?(epsilon = 1.0) inst =
     let verified =
       match verify_routed inst routed with Ok () -> true | Error _ -> false
     in
+    count_rung Heuristic;
     Ok
       {
         report = None;
@@ -111,6 +133,7 @@ let solve opts inst tree =
     if opts.base.Ebf.check <> Certify.Off then Certified else Uncertified
   in
   let finish rung report routed =
+    count_rung rung;
     let verified =
       match verify_routed inst routed with Ok () -> true | Error _ -> false
     in

@@ -13,8 +13,53 @@ module Json = Lubt_obs.Json
 module Log = Lubt_obs.Log
 module Trace = Lubt_obs.Trace
 module Clock = Lubt_obs.Clock
+module Metrics = Lubt_obs.Metrics
+module Prometheus = Lubt_obs.Prometheus
 
 module Basis_cache = Lubt_lp.Basis_cache
+
+(* Request-path metrics. [lubt_requests_total] counts every protocol
+   line the daemon answers (including rejections and parse errors);
+   the latency histogram is one family labelled by op. *)
+let m_requests =
+  Metrics.counter ~help:"Protocol requests answered (any outcome)"
+    "lubt_requests_total"
+
+let m_rejected =
+  Metrics.counter ~help:"Requests rejected by admission control"
+    "lubt_serve_rejected_total"
+
+let m_failed =
+  Metrics.counter ~help:"Requests answered with an error"
+    "lubt_serve_failed_total"
+
+let m_degraded =
+  Metrics.counter ~help:"Requests answered by a degraded ladder rung"
+    "lubt_serve_degraded_total"
+
+let m_breaker_trips =
+  Metrics.counter ~help:"Circuit-breaker open transitions"
+    "lubt_serve_breaker_trips_total"
+
+let m_connections =
+  Metrics.counter ~help:"Sessions accepted" "lubt_serve_connections_total"
+
+let m_bytes_in =
+  Metrics.counter ~help:"Bytes read from protocol sessions"
+    "lubt_serve_bytes_read_total"
+
+let m_bytes_out =
+  Metrics.counter ~help:"Bytes written to protocol sessions"
+    "lubt_serve_bytes_written_total"
+
+let m_latency op =
+  Metrics.histogram ~help:"Request wall time in milliseconds by op"
+    ~labels:[ ("op", op) ]
+    "lubt_serve_request_latency_ms"
+
+let m_lat_solve = m_latency "solve"
+let m_lat_eco = m_latency "eco"
+let m_lat_sleep = m_latency "sleep"
 
 type config = {
   socket : string option;
@@ -29,6 +74,7 @@ type config = {
   breaker_cooldown : float;
   chaos : Executor.chaos option;
   cache : Basis_cache.t option;
+  metrics_port : int option;
 }
 
 let default_config =
@@ -45,6 +91,7 @@ let default_config =
     breaker_cooldown = 1.0;
     chaos = None;
     cache = None;
+    metrics_port = None;
   }
 
 type stats = {
@@ -101,6 +148,7 @@ type eco_req = { eq_base : solve_req; eq_edits : Instance.Edit.op list }
 
 type op =
   | Ping
+  | Metrics_dump  (* registry snapshot as JSON *)
   | Sleep of float  (* seconds *)
   | Solve of solve_req
   | Eco of eco_req
@@ -296,13 +344,15 @@ let parse_op j =
     let* edits = parse_edits j in
     Ok (Eco { eq_base = q; eq_edits = edits })
   | Some "ping" -> Ok Ping
+  | Some "metrics" -> Ok Metrics_dump
   | Some "sleep" -> (
     let* ms = mem_num ~what:"ms" j in
     match ms with
     | Some ms when ms >= 0.0 -> Ok (Sleep (ms /. 1e3))
     | Some _ -> Error "\"ms\" must be non-negative"
     | None -> Error "a sleep request needs \"ms\"")
-  | Some op -> Error (Printf.sprintf "unknown op %S (solve|eco|ping|sleep)" op)
+  | Some op ->
+    Error (Printf.sprintf "unknown op %S (solve|eco|ping|metrics|sleep)" op)
 
 (* [Error (id, msg)] echoes the request's own id whenever the line at
    least parsed as JSON, so a client can match its rejection *)
@@ -499,6 +549,46 @@ let execute_eco ~default_time_limit ~cache ~id (e : eco_req) =
     execute_solve ~default_time_limit ~cache ~id
       { q with sq_workload = Inline (edited, Some topology) }
 
+(* The registry snapshot as JSON: one object per sample; histograms
+   carry their raw bucket layout so clients can merge snapshots or
+   take quantiles themselves. These are the same numbers the
+   Prometheus endpoint renders — both read [Metrics.snapshot]. *)
+let metrics_json () =
+  let sample (s : Metrics.sample) =
+    let labels =
+      Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.Metrics.s_labels)
+    in
+    let base = [ ("name", Json.Str s.Metrics.s_name); ("labels", labels) ] in
+    let value =
+      match s.Metrics.s_value with
+      | Metrics.Counter v ->
+        [ ("type", Json.Str "counter"); ("value", Json.Num v) ]
+      | Metrics.Gauge v -> [ ("type", Json.Str "gauge"); ("value", Json.Num v) ]
+      | Metrics.Histogram h ->
+        [
+          ("type", Json.Str "histogram");
+          ( "bounds",
+            Json.Arr
+              (Array.to_list
+                 (Array.map (fun b -> Json.Num b) h.Metrics.h_bounds)) );
+          ( "counts",
+            Json.Arr
+              (Array.to_list
+                 (Array.map
+                    (fun c -> Json.Num (float_of_int c))
+                    h.Metrics.h_counts)) );
+          ("sum", Json.Num h.Metrics.h_sum);
+          ("count", Json.Num (float_of_int h.Metrics.h_count));
+        ]
+    in
+    Json.Obj (base @ value)
+  in
+  Json.Arr (List.map sample (Metrics.snapshot ()))
+
+let metrics_response ~id =
+  Printf.sprintf "{\"id\": %s, \"ok\": true, \"metrics\": %s}" id
+    (Json.to_string (metrics_json ()))
+
 (* Execute one parsed request. Returns (failed, degraded, response
    line); never raises — an escaping exception here would otherwise eat
    a response and leave its client hanging. *)
@@ -507,6 +597,7 @@ let execute ~default_time_limit ~cache (rq : request) =
   match rq.rq_op with
   | Ping ->
     (false, false, Printf.sprintf "{\"id\": %s, \"ok\": true, \"pong\": true}" id)
+  | Metrics_dump -> (false, false, metrics_response ~id)
   | Sleep s ->
     let t0 = Clock.now () in
     Unix.sleepf s;
@@ -565,16 +656,24 @@ type conn = {
    queue itself keeps workers from ever blocking in [Unix.write]. *)
 let max_out_bytes = 8 * 1024 * 1024
 
-(* Completed-request latencies for the admission controller, most
-   recent [lat_capacity] of them. Written by worker domains, read by
-   the select loop's breaker check: one small lock, held for a few
-   array slots. *)
-let lat_capacity = 128
+(* Completed-request latencies for the admission controller live in a
+   rolling log-bucketed histogram: two epochs of bucket counts, rotated
+   every [lat_epoch] records, approximate a window of the most recent
+   128–256 requests. Recording is one bucket increment and the breaker's
+   p95 is a cumulative walk over the buckets — O(buckets) under the
+   lock, where the old sample ring sorted the window (O(n log n)) on
+   every admission check. The quantile agrees with the nearest-rank
+   percentile of the raw window to within one bucket width (pinned by
+   the metrics test suite). *)
+let lat_epoch = 128
+
+let lat_bounds = Metrics.Buckets.log ~lo:0.01 ~hi:10_000.0 ~count:28
 
 type server = {
   cfg : config;
   executor : Executor.t;
   listeners : (Unix.file_descr * string) list;  (* fd, description *)
+  metrics_listener : Unix.file_descr option;  (* the --metrics-port socket *)
   stop_r : Unix.file_descr;
   stop_w : Unix.file_descr;
   stopped : bool Atomic.t;
@@ -585,26 +684,40 @@ type server = {
   s_degraded : int Atomic.t;
   s_breaker_trips : int Atomic.t;
   lat_lock : Mutex.t;
-  lat_ring : float array;  (* wall_ms of completed requests *)
+  lat_cur : int array;  (* bucket counts, current epoch *)
+  lat_prev : int array;  (* bucket counts, previous epoch *)
+  mutable lat_cur_n : int;  (* records in the current epoch *)
   mutable lat_count : int;  (* total ever recorded *)
   mutable breaker_until : float;  (* loop-thread only; Clock.now axis *)
 }
 
 let record_latency server wall_ms =
   Mutex.protect server.lat_lock (fun () ->
-      server.lat_ring.(server.lat_count mod lat_capacity) <- wall_ms;
+      if server.lat_cur_n >= lat_epoch then begin
+        Array.blit server.lat_cur 0 server.lat_prev 0
+          (Array.length server.lat_cur);
+        Array.fill server.lat_cur 0 (Array.length server.lat_cur) 0;
+        server.lat_cur_n <- 0
+      end;
+      let i = Metrics.Buckets.index lat_bounds wall_ms in
+      server.lat_cur.(i) <- server.lat_cur.(i) + 1;
+      server.lat_cur_n <- server.lat_cur_n + 1;
       server.lat_count <- server.lat_count + 1)
 
-(* p95 over the retained window; NaN while the window is empty (a NaN
+(* p95 over the rolling window; NaN while the window is empty (a NaN
    never trips the [>=] threshold, so a cold server admits). *)
 let p95_ms server =
   Mutex.protect server.lat_lock (fun () ->
-      let n = min server.lat_count lat_capacity in
-      if n = 0 then nan
+      if server.lat_count = 0 then nan
       else begin
-        let a = Array.sub server.lat_ring 0 n in
-        Array.sort compare a;
-        a.(min (n - 1) (int_of_float (ceil (0.95 *. float_of_int n)) - 1))
+        let counts =
+          Array.init (Array.length server.lat_cur) (fun i ->
+              server.lat_cur.(i)
+              + (if server.lat_count > server.lat_cur_n then
+                   server.lat_prev.(i)
+                 else 0))
+        in
+        Metrics.Buckets.quantile ~bounds:lat_bounds ~counts 0.95
       end)
 
 (* The circuit breaker: called on the select loop before submitting a
@@ -623,6 +736,7 @@ let breaker_check server =
     if queue_trip || p95_trip then begin
       server.breaker_until <- now +. cfg.breaker_cooldown;
       Atomic.incr server.s_breaker_trips;
+      Metrics.incr m_breaker_trips;
       Log.warn
         ~fields:
           [
@@ -722,20 +836,20 @@ let bump counter = Atomic.incr counter
    daemon runs cacheless so the health schema stays stable. *)
 let cache_counters server =
   match server.cfg.cache with
-  | None -> (0, 0)
+  | None -> (0, 0, 0)
   | Some c ->
     let s = Basis_cache.stats c in
-    (s.Basis_cache.hits, s.Basis_cache.misses)
+    (s.Basis_cache.hits, s.Basis_cache.misses, s.Basis_cache.rejects)
 
 let health_response server ~id =
   let ex = server.executor in
-  let cache_hits, cache_misses = cache_counters server in
+  let cache_hits, cache_misses, cache_rejects = cache_counters server in
   Printf.sprintf
     "{\"id\": %s, \"ok\": true, \"pong\": true, \"health\": {\"pending\": \
      %d, \"running\": %d, \"workers\": %d, \"restarts\": %d, \
      \"watchdog_fires\": %d, \"breaker_open\": %b, \"p95_ms\": %s, \
      \"served\": %d, \"degraded\": %d, \"rejected\": %d, \
-     \"cache_hits\": %d, \"cache_misses\": %d}}"
+     \"cache_hits\": %d, \"cache_misses\": %d, \"cache_rejects\": %d}}"
     id (Executor.pending ex) (Executor.running ex) (Executor.workers ex)
     (Executor.restarts ex)
     (Executor.watchdog_fires ex)
@@ -744,17 +858,20 @@ let health_response server ~id =
     (Atomic.get server.s_served)
     (Atomic.get server.s_degraded)
     (Atomic.get server.s_rejected)
-    cache_hits cache_misses
+    cache_hits cache_misses cache_rejects
 
 (* Dispatch one request line. Cheap ops (ping, malformed, breaker and
    backpressure rejections, the inline degraded answer) are handled on
    the session thread; solves and sleeps go to the worker pool. *)
 let dispatch server conn line =
-  if String.trim line <> "" then
+  if String.trim line <> "" then begin
+    (* every answered protocol line, whatever its outcome *)
+    Metrics.incr m_requests;
     match parse_request line with
     | Error (id, msg) ->
       bump server.s_served;
       bump server.s_failed;
+      Metrics.incr m_failed;
       Log.warn
         ~fields:[ ("conn", Trace.Int conn.c_id) ]
         "bad request: %s" msg;
@@ -762,6 +879,11 @@ let dispatch server conn line =
     | Ok { rq_op = Ping; rq_id; _ } ->
       bump server.s_served;
       ignore (write_line server conn (health_response server ~id:rq_id))
+    | Ok { rq_op = Metrics_dump; rq_id; _ } ->
+      (* cheap like ping: a snapshot merge over a handful of blocks,
+         answered on the session thread so it works under saturation *)
+      bump server.s_served;
+      ignore (write_line server conn (metrics_response ~id:rq_id))
     | Ok rq ->
       let id_text = rq.rq_id_text in
       let breaker =
@@ -770,11 +892,12 @@ let dispatch server conn line =
            control covers both; ping stays exempt — it is the health
            probe clients use to decide when to retry *)
         | Solve _ | Eco _ | Sleep _ -> breaker_check server
-        | Ping -> None
+        | Ping | Metrics_dump -> None
       in
       (match breaker with
       | Some wait_s ->
         bump server.s_rejected;
+        Metrics.incr m_rejected;
         Log.warn
           ~fields:[ ("conn", Trace.Int conn.c_id); ("req", Trace.Str id_text) ]
           "rejected: breaker_open";
@@ -822,13 +945,23 @@ let dispatch server conn line =
                   if won then begin
                     let wall_ms = (Clock.now () -. t0) *. 1e3 in
                     bump server.s_served;
-                    if failed then bump server.s_failed;
+                    if failed then begin
+                      bump server.s_failed;
+                      Metrics.incr m_failed
+                    end;
                     if degraded then begin
                       bump server.s_degraded;
+                      Metrics.incr m_degraded;
                       if Trace.enabled () then
                         Trace.instant "serve.degraded"
                           ~args:[ ("req", Trace.Str id_text) ]
                     end;
+                    Metrics.observe
+                      (match rq.rq_op with
+                      | Eco _ -> m_lat_eco
+                      | Sleep _ -> m_lat_sleep
+                      | _ -> m_lat_solve)
+                      wall_ms;
                     record_latency server wall_ms;
                     ignore (write_line server conn resp);
                     Log.info
@@ -858,6 +991,7 @@ let dispatch server conn line =
               in
               bump server.s_served;
               bump server.s_failed;
+              Metrics.incr m_failed;
               Log.warn
                 ~fields:
                   [ ("conn", Trace.Int conn.c_id); ("req", Trace.Str id_text) ]
@@ -897,9 +1031,13 @@ let dispatch server conn line =
               (match degraded_inline with
               | Some (failed, degraded, resp) ->
                 bump server.s_served;
-                if failed then bump server.s_failed;
+                if failed then begin
+                  bump server.s_failed;
+                  Metrics.incr m_failed
+                end;
                 if degraded then begin
                   bump server.s_degraded;
+                  Metrics.incr m_degraded;
                   if Trace.enabled () then
                     Trace.instant "serve.degraded"
                       ~args:[ ("req", Trace.Str id_text) ]
@@ -914,6 +1052,7 @@ let dispatch server conn line =
                 ignore (enqueue_locked conn resp)
               | None ->
                 bump server.s_rejected;
+                Metrics.incr m_rejected;
                 let code, msg =
                   match reject with
                   | Executor.Overloaded depth ->
@@ -933,6 +1072,7 @@ let dispatch server conn line =
                 ignore
                   (enqueue_locked conn (error_response ~id:rq.rq_id ~code msg)))
           end))
+  end
 
 (* Feed freshly-read bytes through the line splitter. *)
 let feed server conn chunk =
@@ -989,10 +1129,38 @@ let bind_listeners cfg =
     cleanup ();
     Error (Printf.sprintf "serve: bad host address: %s" msg)
 
+(* The optional Prometheus listener is bound separately from the
+   protocol listeners: it is plain HTTP, never mixes with the JSON-lines
+   protocol, and its absence must not stop the daemon from serving. *)
+let bind_metrics_listener cfg =
+  match cfg.metrics_port with
+  | None -> Ok None
+  | Some port -> (
+    try
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, port));
+      Unix.listen fd 16;
+      Ok (Some fd)
+    with
+    | Unix.Unix_error (e, fn, arg) ->
+      Error
+        (Printf.sprintf "serve: metrics %s(%s): %s" fn arg
+           (Unix.error_message e))
+    | Failure msg -> Error (Printf.sprintf "serve: bad host address: %s" msg))
+
 let create cfg =
   match bind_listeners cfg with
   | Error _ as e -> e
   | Ok listeners ->
+  match bind_metrics_listener cfg with
+  | Error msg ->
+    List.iter (fun (fd, _) -> try Unix.close fd with _ -> ()) listeners;
+    Error msg
+  | Ok metrics_listener ->
+    (* the daemon always keeps its own metrics hot: the registry is the
+       source for both the [metrics] op and the Prometheus endpoint *)
+    Metrics.enable ();
     let stop_r, stop_w = Unix.pipe () in
     (* wake-ups must never block a worker: a full pipe already means a
        wake-up is pending *)
@@ -1007,6 +1175,7 @@ let create cfg =
         cfg;
         executor;
         listeners;
+        metrics_listener;
         stop_r;
         stop_w;
         stopped = Atomic.make false;
@@ -1017,7 +1186,9 @@ let create cfg =
         s_degraded = Atomic.make 0;
         s_breaker_trips = Atomic.make 0;
         lat_lock = Mutex.create ();
-        lat_ring = Array.make lat_capacity 0.0;
+        lat_cur = Array.make (Array.length lat_bounds + 1) 0;
+        lat_prev = Array.make (Array.length lat_bounds + 1) 0;
+        lat_cur_n = 0;
         lat_count = 0;
         breaker_until = neg_infinity;
       }
@@ -1031,6 +1202,29 @@ let install_signal_handlers server =
   let handle = Sys.Signal_handle (fun _ -> stop server) in
   Sys.set_signal Sys.sigterm handle;
   Sys.set_signal Sys.sigint handle
+
+(* Minimal HTTP handling for the Prometheus endpoint: read one request
+   until the header terminator, answer a single GET, close. Runs
+   entirely on the loop thread over non-blocking sockets — a scraper
+   can never stall the protocol sessions. *)
+type http_conn = {
+  hc_fd : Unix.file_descr;
+  hc_in : Buffer.t;
+  mutable hc_out : string;
+  mutable hc_off : int;
+  mutable hc_replying : bool;
+}
+
+let http_response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+     Connection: close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
 
 let run server =
   (* a client hanging up mid-response must be an EPIPE, not a fatal
@@ -1047,7 +1241,16 @@ let run server =
           ]
         "listening on %s" desc)
     server.listeners;
+  (match server.metrics_listener with
+  | Some _ ->
+    Log.info
+      ~fields:
+        [ ("port", Trace.Int (Option.value ~default:0 server.cfg.metrics_port)) ]
+      "metrics endpoint listening on tcp:%s:%d" server.cfg.host
+      (Option.value ~default:0 server.cfg.metrics_port)
+  | None -> ());
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  let http_conns : (Unix.file_descr, http_conn) Hashtbl.t = Hashtbl.create 4 in
   let next_conn_id = ref 0 in
   let buf = Bytes.create 65536 in
   let accept_from lfd =
@@ -1057,6 +1260,7 @@ let run server =
       Unix.set_nonblock fd;
       incr next_conn_id;
       Atomic.incr server.s_connections;
+      Metrics.incr m_connections;
       Log.debug ~fields:[ ("conn", Trace.Int !next_conn_id) ] "session open";
       Hashtbl.replace conns fd
         {
@@ -1083,7 +1287,9 @@ let run server =
       if String.trim tail <> "" then dispatch server conn tail;
       Mutex.protect conn.c_lock (fun () ->
           if conn.c_state = Reading then conn.c_state <- Draining)
-    | n -> feed server conn (Bytes.sub_string buf 0 n)
+    | n ->
+      Metrics.incr m_bytes_in ~by:(float_of_int n);
+      feed server conn (Bytes.sub_string buf 0 n)
     | exception
         Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
       ->
@@ -1105,6 +1311,7 @@ let run server =
               let len = String.length s - conn.c_out_off in
               match Unix.write_substring conn.c_fd s conn.c_out_off len with
               | w ->
+                Metrics.incr m_bytes_out ~by:(float_of_int w);
                 conn.c_out_bytes <- conn.c_out_bytes - w;
                 if w = len then begin
                   ignore (Queue.pop conn.c_out);
@@ -1124,6 +1331,75 @@ let run server =
                 kill_conn_locked conn)
           in
           go ())
+  in
+  let close_http hc =
+    Hashtbl.remove http_conns hc.hc_fd;
+    try Unix.close hc.hc_fd with Unix.Unix_error _ -> ()
+  in
+  let accept_metrics lfd =
+    match Unix.accept lfd with
+    | exception Unix.Unix_error _ -> ()
+    | fd, _addr ->
+      Unix.set_nonblock fd;
+      Hashtbl.replace http_conns fd
+        {
+          hc_fd = fd;
+          hc_in = Buffer.create 256;
+          hc_out = "";
+          hc_off = 0;
+          hc_replying = false;
+        }
+  in
+  let http_reply hc =
+    let request = Buffer.contents hc.hc_in in
+    let first_line =
+      match String.index_opt request '\n' with
+      | Some i -> String.trim (String.sub request 0 i)
+      | None -> String.trim request
+    in
+    let response =
+      match String.split_on_char ' ' first_line with
+      | [ "GET"; ("/metrics" | "/"); _ ] | [ "GET"; ("/metrics" | "/") ] ->
+        http_response ~status:"200 OK"
+          ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+          (Prometheus.render (Metrics.snapshot ()))
+      | "GET" :: _ ->
+        http_response ~status:"404 Not Found" ~content_type:"text/plain"
+          "not found\n"
+      | _ ->
+        http_response ~status:"405 Method Not Allowed"
+          ~content_type:"text/plain" "only GET is supported\n"
+    in
+    hc.hc_out <- response;
+    hc.hc_replying <- true
+  in
+  let read_http hc =
+    match Unix.read hc.hc_fd buf 0 (Bytes.length buf) with
+    | 0 -> if not hc.hc_replying then close_http hc
+    | n ->
+      Buffer.add_subbytes hc.hc_in buf 0 n;
+      let s = Buffer.contents hc.hc_in in
+      if contains_sub s "\r\n\r\n" || contains_sub s "\n\n" then http_reply hc
+      else if Buffer.length hc.hc_in > 8192 then
+        (* header flood: not a scraper we want to talk to *)
+        close_http hc
+    | exception
+        Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      ->
+      ()
+    | exception Unix.Unix_error _ -> close_http hc
+  in
+  let write_http hc =
+    let len = String.length hc.hc_out - hc.hc_off in
+    match Unix.write_substring hc.hc_fd hc.hc_out hc.hc_off len with
+    | w ->
+      hc.hc_off <- hc.hc_off + w;
+      if hc.hc_off >= String.length hc.hc_out then close_http hc
+    | exception
+        Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      ->
+      ()
+    | exception Unix.Unix_error _ -> close_http hc
   in
   (* Close and forget a session. Closing here — and only here — keeps
      the invariant that a descriptor in the select sets is alive. *)
@@ -1159,6 +1435,9 @@ let run server =
     if Atomic.get server.stopped then ()
     else begin
       let listener_fds = List.map fst server.listeners in
+      let metrics_fds =
+        match server.metrics_listener with Some fd -> [ fd ] | None -> []
+      in
       let read_fds, write_fds =
         Hashtbl.fold
           (fun fd conn (rs, ws) ->
@@ -1172,9 +1451,15 @@ let run server =
                 (rs, ws)))
           conns ([], [])
       in
+      let read_fds, write_fds =
+        Hashtbl.fold
+          (fun fd hc (rs, ws) ->
+            if hc.hc_replying then (rs, fd :: ws) else (fd :: rs, ws))
+          http_conns (read_fds, write_fds)
+      in
       match
         Unix.select
-          ((server.stop_r :: listener_fds) @ read_fds)
+          ((server.stop_r :: listener_fds) @ metrics_fds @ read_fds)
           write_fds [] (-1.0)
       with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
@@ -1199,16 +1484,23 @@ let run server =
               (try ignore (Unix.read server.stop_r buf 0 512)
                with Unix.Unix_error _ -> ())
             else if List.mem fd listener_fds then accept_from fd
+            else if List.mem fd metrics_fds then accept_metrics fd
             else
               match Hashtbl.find_opt conns fd with
               | Some conn -> read_from conn
-              | None -> ())
+              | None -> (
+                match Hashtbl.find_opt http_conns fd with
+                | Some hc -> read_http hc
+                | None -> ()))
           ready_r;
         List.iter
           (fun fd ->
             match Hashtbl.find_opt conns fd with
             | Some conn -> flush_conn conn
-            | None -> ())
+            | None -> (
+              match Hashtbl.find_opt http_conns fd with
+              | Some hc -> write_http hc
+              | None -> ()))
           ready_w;
         loop ()
     end
@@ -1219,6 +1511,11 @@ let run server =
      enqueued (bounded by a send timeout — a client that stopped
      reading cannot wedge shutdown), then tear the sessions down *)
   List.iter (fun (fd, _) -> try Unix.close fd with _ -> ()) server.listeners;
+  (match server.metrics_listener with
+  | Some fd -> ( try Unix.close fd with _ -> ())
+  | None -> ());
+  Hashtbl.iter (fun fd _ -> try Unix.close fd with _ -> ()) http_conns;
+  Hashtbl.reset http_conns;
   (match server.cfg.socket with Some p -> unlink_quiet p | None -> ());
   (* read the supervision counters before the executor is torn down;
      the drain itself may still add restarts, so read them after *)
@@ -1255,7 +1552,7 @@ let run server =
     conns;
   (try Unix.close server.stop_r with _ -> ());
   (try Unix.close server.stop_w with _ -> ());
-  let cache_hits, cache_misses = cache_counters server in
+  let cache_hits, cache_misses, _ = cache_counters server in
   let stats =
     {
       connections = Atomic.get server.s_connections;

@@ -24,8 +24,10 @@
       (default [null]);
     - [op] — ["solve"] (default), ["eco"] (an incremental re-solve: a
       solve-shaped request plus an [edits] array, see below), ["ping"],
-      or ["sleep"] (a load-testing aid; occupies a worker for [ms]
-      milliseconds);
+      ["metrics"] (a JSON dump of the daemon's {!Lubt_obs.Metrics}
+      registry snapshot — the same data the Prometheus endpoint
+      renders), or ["sleep"] (a load-testing aid; occupies a worker for
+      [ms] milliseconds);
     - workload — either [instance] (the {!Lubt_data.Io} instance text,
       with optional [topology] tree text; the baseline router produces
       a topology when absent) or [bench] (a {!Lubt_data.Benchmarks}
@@ -104,8 +106,25 @@
     live worker counts, supervision counters ([restarts],
     [watchdog_fires]), breaker state, the served/degraded/rejected
     totals and the warm-start cache counters ([cache_hits],
-    [cache_misses]; zeros when the daemon runs cacheless) — so clients
-    can make admission decisions without a separate endpoint.
+    [cache_misses], [cache_rejects]; zeros when the daemon runs
+    cacheless) — so clients can make admission decisions without a
+    separate endpoint.
+
+    {2 Metrics}
+
+    The daemon enables the {!Lubt_obs.Metrics} registry and counts its
+    request path into it: requests by outcome, per-op latency
+    histograms ([lubt_serve_request_latency_ms]), breaker trips, bytes
+    in/out, plus whatever the solver layers record (simplex work
+    counters, EBF rounds, executor supervision, warm-start cache
+    outcomes). Two exports read the same registry snapshot: the
+    ["metrics"] protocol op (JSON), and — with [metrics_port] set — a
+    Prometheus text-exposition endpoint ([GET /metrics]) on a plain
+    HTTP listener handled entirely on the accept loop, so a scraper can
+    never occupy a worker. The circuit breaker's p95 is itself read
+    from a rolling two-epoch latency histogram over the same bucket
+    grid (O(buckets) per admission check rather than sorting a window
+    under the lock).
 
     {2 Scheduling and observability}
 
@@ -152,6 +171,10 @@ type config = {
           mutex-guarded, so the executor's worker domains share it
           safely; give it a disk tier ({!Lubt_lp.Basis_cache.create})
           to survive daemon restarts. *)
+  metrics_port : int option;
+      (** Prometheus exposition port (on [host]); default [None] = no
+          metrics listener. The JSON-lines [metrics] op works either
+          way. *)
 }
 
 val default_config : config

@@ -37,6 +37,36 @@ module Fingerprint = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Metrics = Lubt_obs.Metrics
+
+(* lookup outcomes as one labelled counter family, mirroring
+   [Ebf.cache_outcome]; rejects get their own total because they can
+   also come from the caller ([reject]) after a lookup already counted *)
+let m_lookup outcome =
+  Metrics.counter ~help:"Warm-basis cache lookups by outcome"
+    ~labels:[ ("outcome", outcome) ]
+    "lubt_basis_cache_lookups_total"
+
+let m_hit_exact = m_lookup "hit_exact"
+let m_hit_parent = m_lookup "hit_parent"
+let m_miss = m_lookup "miss"
+
+let m_rejects =
+  Metrics.counter ~help:"Warm-basis snapshots rejected as unusable"
+    "lubt_basis_cache_rejects_total"
+
+let m_stores =
+  Metrics.counter ~help:"Warm-basis snapshots stored"
+    "lubt_basis_cache_stores_total"
+
+let m_evictions =
+  Metrics.counter ~help:"Warm-basis LRU evictions"
+    "lubt_basis_cache_evictions_total"
+
+(* ------------------------------------------------------------------ *)
 (* Entries                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -270,7 +300,8 @@ let disk_entry_locked t path =
     match parse_entry text with
     | Some e -> Some e
     | None ->
-      t.s_rejects <- t.s_rejects + 1;
+      (t.s_rejects <- t.s_rejects + 1;
+       Metrics.incr m_rejects);
       Lubt_obs.Log.warn
         ~fields:[ ("path", Lubt_obs.Trace.Str path) ]
         "basis cache: rejected corrupt snapshot";
@@ -303,7 +334,8 @@ let evict_locked t =
     match !victim with
     | Some (key, _) ->
       Hashtbl.remove t.table key;
-      t.s_evictions <- t.s_evictions + 1
+      t.s_evictions <- t.s_evictions + 1;
+      Metrics.incr m_evictions
     | None -> ()
   end
 
@@ -319,6 +351,7 @@ let insert_locked t e =
 let store t e =
   locked t (fun () ->
       t.s_stores <- t.s_stores + 1;
+      Metrics.incr m_stores;
       insert_locked t e);
   (* disk writes happen outside the lock: the content is immutable and a
      torn race between two writers of the same key is resolved by the
@@ -348,13 +381,15 @@ let find t ~structure ~key =
             | Some _ ->
               (* a snapshot stored under the wrong name: fingerprint and
                  content disagree, never serve it *)
-              t.s_rejects <- t.s_rejects + 1;
+              (t.s_rejects <- t.s_rejects + 1;
+       Metrics.incr m_rejects);
               None
             | None -> None))
       in
       match exact with
       | Some e ->
         t.s_hits <- t.s_hits + 1;
+        Metrics.incr m_hit_exact;
         Exact e
       | None -> (
         let parent_key =
@@ -387,20 +422,24 @@ let find t ~structure ~key =
                   insert_locked t e;
                   Some e
                 | Some _ ->
-                  t.s_rejects <- t.s_rejects + 1;
+                  (t.s_rejects <- t.s_rejects + 1;
+       Metrics.incr m_rejects);
                   None
                 | None -> None)))
         in
         match parent with
         | Some e ->
           t.s_hits <- t.s_hits + 1;
+          Metrics.incr m_hit_parent;
           Parent e
         | None ->
           t.s_misses <- t.s_misses + 1;
+          Metrics.incr m_miss;
           Miss))
 
 let reject t ~reason =
-  locked t (fun () -> t.s_rejects <- t.s_rejects + 1);
+  locked t (fun () -> (t.s_rejects <- t.s_rejects + 1;
+       Metrics.incr m_rejects));
   Lubt_obs.Log.warn
     ~fields:[ ("reason", Lubt_obs.Trace.Str reason) ]
     "basis cache: snapshot rejected by caller"

@@ -241,6 +241,39 @@ let tr_start () = if Trace.enabled () then Clock.now () else 0.0
 
 let tr_stop t0 name = if Trace.enabled () then Trace.complete ~t0 name
 
+module Metrics = Lubt_obs.Metrics
+
+(* Aggregate solver metrics, recorded once per [solve] from the stats
+   counters the engine maintains anyway — the per-pivot loops stay
+   untouched, so the metrics registry adds nothing to the pivot path. *)
+let m_solves =
+  Metrics.counter ~help:"Simplex solve calls" "lubt_simplex_solves_total"
+
+let m_iterations =
+  Metrics.counter ~help:"Simplex pivots across all phases"
+    "lubt_simplex_iterations_total"
+
+let m_bound_flips =
+  Metrics.counter ~help:"Dual bound flips" "lubt_simplex_bound_flips_total"
+
+let m_recoveries =
+  Metrics.counter ~help:"Numerical-recovery ladder stages consumed"
+    "lubt_simplex_recoveries_total"
+
+let m_ftrans =
+  Metrics.counter ~help:"Forward basis solves" "lubt_simplex_ftrans_total"
+
+let m_btrans =
+  Metrics.counter ~help:"Transposed basis solves" "lubt_simplex_btrans_total"
+
+let m_hyper_ftrans =
+  Metrics.counter ~help:"FTRANs answered by the hyper-sparse path"
+    "lubt_simplex_hyper_sparse_ftrans_total"
+
+let m_hyper_btrans =
+  Metrics.counter ~help:"BTRANs answered by the hyper-sparse path"
+    "lubt_simplex_hyper_sparse_btrans_total"
+
 (* ------------------------------------------------------------------ *)
 (* Small accessors                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -1639,9 +1672,32 @@ let solve t =
   t.deadline <-
     (if t.time_budget = infinity then infinity
      else Clock.now () +. t.time_budget);
+  let rec_total t =
+    t.st.s_rec_refactor + t.st.s_rec_switch + t.st.s_rec_tol
+    + t.st.s_rec_perturb + t.st.s_rec_tableau
+  in
+  (* entry counters, so re-solves on a live engine report deltas *)
+  let m0_iters = t.iters
+  and m0_flips = t.st.s_flips
+  and m0_ftrans = t.ops.Basis.ftrans
+  and m0_btrans = t.ops.Basis.btrans
+  and m0_hftrans = t.ops.Basis.hyper_ftrans
+  and m0_hbtrans = t.ops.Basis.hyper_btrans
+  and m0_rec = rec_total t in
   let finish status =
     t.solving <- false;
     t.last_status <- status;
+    if Metrics.enabled () then begin
+      let d c0 c1 = float_of_int (c1 - c0) in
+      Metrics.incr m_solves;
+      Metrics.incr ~by:(d m0_iters t.iters) m_iterations;
+      Metrics.incr ~by:(d m0_flips t.st.s_flips) m_bound_flips;
+      Metrics.incr ~by:(d m0_ftrans t.ops.Basis.ftrans) m_ftrans;
+      Metrics.incr ~by:(d m0_btrans t.ops.Basis.btrans) m_btrans;
+      Metrics.incr ~by:(d m0_hftrans t.ops.Basis.hyper_ftrans) m_hyper_ftrans;
+      Metrics.incr ~by:(d m0_hbtrans t.ops.Basis.hyper_btrans) m_hyper_btrans;
+      Metrics.incr ~by:(d m0_rec (rec_total t)) m_recoveries
+    end;
     status
   in
   let run () =

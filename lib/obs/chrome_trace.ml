@@ -41,7 +41,21 @@ let metadata ~pid name tid value =
       ("args", Json.Obj [ ("name", Json.Str value) ]);
     ]
 
-let to_json ?pid (events : Trace.event list) =
+(* A truncated recording must say so in-band: viewers show metadata
+   events in the trace header, so a wrapped ring is visible instead of
+   silently short. *)
+let dropped_metadata ~pid count =
+  Json.Obj
+    [
+      ("name", Json.Str "trace_dropped_events");
+      ("ph", Json.Str "M");
+      ("pid", Json.Num (float_of_int pid));
+      ("tid", Json.Num 0.0);
+      ("ts", Json.Num 0.0);
+      ("args", Json.Obj [ ("dropped", Json.Num (float_of_int count)) ]);
+    ]
+
+let to_json ?pid ?(dropped = 0) (events : Trace.event list) =
   let pid = match pid with Some p -> p | None -> Unix.getpid () in
   let t_base =
     List.fold_left (fun acc (e : Trace.event) -> min acc e.ts) infinity events
@@ -58,6 +72,9 @@ let to_json ?pid (events : Trace.event list) =
            metadata ~pid "thread_name" tid (Printf.sprintf "domain %d" tid))
          tids
   in
+  let meta =
+    if dropped > 0 then meta @ [ dropped_metadata ~pid dropped ] else meta
+  in
   let body = List.map (event_to_json ~pid ~t_base) events in
   Json.Obj
     [
@@ -65,12 +82,13 @@ let to_json ?pid (events : Trace.event list) =
       ("displayTimeUnit", Json.Str "ms");
     ]
 
-let to_string ?pid events = Json.to_string (to_json ?pid events)
+let to_string ?pid ?dropped events =
+  Json.to_string (to_json ?pid ?dropped events)
 
-let write ?pid path events =
+let write ?pid ?dropped path events =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc (to_string ?pid events);
+      output_string oc (to_string ?pid ?dropped events);
       output_char oc '\n')

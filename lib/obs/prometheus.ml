@@ -1,0 +1,103 @@
+let escape escape_quote s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '"' when escape_quote -> Buffer.add_string buf "\\\""
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_label_value s = escape true s
+let escape_help s = escape false s
+
+(* Prometheus accepts Go-style float tokens; integers (the common case
+   for counters and bucket counts) render without an exponent or
+   fractional noise. *)
+let number f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let label_text labels =
+  match labels with
+  | [] -> ""
+  | ls ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+           ls)
+    ^ "}"
+
+let type_name (s : Metrics.sample) =
+  match s.Metrics.s_value with
+  | Metrics.Counter _ -> "counter"
+  | Metrics.Gauge _ -> "gauge"
+  | Metrics.Histogram _ -> "histogram"
+
+let render_sample buf (s : Metrics.sample) =
+  let name = s.Metrics.s_name in
+  let labels = s.Metrics.s_labels in
+  match s.Metrics.s_value with
+  | Metrics.Counter v | Metrics.Gauge v ->
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s %s\n" name (label_text labels) (number v))
+  | Metrics.Histogram h ->
+    let cum = ref 0 in
+    let bucket le count =
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket%s %d\n" name
+           (label_text (labels @ [ ("le", le) ]))
+           count)
+    in
+    Array.iteri
+      (fun i bound ->
+        cum := !cum + h.Metrics.h_counts.(i);
+        bucket (number bound) !cum)
+      h.Metrics.h_bounds;
+    cum := !cum + h.Metrics.h_counts.(Array.length h.Metrics.h_bounds);
+    bucket "+Inf" !cum;
+    Buffer.add_string buf
+      (Printf.sprintf "%s_sum%s %s\n" name (label_text labels)
+         (number h.Metrics.h_sum));
+    Buffer.add_string buf
+      (Printf.sprintf "%s_count%s %d\n" name (label_text labels)
+         h.Metrics.h_count)
+
+let render samples =
+  (* The exposition format requires every series of one metric name to
+     sit under a single # HELP/# TYPE header, so group by name first
+     (stable, first-appearance order). *)
+  let names =
+    List.fold_left
+      (fun acc (s : Metrics.sample) ->
+        if List.mem s.Metrics.s_name acc then acc else s.Metrics.s_name :: acc)
+      [] samples
+    |> List.rev
+  in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun name ->
+      let group =
+        List.filter (fun (s : Metrics.sample) -> s.Metrics.s_name = name)
+          samples
+      in
+      match group with
+      | [] -> ()
+      | first :: _ ->
+        if first.Metrics.s_help <> "" then
+          Buffer.add_string buf
+            (Printf.sprintf "# HELP %s %s\n" name
+               (escape_help first.Metrics.s_help));
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" name (type_name first));
+        List.iter (render_sample buf) group)
+    names;
+  Buffer.contents buf

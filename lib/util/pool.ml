@@ -99,6 +99,29 @@ module Executor = struct
   module Log = Lubt_obs.Log
   module Trace = Lubt_obs.Trace
   module Clock = Lubt_obs.Clock
+  module Metrics = Lubt_obs.Metrics
+
+  (* registry handles: registration is a one-time lookup; recording is
+     behind the metrics enabled flag and costs one atomic load when off *)
+  let m_queue_depth =
+    Metrics.gauge ~help:"Tasks queued in the executor"
+      "lubt_executor_queue_depth"
+
+  let m_restarts =
+    Metrics.counter ~help:"Worker domains respawned after a crash or deposal"
+      "lubt_executor_restarts_total"
+
+  let m_watchdog_fires =
+    Metrics.counter ~help:"Watchdog hard-deadline fires"
+      "lubt_executor_watchdog_fires_total"
+
+  let m_task_errors =
+    Metrics.counter ~help:"Executor tasks whose run raised"
+      "lubt_executor_task_errors_total"
+
+  let m_task_latency =
+    Metrics.histogram ~help:"Executor task wall time in milliseconds"
+      "lubt_executor_task_latency_ms"
 
   type task_state = Pending | Running | Done | Cancelled | Abandoned
 
@@ -195,6 +218,7 @@ module Executor = struct
           tk.started <- Clock.now ();
           pool.pending <- pool.pending - 1;
           pool.running <- pool.running + 1;
+          Metrics.set m_queue_depth (float_of_int pool.pending);
           slot.w_task <- Some tk;
           Some tk
         | Some _ -> take () (* cancelled while queued: skip *)
@@ -214,11 +238,14 @@ module Executor = struct
         let bt = Printexc.get_raw_backtrace () in
         Mutex.protect pool.lock (fun () ->
             pool.task_errors <- pool.task_errors + 1);
+        Metrics.incr m_task_errors;
         Log.err
           ~fields:[ ("exn", Trace.Str (Printexc.to_string exn)) ]
           "executor task raised%s"
           (let s = Printexc.raw_backtrace_to_string bt in
            if s = "" then "" else "\n" ^ s));
+      if Metrics.enabled () then
+        Metrics.observe m_task_latency ((Clock.now () -. tk.started) *. 1e3);
       Mutex.protect pool.lock (fun () ->
           (match tk.state with
           | Running ->
@@ -278,6 +305,7 @@ module Executor = struct
               || (pool.drain && not (Queue.is_empty pool.queue))
             then begin
               pool.restarts <- pool.restarts + 1;
+              Metrics.incr m_restarts;
               spawn_worker pool
             end;
             cb)
@@ -328,6 +356,8 @@ module Executor = struct
                   pool.running <- pool.running - 1;
                   pool.watchdog_fires <- pool.watchdog_fires + 1;
                   pool.restarts <- pool.restarts + 1;
+                  Metrics.incr m_watchdog_fires;
+                  Metrics.incr m_restarts;
                   slot.w_task <- None;
                   slot.w_deposed <- true;
                   pool.slots <-
@@ -466,6 +496,7 @@ module Executor = struct
           in
           Queue.add tk pool.queue;
           pool.pending <- pool.pending + 1;
+          Metrics.set m_queue_depth (float_of_int pool.pending);
           Condition.signal pool.work;
           Ok { ticket_task = tk; owner = pool }
         end)

@@ -30,3 +30,10 @@ let approx_eq ?(eps = 1e-6) a b =
 let clamp lo hi v =
   assert (lo <= hi);
   if v < lo then lo else if v > hi then hi else v
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else
+    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))

@@ -14,3 +14,12 @@ val approx_eq : ?eps:float -> float -> float -> bool
 
 val clamp : float -> float -> float -> float
 (** [clamp lo hi v] restricts [v] to [\[lo, hi\]]. Requires [lo <= hi]. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted p] is the nearest-rank [p]-th percentile
+    ([0 <= p <= 100]) of an ascending-sorted array: the element at
+    rank [ceil (p/100 * n)], clamped into range; [nan] when empty.
+    This is the exact-sample counterpart of the bucketed
+    {!Lubt_obs.Metrics.Buckets.quantile} estimate — on the same data
+    the two agree to within one bucket width, which the metrics test
+    suite pins. *)

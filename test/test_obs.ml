@@ -525,6 +525,59 @@ let test_diff_absolute_floor () =
   Alcotest.(check bool) "10 -> 12ms still regresses" true
     (verdict 10.0 12.0 = Bench_diff.Regression)
 
+(* SLO entries (_p50/_p95/_p99) gate under their own wider threshold
+   and higher floor: tail quantiles are contracts worth failing CI
+   over, but 10%-noisy by nature. *)
+let test_diff_slo_gate () =
+  let verdict ?slo_threshold ?slo_floor_ms name old_ms new_ms =
+    let old_f = bench_file [ (name, old_ms, 1) ] in
+    let new_f = bench_file [ (name, new_ms, 1) ] in
+    match Bench_diff.compare ?slo_threshold ?slo_floor_ms old_f new_f with
+    | Error e -> Alcotest.fail e
+    | Ok r -> (
+      match r.Bench_diff.r_deltas with
+      | [ d ] -> d.Bench_diff.d_verdict
+      | ds -> Alcotest.failf "expected 1 delta, got %d" (List.length ds))
+  in
+  (* +30% would regress a timing entry (10% gate) but sits inside the
+     50% SLO band *)
+  Alcotest.(check bool) "p95 +30%: inside the SLO band" true
+    (verdict "serve_latency_p95" 100.0 130.0 = Bench_diff.Unchanged);
+  Alcotest.(check bool) "p95 +60%: SLO regression" true
+    (verdict "serve_latency_p95" 100.0 160.0 = Bench_diff.Regression);
+  Alcotest.(check bool) "p95 -60%: SLO improvement" true
+    (verdict "serve_latency_p95" 100.0 40.0 = Bench_diff.Improvement);
+  (* the SLO floor clamps tiny-baseline ratios: 0.1ms -> 0.9ms is 9x
+     but only 0.8ms, below the 1ms floor *)
+  Alcotest.(check bool) "sub-floor p99 jitter unchanged" true
+    (verdict "serve_latency_p99" 0.1 0.9 = Bench_diff.Unchanged);
+  Alcotest.(check bool) "tightened SLO threshold bites" true
+    (verdict ~slo_threshold:0.2 "serve_latency_p50" 100.0 130.0
+    = Bench_diff.Regression);
+  (* a non-SLO timing entry keeps the normal gate *)
+  Alcotest.(check bool) "plain entry still gates at 10%" true
+    (verdict "a" 100.0 130.0 = Bench_diff.Regression)
+
+(* The bench writer serialises nan as null (the unobservable hit rate
+   against an external daemon); the parser must read it back as nan
+   and never let it gate — a regression here breaks CI's self-diff. *)
+let test_diff_null_ms () =
+  let null_file =
+    "{\"schema\": \"lubt-bench/4\", \"size\": \"tiny\", \"jobs\": 1, \
+     \"cores\": 1, \"benchmarks\": [{\"name\": \"serve_cache_hit_rate\", \
+     \"ms_per_run\": null}]}"
+  in
+  match Bench_diff.compare null_file null_file with
+  | Error e -> Alcotest.fail e
+  | Ok r -> (
+    Alcotest.(check bool) "null never gates" false
+      (Bench_diff.has_regression r);
+    match r.Bench_diff.r_deltas with
+    | [ d ] ->
+      Alcotest.(check bool) "parsed as nan" true
+        (Float.is_nan d.Bench_diff.d_old_ms)
+    | ds -> Alcotest.failf "expected 1 delta, got %d" (List.length ds))
+
 let test_diff_rejects_garbage () =
   (match Bench_diff.compare "not json" (bench_file []) with
   | Ok _ -> Alcotest.fail "accepted garbage old file"
@@ -639,6 +692,8 @@ let () =
           Alcotest.test_case "improvement and missing" `Quick
             test_diff_improvement_and_missing;
           Alcotest.test_case "absolute floor" `Quick test_diff_absolute_floor;
+          Alcotest.test_case "SLO gate" `Quick test_diff_slo_gate;
+          Alcotest.test_case "null ms_per_run" `Quick test_diff_null_ms;
           Alcotest.test_case "rejects garbage" `Quick test_diff_rejects_garbage;
           Alcotest.test_case "exe exit codes" `Quick test_diff_exit_codes;
         ] );
